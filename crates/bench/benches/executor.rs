@@ -1,0 +1,25 @@
+//! Criterion benchmark: planning and executing the Figure-1 TPC-H Q2 plan on the
+//! simulated database + SAN (one report run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diads_core::Testbed;
+use diads_db::Optimizer;
+use diads_monitor::Timestamp;
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let testbed = Testbed::paper_default(10.0);
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(30);
+    group.bench_function("optimizer_choose_q2", |b| {
+        let optimizer = Optimizer::new(testbed.config.clone());
+        b.iter(|| black_box(optimizer.choose(&testbed.query.candidates, &testbed.catalog).expect("feasible")))
+    });
+    group.bench_function("execute_q2_once", |b| {
+        b.iter(|| black_box(testbed.execute_once(black_box(Timestamp::new(3_600))).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmark: KDE fitting and anomaly scoring (the statistical core of
+//! modules CO, DA and CR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diads_stats::Kde;
+use std::hint::black_box;
+
+fn bench_kde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde");
+    group.sample_size(30);
+    for &n in &[10usize, 30, 100, 300] {
+        let sample: Vec<f64> = (0..n).map(|i| 100.0 + (i % 17) as f64 * 0.8).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &sample, |b, s| {
+            b.iter(|| Kde::fit(black_box(s)).expect("valid sample"))
+        });
+        let kde = Kde::fit(&sample).expect("valid sample");
+        group.bench_with_input(BenchmarkId::new("anomaly_score", n), &kde, |b, k| {
+            b.iter(|| black_box(k.anomaly_score(black_box(140.0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kde);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark: the full diagnosis workflow (Figure 2) in batch mode over a
+//! pre-simulated scenario-1 deployment, plus the individual modules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diads_bench::harness::diagnose;
+use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
+use std::hint::black_box;
+
+fn bench_workflow(c: &mut Criterion) {
+    let outcome = Testbed::run_scenario(&scenario_1(ScenarioTimeline::short()));
+    let apg = outcome.apg();
+    let events = outcome.testbed.all_events();
+    let ctx = DiagnosisContext {
+        apg: &apg,
+        history: &outcome.history,
+        store: &outcome.testbed.store,
+        events: &events,
+        catalog: &outcome.testbed.catalog,
+        config: &outcome.testbed.config,
+        topology: outcome.testbed.san.topology(),
+        workloads: outcome.testbed.san.workloads(),
+    };
+    let workflow = DiagnosisWorkflow::new();
+
+    let mut group = c.benchmark_group("workflow");
+    group.sample_size(20);
+    group.bench_function("batch_diagnosis", |b| b.iter(|| black_box(workflow.run(black_box(&ctx)))));
+    group.bench_function("module_co", |b| b.iter(|| black_box(workflow.correlated_operators(&ctx))));
+    let cos = workflow.correlated_operators(&ctx);
+    group.bench_function("module_da", |b| b.iter(|| black_box(workflow.dependency_analysis(&ctx, &cos))));
+    group.bench_function("diagnose_helper", |b| b.iter(|| black_box(diagnose(&outcome))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 1**: the Annotated Plan Graph of TPC-H Query 2 over the paper's
+//! testbed — 25 operators, 9 leaves, partsupp on V1 (pool P1), everything else on V2
+//! (pool P2, disks 5–10), with inner and outer dependency paths.
+//!
+//! Run with `cargo run --release -p diads-bench --bin figure1_apg`.
+
+use diads_bench::harness::heading;
+use diads_core::Testbed;
+use diads_db::OperatorId;
+
+fn main() {
+    let testbed = Testbed::paper_default(10.0);
+    let plan = testbed.query.candidates[0].clone();
+    let apg = testbed.build_apg(&plan);
+
+    heading("Figure 1: Annotated Plan Graph for TPC-H Query 2");
+    println!("Operators: {}   Leaf operators: {}", apg.plan.operator_count(), apg.plan.leaves().len());
+    println!("Leaves on V1: {:?}", apg.leaves_on_volume("V1"));
+    println!("Leaves on V2: {:?}", apg.leaves_on_volume("V2"));
+    println!();
+    println!("{}", apg.render());
+
+    // The paper's example: the inner dependency path of the Part index scan.
+    let part_leaf = apg
+        .plan
+        .leaves()
+        .into_iter()
+        .find(|n| n.table.as_deref() == Some("part"))
+        .map(|n| n.id)
+        .unwrap_or(OperatorId(10));
+    println!("Inner dependency path of {part_leaf} (Index Scan on part):");
+    for c in apg.inner_path(part_leaf) {
+        println!("    {c}");
+    }
+    println!("Outer dependency path of {part_leaf}:");
+    for c in apg.outer_path(part_leaf) {
+        println!("    {c}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Figure 2**: the diagnosis workflow — its module graph and a full
+//! batch-mode execution trace over scenario 1.
+//!
+//! Run with `cargo run --release -p diads-bench --bin figure2_workflow`.
+
+use diads_bench::harness::{run_and_diagnose, heading};
+use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
+
+fn main() {
+    heading("Figure 2: the DIADS diagnosis workflow");
+    println!(
+        "{}",
+        r#"  Admin identifies satisfactory / unsatisfactory runs of query Q
+      |
+      v
+  [PD] Plan Diffing ---- plans differ ----> plan-change analysis (index drop, data
+      | same plan P                          properties, configuration parameters)
+      v
+  [CO] Correlate P's slowdown with operator running times  (KDE anomaly scores)
+      |
+      v
+  [DA] Dependency paths of correlated operators; prune by correlating component
+      |        performance metrics with operator slowdown
+      v
+  [CR] Correlate slowdown with operator record counts (data-property changes)
+      |
+      v
+  [SD] Match symptoms against the symptoms database -> confidence scores
+      |
+      v
+  [IA] Impact analysis: how much of the slowdown does each root cause explain?"#
+    );
+
+    let (outcome, report) = run_and_diagnose(&scenario_1(ScenarioTimeline::paper_default()));
+    heading("Batch-mode execution over scenario 1");
+    println!(
+        "Runs: {} satisfactory, {} unsatisfactory",
+        outcome.history.satisfactory().len(),
+        outcome.history.unsatisfactory().len()
+    );
+    println!("{}", report.render());
+}

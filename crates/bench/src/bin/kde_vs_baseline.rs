@@ -1,0 +1,106 @@
+//! Regenerates the **Section-5 observation** about the statistical engine: "compared to
+//! correlation analysis using advanced models (e.g., Bayesian networks), KDE can
+//! produce accurate results with few tens of samples, and is more robust to noise in
+//! the data."
+//!
+//! A synthetic anomaly-labelling task sweeps the number of satisfactory samples and the
+//! noise level: each detector must separate genuinely slowed-down observations
+//! (+60 % shift) from normal ones. The Gaussian naive-Bayes classifier plays the role
+//! of the parametric "advanced model"; the z-score and fixed-percentile detectors are
+//! the simpler alternatives.
+//!
+//! Run with `cargo run --release -p diads-bench --bin kde_vs_baseline`.
+
+use diads_bench::harness::heading;
+use diads_stats::bayes::RunLabel;
+use diads_stats::{AnomalyDetector, GaussianNaiveBayes, KdeDetector, PercentileDetector, ZScoreDetector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// One trial: accuracy of each detector at separating shifted from unshifted
+/// observations given `n` satisfactory samples and a noise-spike probability.
+fn trial(rng: &mut StdRng, n: usize, spike_prob: f64) -> (f64, f64, f64, f64) {
+    let base = 100.0;
+    let sd = 8.0;
+    let gen_sample = |rng: &mut StdRng| {
+        let v = normal(rng, base, sd).max(0.0);
+        if rng.gen::<f64>() < spike_prob {
+            v * 4.0
+        } else {
+            v
+        }
+    };
+    let satisfactory: Vec<f64> = (0..n).map(|_| gen_sample(rng)).collect();
+
+    let mut kde = KdeDetector::new();
+    let mut z = ZScoreDetector::new();
+    let mut pct = PercentileDetector::new(0.95);
+    kde.fit(&satisfactory).expect("non-empty");
+    z.fit(&satisfactory).expect("non-empty");
+    pct.fit(&satisfactory).expect("non-empty");
+
+    // The "advanced model" additionally needs labelled unsatisfactory examples; give it
+    // a handful, as a real deployment would have.
+    let mut rows: Vec<(Vec<f64>, RunLabel)> =
+        satisfactory.iter().map(|&v| (vec![v], RunLabel::Satisfactory)).collect();
+    for _ in 0..4 {
+        rows.push((vec![gen_sample(rng) * 1.6], RunLabel::Unsatisfactory));
+    }
+    let nb = GaussianNaiveBayes::fit(&rows).expect("both classes present");
+
+    let trials = 200;
+    let mut correct = [0usize; 4];
+    for i in 0..trials {
+        let anomalous = i % 2 == 0;
+        let value = if anomalous { normal(rng, base * 1.6, sd) } else { gen_sample(rng) };
+        let verdicts = [
+            kde.score(value) >= 0.8,
+            z.score(value) >= 0.8,
+            pct.score(value) >= 0.8,
+            nb.prob_unsatisfactory(&[value]).unwrap_or(0.0) >= 0.5,
+        ];
+        for (j, v) in verdicts.iter().enumerate() {
+            if *v == anomalous {
+                correct[j] += 1;
+            }
+        }
+    }
+    let acc = |c: usize| c as f64 / trials as f64;
+    (acc(correct[0]), acc(correct[1]), acc(correct[2]), acc(correct[3]))
+}
+
+fn sweep(label: &str, spike_prob: f64) {
+    heading(&format!("Detection accuracy vs. sample count ({label})"));
+    println!("{:>8} {:>8} {:>8} {:>12} {:>14}", "samples", "KDE", "z-score", "95th-pctile", "naive Bayes");
+    for &n in &[10usize, 20, 30, 50, 80] {
+        let mut sums = (0.0, 0.0, 0.0, 0.0);
+        let reps = 20;
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(1000 + rep as u64 * 7 + n as u64);
+            let (a, b, c, d) = trial(&mut rng, n, spike_prob);
+            sums = (sums.0 + a, sums.1 + b, sums.2 + c, sums.3 + d);
+        }
+        let r = reps as f64;
+        println!(
+            "{:>8} {:>8.3} {:>8.3} {:>12.3} {:>14.3}",
+            n,
+            sums.0 / r,
+            sums.1 / r,
+            sums.2 / r,
+            sums.3 / r
+        );
+    }
+}
+
+fn main() {
+    sweep("clean monitoring data", 0.0);
+    sweep("noisy monitoring data: 10% spurious spikes", 0.10);
+    println!("\nExpected shape (paper, §5): KDE is accurate with a few tens of samples and degrades");
+    println!("less than the parametric alternatives when the training data contains noise spikes.");
+}

@@ -1,0 +1,8 @@
+//! # diads-bench
+//!
+//! The experiment harness of the DIADS reproduction. Every table and figure of the
+//! paper's evaluation has a binary under `src/bin/` that regenerates it (see
+//! `EXPERIMENTS.md` at the workspace root for the index), and the `benches/` directory
+//! holds Criterion micro/macro benchmarks of the main code paths.
+
+pub mod harness;

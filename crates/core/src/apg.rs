@@ -1,0 +1,350 @@
+//! Annotated Plan Graphs (Section 3 of the paper).
+//!
+//! An APG captures "a comprehensive end-to-end mapping of the logical database
+//! operators of the query plan to the physical disk details where the actual data
+//! resides, and everything in between": the plan tree, the tablespace→volume mapping,
+//! the SAN configuration, the *inner* dependency path of every operator (components
+//! whose performance affects it directly) and the *outer* dependency path (components
+//! that affect it indirectly through shared physical resources), plus annotations — the
+//! monitoring data of every dependency component sliced to the operator's `[tb, te]`
+//! execution window.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use diads_db::{Catalog, OperatorId, Plan, QueryRunRecord};
+use diads_monitor::{ComponentId, ComponentKind, MetricName, MetricStore, TimeRange};
+use diads_san::workload::ExternalWorkload;
+use diads_san::{path as san_path, SanTopology};
+
+/// The Annotated Plan Graph of one query plan over one testbed configuration.
+#[derive(Debug, Clone)]
+pub struct Apg {
+    /// The query the plan answers.
+    pub query: String,
+    /// The plan itself (operators `O1..On`).
+    pub plan: Plan,
+    /// The database server the plan runs on.
+    pub db_server: String,
+    /// Inner dependency path of each operator.
+    inner: BTreeMap<OperatorId, Vec<ComponentId>>,
+    /// Outer dependency path of each operator.
+    outer: BTreeMap<OperatorId, Vec<ComponentId>>,
+    /// Volume each leaf operator reads (derived through the tablespace mapping).
+    leaf_volumes: BTreeMap<OperatorId, String>,
+}
+
+impl Apg {
+    /// Builds the APG for a plan: every leaf operator is mapped through its table and
+    /// tablespace to a SAN volume, the volume's I/O path becomes the leaf's inner
+    /// dependency path, shared-disk volumes and external workloads become its outer
+    /// path, and non-leaf operators inherit the union of their descendants' paths (plus
+    /// the database server and instance, which every operator depends on).
+    pub fn build(
+        query: impl Into<String>,
+        plan: &Plan,
+        catalog: &Catalog,
+        topology: &SanTopology,
+        workloads: &[ExternalWorkload],
+        db_server: &str,
+        db_instance: &str,
+    ) -> Apg {
+        let mut inner: BTreeMap<OperatorId, Vec<ComponentId>> = BTreeMap::new();
+        let mut outer: BTreeMap<OperatorId, Vec<ComponentId>> = BTreeMap::new();
+        let mut leaf_volumes = BTreeMap::new();
+
+        let db_components = vec![
+            ComponentId::new(ComponentKind::DatabaseInstance, db_instance),
+            ComponentId::server(db_server),
+        ];
+
+        // Leaves first.
+        for leaf in plan.leaves() {
+            let table = leaf.table.as_deref().unwrap_or_default();
+            let mut inner_path = db_components.clone();
+            if let Some(t) = catalog.table(table) {
+                inner_path.push(ComponentId::tablespace(t.tablespace.clone()));
+            }
+            let mut outer_path = Vec::new();
+            if let Some(volume) = catalog.volume_of_table(table) {
+                leaf_volumes.insert(leaf.id, volume.clone());
+                inner_path.extend(san_path::inner_path(topology, db_server, &volume));
+                outer_path = san_path::outer_path(topology, workloads, &volume);
+            }
+            dedup(&mut inner_path);
+            dedup(&mut outer_path);
+            inner.insert(leaf.id, inner_path);
+            outer.insert(leaf.id, outer_path);
+        }
+
+        // Non-leaf operators: union of descendants, plus the database components.
+        for op in plan.operators() {
+            if op.kind.is_leaf() {
+                continue;
+            }
+            let mut inner_path = db_components.clone();
+            let mut outer_path = Vec::new();
+            for descendant in plan.subtree_of(op.id) {
+                if let Some(p) = inner.get(&descendant) {
+                    inner_path.extend(p.iter().cloned());
+                }
+                if let Some(p) = outer.get(&descendant) {
+                    outer_path.extend(p.iter().cloned());
+                }
+            }
+            dedup(&mut inner_path);
+            dedup(&mut outer_path);
+            inner.insert(op.id, inner_path);
+            outer.insert(op.id, outer_path);
+        }
+
+        Apg {
+            query: query.into(),
+            plan: plan.clone(),
+            db_server: db_server.to_string(),
+            inner,
+            outer,
+            leaf_volumes,
+        }
+    }
+
+    /// The inner dependency path of an operator (empty for unknown operators).
+    pub fn inner_path(&self, op: OperatorId) -> &[ComponentId] {
+        self.inner.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The outer dependency path of an operator (empty for unknown operators).
+    pub fn outer_path(&self, op: OperatorId) -> &[ComponentId] {
+        self.outer.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The volume a leaf operator reads, if it is a leaf with a mapped table.
+    pub fn volume_of(&self, op: OperatorId) -> Option<&str> {
+        self.leaf_volumes.get(&op).map(|s| s.as_str())
+    }
+
+    /// The leaf operators that read the given volume.
+    pub fn leaves_on_volume(&self, volume: &str) -> Vec<OperatorId> {
+        self.leaf_volumes
+            .iter()
+            .filter(|(_, v)| v.as_str() == volume)
+            .map(|(op, _)| *op)
+            .collect()
+    }
+
+    /// Every distinct component appearing on the inner dependency path of any of the
+    /// given operators (this is the search space of module DA).
+    pub fn components_on_paths(&self, operators: &[OperatorId]) -> BTreeSet<ComponentId> {
+        let mut out = BTreeSet::new();
+        for op in operators {
+            out.extend(self.inner_path(*op).iter().cloned());
+            out.extend(self.outer_path(*op).iter().cloned());
+        }
+        out
+    }
+
+    /// Every distinct component appearing anywhere in the APG.
+    pub fn all_components(&self) -> BTreeSet<ComponentId> {
+        let ops: Vec<OperatorId> = self.plan.operators().iter().map(|o| o.id).collect();
+        self.components_on_paths(&ops)
+    }
+
+    /// The operators whose inner dependency path contains the given component.
+    pub fn operators_depending_on(&self, component: &ComponentId) -> Vec<OperatorId> {
+        self.plan
+            .operators()
+            .iter()
+            .map(|o| o.id)
+            .filter(|op| self.inner_path(*op).contains(component))
+            .collect()
+    }
+
+    /// The annotation of one operator for one run: the values of every metric of every
+    /// component on the operator's inner dependency path, restricted to the operator's
+    /// `[tb, te]` window in that run.
+    pub fn annotate(
+        &self,
+        store: &MetricStore,
+        run: &QueryRunRecord,
+        op: OperatorId,
+    ) -> Vec<(ComponentId, MetricName, Vec<f64>)> {
+        let Some(op_stats) = run.operator(op) else { return Vec::new() };
+        // The window is the operator's start..stop, padded by a minute on each side so
+        // coarse 5-minute samples overlapping the run are included.
+        let window = TimeRange::new(
+            op_stats.start.minus(diads_monitor::Duration::from_mins(5)),
+            op_stats.stop.plus(diads_monitor::Duration::from_mins(5)),
+        );
+        let mut out = Vec::new();
+        for component in self.inner_path(op) {
+            for metric in store.metrics_of(component) {
+                let values = store.values_in(component, &metric, window);
+                if !values.is_empty() {
+                    out.push((component.clone(), metric, values));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the APG as an indented text tree: the plan with, under each leaf, the SAN
+    /// path down to the physical disks (the text equivalent of Figure 1 / Figure 6).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Annotated Plan Graph for {} (server {})\n", self.query, self.db_server));
+        self.render_node(&self.plan.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, node: &diads_db::PlanNode, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let target = match (&node.table, &node.index) {
+            (Some(t), Some(i)) => format!(" on {t} using {i}"),
+            (Some(t), None) => format!(" on {t}"),
+            _ => String::new(),
+        };
+        out.push_str(&format!("{indent}{} {}{}\n", node.id, node.kind, target));
+        if node.kind.is_leaf() {
+            let storage: Vec<String> = self
+                .inner_path(node.id)
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c.kind,
+                        ComponentKind::StorageVolume | ComponentKind::StoragePool | ComponentKind::Disk
+                    )
+                })
+                .map(|c| c.to_string())
+                .collect();
+            if !storage.is_empty() {
+                out.push_str(&format!("{indent}    -> {}\n", storage.join(" -> ")));
+            }
+            let outer: Vec<String> = self.outer_path(node.id).iter().map(|c| c.to_string()).collect();
+            if !outer.is_empty() {
+                out.push_str(&format!("{indent}    ~~ outer: {}\n", outer.join(", ")));
+            }
+        }
+        for child in &node.children {
+            self.render_node(child, depth + 1, out);
+        }
+    }
+}
+
+fn dedup(v: &mut Vec<ComponentId>) {
+    let mut seen = BTreeSet::new();
+    v.retain(|c| seen.insert(c.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diads_monitor::{TimeRange, Timestamp};
+    use diads_san::topology::paper_testbed;
+    use diads_san::workload::IoProfile;
+    use diads_workload::queries::q2_paper_plan;
+    use diads_workload::{tpch_catalog, TpchLayout};
+
+    fn apg() -> Apg {
+        let catalog = tpch_catalog(1.0, &TpchLayout::paper_default());
+        let plan = q2_paper_plan(&catalog);
+        let topology = paper_testbed();
+        let workloads = vec![ExternalWorkload::steady(
+            "archiver",
+            "app-server",
+            "V3",
+            IoProfile::oltp(20.0, 20.0),
+            TimeRange::new(Timestamp::new(0), Timestamp::new(1_000_000)),
+        )];
+        Apg::build("TPC-H Q2", &plan, &catalog, &topology, &workloads, "db-server", "reports-db")
+    }
+
+    #[test]
+    fn leaf_paths_follow_figure1() {
+        let apg = apg();
+        // O8 is the partsupp scan on V1: its inner path reaches pool P1 and disks ds-01..04.
+        let o8 = OperatorId(8);
+        assert_eq!(apg.volume_of(o8), Some("V1"));
+        let path = apg.inner_path(o8);
+        assert!(path.contains(&ComponentId::volume("V1")));
+        assert!(path.contains(&ComponentId::pool("P1")));
+        assert!(path.contains(&ComponentId::disk("ds-01")));
+        assert!(path.contains(&ComponentId::server("db-server")));
+        assert!(path.contains(&ComponentId::new(ComponentKind::StorageSubsystem, "DS6000")));
+        assert!(!path.contains(&ComponentId::volume("V2")));
+        // The part index scan reads V2 in pool P2 with disks ds-05..ds-10.
+        let part_leaf = apg
+            .plan
+            .leaves()
+            .into_iter()
+            .find(|n| n.table.as_deref() == Some("part"))
+            .unwrap()
+            .id;
+        assert_eq!(apg.volume_of(part_leaf), Some("V2"));
+        assert!(apg.inner_path(part_leaf).contains(&ComponentId::disk("ds-07")));
+        // V2's outer path includes V3/V4 and the external workload on V3.
+        let outer = apg.outer_path(part_leaf);
+        assert!(outer.contains(&ComponentId::volume("V3")));
+        assert!(outer.contains(&ComponentId::volume("V4")));
+        assert!(outer.contains(&ComponentId::external_workload("archiver")));
+        // V1 leaves have an empty outer path in the unfaulted testbed.
+        assert!(apg.outer_path(o8).is_empty());
+    }
+
+    #[test]
+    fn leaves_on_volume_match_the_paper_split() {
+        let apg = apg();
+        let v1: Vec<u32> = apg.leaves_on_volume("V1").iter().map(|o| o.0).collect();
+        assert_eq!(v1, vec![8, 22]);
+        assert_eq!(apg.leaves_on_volume("V2").len(), 7);
+        assert!(apg.leaves_on_volume("V9").is_empty());
+    }
+
+    #[test]
+    fn intermediate_operators_inherit_descendant_paths() {
+        let apg = apg();
+        // The root depends on everything; the subquery aggregate (O17) depends on V1
+        // (via O22) and V2 (via its other scans).
+        let root_path = apg.inner_path(OperatorId(1));
+        assert!(root_path.contains(&ComponentId::volume("V1")));
+        assert!(root_path.contains(&ComponentId::volume("V2")));
+        let o17 = apg.inner_path(OperatorId(17));
+        assert!(o17.contains(&ComponentId::volume("V1")));
+        // O9 (hash over the part index scan) depends on V2 but not V1.
+        let o9 = apg.inner_path(OperatorId(9));
+        assert!(o9.contains(&ComponentId::volume("V2")));
+        assert!(!o9.contains(&ComponentId::volume("V1")));
+    }
+
+    #[test]
+    fn operators_depending_on_a_component() {
+        let apg = apg();
+        let on_v1 = apg.operators_depending_on(&ComponentId::volume("V1"));
+        assert!(on_v1.contains(&OperatorId(8)));
+        assert!(on_v1.contains(&OperatorId(22)));
+        assert!(on_v1.contains(&OperatorId(1)));
+        assert!(!on_v1.contains(&OperatorId(9)));
+        // Every operator depends on the database server.
+        assert_eq!(apg.operators_depending_on(&ComponentId::server("db-server")).len(), 25);
+    }
+
+    #[test]
+    fn components_on_paths_is_the_da_search_space() {
+        let apg = apg();
+        let space = apg.components_on_paths(&[OperatorId(8)]);
+        assert!(space.contains(&ComponentId::volume("V1")));
+        assert!(!space.contains(&ComponentId::volume("V2")));
+        let everything = apg.all_components();
+        assert!(everything.contains(&ComponentId::volume("V2")));
+        assert!(everything.len() > space.len());
+    }
+
+    #[test]
+    fn render_contains_plan_and_storage_path() {
+        let apg = apg();
+        let text = apg.render();
+        assert!(text.contains("O1 Limit"));
+        assert!(text.contains("Seq Scan on partsupp"));
+        assert!(text.contains("volume:V1"));
+        assert!(text.contains("disk:ds-05"));
+        assert!(text.contains("outer:"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The final diagnosis report.
+
+use diads_monitor::ComponentId;
+
+/// Confidence category of a root cause (Section 4.1: high ≥ 80 %, medium ≥ 50 %, low otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConfidenceLevel {
+    /// Score below 50 %.
+    Low,
+    /// Score in [50 %, 80 %).
+    Medium,
+    /// Score of 80 % or more.
+    High,
+}
+
+impl ConfidenceLevel {
+    /// Buckets a confidence score.
+    pub fn from_score(score: f64) -> Self {
+        if score >= 80.0 {
+            ConfidenceLevel::High
+        } else if score >= 50.0 {
+            ConfidenceLevel::Medium
+        } else {
+            ConfidenceLevel::Low
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfidenceLevel::High => "high",
+            ConfidenceLevel::Medium => "medium",
+            ConfidenceLevel::Low => "low",
+        }
+    }
+}
+
+impl std::fmt::Display for ConfidenceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A root cause in the final report: confidence from module SD plus impact from module IA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCause {
+    /// The cause's stable identifier.
+    pub cause_id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The component most strongly implicated, if any.
+    pub subject: Option<ComponentId>,
+    /// Confidence score in `[0, 100]`.
+    pub confidence_score: f64,
+    /// Confidence category.
+    pub confidence: ConfidenceLevel,
+    /// Percentage of the query slowdown attributable to this cause (module IA).
+    pub impact_pct: f64,
+}
+
+impl RankedCause {
+    /// Whether this cause is both high-confidence and high-impact — the report's
+    /// definition of an actionable finding.
+    pub fn is_actionable(&self, impact_threshold_pct: f64) -> bool {
+        self.confidence == ConfidenceLevel::High && self.impact_pct >= impact_threshold_pct
+    }
+}
+
+/// Outcome of the whole workflow for one slowdown investigation.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosisReport {
+    /// The investigated query.
+    pub query: String,
+    /// Mean elapsed time of satisfactory runs (seconds).
+    pub satisfactory_mean_secs: f64,
+    /// Mean elapsed time of unsatisfactory runs (seconds).
+    pub unsatisfactory_mean_secs: f64,
+    /// Whether the plan changed between the two periods.
+    pub plan_changed: bool,
+    /// Explanations found for a plan change (empty when the plan did not change).
+    pub plan_change_causes: Vec<String>,
+    /// Operator names in the correlated-operator set (module CO).
+    pub correlated_operators: Vec<String>,
+    /// Components in the correlated-component set (module DA).
+    pub correlated_components: Vec<ComponentId>,
+    /// Operators whose record counts changed (module CR).
+    pub record_count_changes: Vec<String>,
+    /// Root causes ranked by confidence then impact.
+    pub causes: Vec<RankedCause>,
+}
+
+impl DiagnosisReport {
+    /// The causes that are both high-confidence and high-impact, best first.
+    pub fn actionable_causes(&self, impact_threshold_pct: f64) -> Vec<&RankedCause> {
+        self.causes.iter().filter(|c| c.is_actionable(impact_threshold_pct)).collect()
+    }
+
+    /// The single most likely root cause, if any cause was scored at all.
+    pub fn primary_cause(&self) -> Option<&RankedCause> {
+        self.causes.first()
+    }
+
+    /// The relative slowdown between the two periods.
+    pub fn relative_slowdown(&self) -> f64 {
+        if self.satisfactory_mean_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.unsatisfactory_mean_secs - self.satisfactory_mean_secs) / self.satisfactory_mean_secs
+    }
+
+    /// Renders the report as text (the batch-mode result panel of Figure 7).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== DIADS diagnosis report: {} ===\n", self.query));
+        out.push_str(&format!(
+            "Satisfactory runs averaged {:.1}s; unsatisfactory runs averaged {:.1}s ({:+.0}% change)\n",
+            self.satisfactory_mean_secs,
+            self.unsatisfactory_mean_secs,
+            self.relative_slowdown() * 100.0
+        ));
+        if self.plan_changed {
+            out.push_str("Plan Diffing: the execution plan CHANGED between the two periods.\n");
+            for cause in &self.plan_change_causes {
+                out.push_str(&format!("  plan-change cause: {cause}\n"));
+            }
+        } else {
+            out.push_str("Plan Diffing: the same plan was used in both periods.\n");
+            out.push_str(&format!(
+                "Correlated operators (anomaly > threshold): {}\n",
+                if self.correlated_operators.is_empty() { "none".to_string() } else { self.correlated_operators.join(", ") }
+            ));
+            out.push_str(&format!(
+                "Correlated components: {}\n",
+                if self.correlated_components.is_empty() {
+                    "none".to_string()
+                } else {
+                    self.correlated_components.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+                }
+            ));
+            out.push_str(&format!(
+                "Operators with record-count changes: {}\n",
+                if self.record_count_changes.is_empty() { "none".to_string() } else { self.record_count_changes.join(", ") }
+            ));
+        }
+        out.push_str("Root causes (confidence, impact):\n");
+        for cause in &self.causes {
+            out.push_str(&format!(
+                "  [{:>6}] {:>5.1}% confidence, {:>5.1}% impact — {}{}\n",
+                cause.confidence.label(),
+                cause.confidence_score,
+                cause.impact_pct,
+                cause.description,
+                cause
+                    .subject
+                    .as_ref()
+                    .map(|s| format!(" ({s})"))
+                    .unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cause(id: &str, score: f64, impact: f64) -> RankedCause {
+        RankedCause {
+            cause_id: id.into(),
+            description: format!("cause {id}"),
+            subject: Some(ComponentId::volume("V1")),
+            confidence_score: score,
+            confidence: ConfidenceLevel::from_score(score),
+            impact_pct: impact,
+        }
+    }
+
+    #[test]
+    fn confidence_buckets_match_the_paper() {
+        assert_eq!(ConfidenceLevel::from_score(100.0), ConfidenceLevel::High);
+        assert_eq!(ConfidenceLevel::from_score(80.0), ConfidenceLevel::High);
+        assert_eq!(ConfidenceLevel::from_score(79.9), ConfidenceLevel::Medium);
+        assert_eq!(ConfidenceLevel::from_score(50.0), ConfidenceLevel::Medium);
+        assert_eq!(ConfidenceLevel::from_score(49.9), ConfidenceLevel::Low);
+        assert!(ConfidenceLevel::High > ConfidenceLevel::Medium);
+        assert_eq!(ConfidenceLevel::High.to_string(), "high");
+    }
+
+    #[test]
+    fn actionable_requires_confidence_and_impact() {
+        assert!(cause("a", 95.0, 90.0).is_actionable(50.0));
+        assert!(!cause("b", 95.0, 10.0).is_actionable(50.0));
+        assert!(!cause("c", 60.0, 95.0).is_actionable(50.0));
+    }
+
+    #[test]
+    fn report_accessors_and_render() {
+        let report = DiagnosisReport {
+            query: "TPC-H Q2".into(),
+            satisfactory_mean_secs: 200.0,
+            unsatisfactory_mean_secs: 400.0,
+            plan_changed: false,
+            plan_change_causes: vec![],
+            correlated_operators: vec!["O8".into(), "O22".into()],
+            correlated_components: vec![ComponentId::volume("V1")],
+            record_count_changes: vec![],
+            causes: vec![cause("san-misconfiguration-contention", 100.0, 99.8), cause("other", 40.0, 5.0)],
+        };
+        assert!((report.relative_slowdown() - 1.0).abs() < 1e-9);
+        assert_eq!(report.primary_cause().unwrap().cause_id, "san-misconfiguration-contention");
+        assert_eq!(report.actionable_causes(50.0).len(), 1);
+        let text = report.render();
+        assert!(text.contains("same plan"));
+        assert!(text.contains("O8, O22"));
+        assert!(text.contains("volume:V1"));
+        assert!(text.contains("99.8% impact"));
+        let empty = DiagnosisReport::default();
+        assert!(empty.primary_cause().is_none());
+        assert_eq!(empty.relative_slowdown(), 0.0);
+    }
+
+    #[test]
+    fn plan_change_render_shows_causes() {
+        let report = DiagnosisReport {
+            query: "TPC-H Q2".into(),
+            satisfactory_mean_secs: 100.0,
+            unsatisfactory_mean_secs: 250.0,
+            plan_changed: true,
+            plan_change_causes: vec!["index part_type_size_idx dropped".into()],
+            ..DiagnosisReport::default()
+        };
+        let text = report.render();
+        assert!(text.contains("CHANGED"));
+        assert!(text.contains("part_type_size_idx"));
+    }
+}

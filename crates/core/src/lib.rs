@@ -1,0 +1,43 @@
+//! # diads-core
+//!
+//! The DIADS diagnosis engine — the primary contribution of *"Why Did My Query Slow
+//! Down?"* (CIDR 2009) — built on the substrates of the companion crates
+//! (`diads-san`, `diads-db`, `diads-monitor`, `diads-stats`, `diads-workload`,
+//! `diads-inject`).
+//!
+//! The two core abstractions are:
+//!
+//! * the **Annotated Plan Graph** ([`apg`]): a single graph that ties every operator of
+//!   a query plan to the database and SAN components it depends on (inner and outer
+//!   dependency paths), annotated with the monitoring data collected during each run;
+//! * the **diagnosis workflow** ([`workflow`], Figure 2): Plan Diffing → Correlated
+//!   Operators → Dependency Analysis → Correlated Record-counts → Symptoms Database →
+//!   Impact Analysis, combining KDE-based anomaly scoring with domain knowledge.
+//!
+//! Supporting modules: [`testbed`] assembles a full simulated deployment and executes a
+//! fault-injection [`diads_inject::Scenario`] end to end, [`runs`] holds the
+//! satisfactory/unsatisfactory run history, [`symptoms`] implements the codebook-style
+//! symptoms database, [`diagnosis`] is the final report, [`baseline`] contains the
+//! SAN-only and DB-only comparison tools discussed in Section 5, [`screens`] renders
+//! the text equivalents of the paper's GUI screens (Figures 3, 6 and 7), and
+//! [`whatif`] implements the Section-7 what-if extension.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod apg;
+pub mod baseline;
+pub mod diagnosis;
+pub mod runs;
+pub mod screens;
+pub mod symptoms;
+pub mod testbed;
+pub mod whatif;
+pub mod workflow;
+
+pub use apg::Apg;
+pub use diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
+pub use runs::{LabeledRun, RunHistory};
+pub use symptoms::{Condition, RootCauseEntry, ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
+pub use testbed::{ScenarioOutcome, Testbed};
+pub use workflow::{DiagnosisContext, DiagnosisWorkflow, WorkflowConfig, WorkflowSession};

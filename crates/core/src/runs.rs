@@ -1,0 +1,202 @@
+//! The satisfactory / unsatisfactory run history the administrator hands to DIADS.
+//!
+//! Diagnosis starts with the administrator identifying the runs of a query that were
+//! fine and those that were not — either by ticking them off individually (the
+//! "Unsatisfactory" checkbox of Figure 3) or declaratively ("every execution longer
+//! than 30 minutes is unsatisfactory", "runs after 2 PM were unsatisfactory").
+
+use diads_db::QueryRunRecord;
+use diads_monitor::Timestamp;
+
+/// One run of the query with its satisfaction label.
+#[derive(Debug, Clone)]
+pub struct LabeledRun {
+    /// Position of the run in the schedule (0-based).
+    pub index: usize,
+    /// Everything the monitoring layer recorded about the run.
+    pub record: QueryRunRecord,
+    /// Whether the administrator considers the run satisfactory.
+    pub satisfactory: bool,
+}
+
+/// The full run history of one query.
+#[derive(Debug, Clone, Default)]
+pub struct RunHistory {
+    /// All runs in execution order.
+    pub runs: Vec<LabeledRun>,
+}
+
+impl RunHistory {
+    /// Builds a history from run records, all initially labelled satisfactory.
+    pub fn new(records: Vec<QueryRunRecord>) -> Self {
+        RunHistory {
+            runs: records
+                .into_iter()
+                .enumerate()
+                .map(|(index, record)| LabeledRun { index, record, satisfactory: true })
+                .collect(),
+        }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether there are no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Declarative rule: every run strictly longer than `threshold_secs` is unsatisfactory.
+    pub fn label_by_threshold(&mut self, threshold_secs: f64) {
+        for run in &mut self.runs {
+            run.satisfactory = run.record.elapsed_secs <= threshold_secs;
+        }
+    }
+
+    /// Declarative rule: every run starting at or after `cutoff` is unsatisfactory
+    /// (the "runs from 2 PM to 3 PM were unsatisfactory" style of marking).
+    pub fn label_by_start_time(&mut self, cutoff: Timestamp) {
+        for run in &mut self.runs {
+            run.satisfactory = run.record.start < cutoff;
+        }
+    }
+
+    /// Explicitly marks one run.
+    pub fn set_label(&mut self, index: usize, satisfactory: bool) {
+        if let Some(run) = self.runs.iter_mut().find(|r| r.index == index) {
+            run.satisfactory = satisfactory;
+        }
+    }
+
+    /// The satisfactory runs, in order.
+    pub fn satisfactory(&self) -> Vec<&LabeledRun> {
+        self.runs.iter().filter(|r| r.satisfactory).collect()
+    }
+
+    /// The unsatisfactory runs, in order.
+    pub fn unsatisfactory(&self) -> Vec<&LabeledRun> {
+        self.runs.iter().filter(|r| !r.satisfactory).collect()
+    }
+
+    /// Distinct plan fingerprints used by satisfactory runs.
+    pub fn satisfactory_plan_fingerprints(&self) -> Vec<String> {
+        Self::distinct_fingerprints(&self.satisfactory())
+    }
+
+    /// Distinct plan fingerprints used by unsatisfactory runs.
+    pub fn unsatisfactory_plan_fingerprints(&self) -> Vec<String> {
+        Self::distinct_fingerprints(&self.unsatisfactory())
+    }
+
+    fn distinct_fingerprints(runs: &[&LabeledRun]) -> Vec<String> {
+        let mut out: Vec<String> = runs.iter().map(|r| r.record.plan_fingerprint.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Mean elapsed seconds of satisfactory runs (`None` when there are none).
+    pub fn mean_satisfactory_elapsed(&self) -> Option<f64> {
+        Self::mean(&self.satisfactory())
+    }
+
+    /// Mean elapsed seconds of unsatisfactory runs (`None` when there are none).
+    pub fn mean_unsatisfactory_elapsed(&self) -> Option<f64> {
+        Self::mean(&self.unsatisfactory())
+    }
+
+    fn mean(runs: &[&LabeledRun]) -> Option<f64> {
+        if runs.is_empty() {
+            return None;
+        }
+        Some(runs.iter().map(|r| r.record.elapsed_secs).sum::<f64>() / runs.len() as f64)
+    }
+
+    /// The relative slowdown of unsatisfactory runs over satisfactory runs
+    /// (e.g. 0.3 for "a 30 % slowdown in response time"); `None` without both classes.
+    pub fn relative_slowdown(&self) -> Option<f64> {
+        let sat = self.mean_satisfactory_elapsed()?;
+        let unsat = self.mean_unsatisfactory_elapsed()?;
+        if sat <= 0.0 {
+            return None;
+        }
+        Some((unsat - sat) / sat)
+    }
+
+    /// The start of the first unsatisfactory run (diagnosis focuses on events before this).
+    pub fn first_unsatisfactory_start(&self) -> Option<Timestamp> {
+        self.unsatisfactory().first().map(|r| r.record.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diads_monitor::Duration;
+
+    fn record(start: u64, elapsed: f64, fingerprint: &str) -> QueryRunRecord {
+        QueryRunRecord {
+            query: "TPC-H Q2".into(),
+            plan_name: "p".into(),
+            plan_fingerprint: fingerprint.into(),
+            start: Timestamp::new(start),
+            end: Timestamp::new(start).plus(Duration::from_secs(elapsed as u64)),
+            elapsed_secs: elapsed,
+            operators: vec![],
+            volume_loads: vec![],
+            db_metrics: vec![],
+        }
+    }
+
+    fn history() -> RunHistory {
+        RunHistory::new(vec![
+            record(0, 100.0, "A"),
+            record(1_000, 110.0, "A"),
+            record(2_000, 105.0, "A"),
+            record(3_000, 290.0, "A"),
+            record(4_000, 310.0, "B"),
+        ])
+    }
+
+    #[test]
+    fn labeling_rules() {
+        let mut h = history();
+        assert_eq!(h.satisfactory().len(), 5);
+        h.label_by_threshold(150.0);
+        assert_eq!(h.satisfactory().len(), 3);
+        assert_eq!(h.unsatisfactory().len(), 2);
+        h.label_by_start_time(Timestamp::new(3_000));
+        assert_eq!(h.unsatisfactory().len(), 2);
+        assert_eq!(h.first_unsatisfactory_start(), Some(Timestamp::new(3_000)));
+        h.set_label(0, false);
+        assert_eq!(h.unsatisfactory().len(), 3);
+        h.set_label(99, false); // unknown index is a no-op
+        assert_eq!(h.len(), 5);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn aggregates_and_slowdown() {
+        let mut h = history();
+        h.label_by_threshold(150.0);
+        assert!((h.mean_satisfactory_elapsed().unwrap() - 105.0).abs() < 1.0);
+        assert!((h.mean_unsatisfactory_elapsed().unwrap() - 300.0).abs() < 1.0);
+        let slowdown = h.relative_slowdown().unwrap();
+        assert!(slowdown > 1.5 && slowdown < 2.2, "{slowdown}");
+        let empty = RunHistory::new(vec![]);
+        assert!(empty.relative_slowdown().is_none());
+        assert!(empty.mean_satisfactory_elapsed().is_none());
+    }
+
+    #[test]
+    fn fingerprints_by_label() {
+        let mut h = history();
+        h.label_by_start_time(Timestamp::new(4_000));
+        assert_eq!(h.satisfactory_plan_fingerprints(), vec!["A"]);
+        assert_eq!(h.unsatisfactory_plan_fingerprints(), vec!["B"]);
+        h.label_by_start_time(Timestamp::new(3_000));
+        assert_eq!(h.unsatisfactory_plan_fingerprints(), vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The simulated deployment: everything Figure 5 shows, wired together.
+//!
+//! A [`Testbed`] assembles the SAN simulator, the TPC-H database simulator, the
+//! monitoring collector and the report workload into one object, and
+//! [`Testbed::run_scenario`] executes a fault-injection [`Scenario`] end to end: it
+//! schedules the periodic report runs, injects the scenario's faults at their times,
+//! records database and SAN monitoring data into the metric/event stores, and labels
+//! the runs. The result — a [`ScenarioOutcome`] — is exactly the input DIADS needs:
+//! historic monitoring data plus a satisfactory/unsatisfactory run history.
+
+use diads_db::{
+    BufferCache, Catalog, DbConfig, ExecutionEnvironment, Executor, LockManager, Optimizer, Plan,
+    QueryRunRecord,
+};
+use diads_inject::{Injector, Scenario};
+use diads_monitor::{
+    Duration, EventStore, IntervalSampler, MetricStore, TimeRange, Timestamp,
+};
+use diads_san::topology::paper_testbed;
+use diads_san::{SanPerfConfig, SanSimulator, VolumeLoad};
+use diads_workload::{q2_plan_candidates, tpch_catalog, ReportQuery, TpchLayout};
+
+use crate::apg::Apg;
+use crate::runs::RunHistory;
+
+/// Name of the simulated database instance.
+pub const DB_INSTANCE: &str = "reports-db";
+/// Name of the server the database instance runs on.
+pub const DB_SERVER: &str = "db-server";
+
+/// The assembled deployment.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The SAN simulator (topology + external workloads + perf model).
+    pub san: SanSimulator,
+    /// The database catalog (tables, indexes, tablespaces, data properties).
+    pub catalog: Catalog,
+    /// Database configuration parameters.
+    pub config: DbConfig,
+    /// Lock-contention model.
+    pub locks: LockManager,
+    /// Database-side events (index drops, DML, lock contention, parameter changes).
+    pub db_events: EventStore,
+    /// The monitoring store everything is recorded into.
+    pub store: MetricStore,
+    /// The report query under diagnosis and its candidate plans.
+    pub query: ReportQuery,
+}
+
+impl Testbed {
+    /// Builds the paper's testbed: the Figure-1 SAN topology, a TPC-H catalog at the
+    /// given scale factor laid out with partsupp on V1, the default configuration, and
+    /// TPC-H Q2 as the report query.
+    pub fn paper_default(scale_factor: f64) -> Testbed {
+        let mut san_config = SanPerfConfig::default();
+        san_config.metric_step_secs = 60;
+        let san = SanSimulator::with_config(paper_testbed(), san_config);
+        let catalog = tpch_catalog(scale_factor, &TpchLayout::paper_default());
+        let candidates = q2_plan_candidates(&catalog);
+        Testbed {
+            san,
+            catalog,
+            config: DbConfig::paper_default(),
+            locks: LockManager::new(),
+            db_events: EventStore::new(),
+            store: MetricStore::new(),
+            query: ReportQuery { name: "TPC-H Q2".into(), candidates },
+        }
+    }
+
+    /// The merged event timeline (SAN configuration/system events + database events).
+    pub fn all_events(&self) -> EventStore {
+        let mut events = self.san.topology().events().clone();
+        events.merge(&self.db_events);
+        events
+    }
+
+    /// Plans the query with the current catalog and configuration and executes it once
+    /// at `start`, returning the run record (without recording monitoring data).
+    ///
+    /// # Errors
+    /// Propagates optimizer and executor errors (e.g. no feasible plan).
+    pub fn execute_once(&self, start: Timestamp) -> Result<QueryRunRecord, diads_db::DbError> {
+        let optimizer = Optimizer::new(self.config.clone());
+        let choice = optimizer.choose(&self.query.candidates, &self.catalog)?;
+        let buffer = BufferCache::new(&self.config);
+        let env = ExecutionEnvironment {
+            catalog: &self.catalog,
+            planned_stats: &choice.stats,
+            config: &self.config,
+            buffer: &buffer,
+            locks: &self.locks,
+            san: &self.san,
+            db_server: DB_SERVER,
+        };
+        Executor::new().execute(&choice.plan, &env, start)
+    }
+
+    /// Builds the APG of a plan over the current testbed configuration.
+    pub fn build_apg(&self, plan: &Plan) -> Apg {
+        Apg::build(
+            &self.query.name,
+            plan,
+            &self.catalog,
+            self.san.topology(),
+            self.san.workloads(),
+            DB_SERVER,
+            DB_INSTANCE,
+        )
+    }
+
+    /// The candidate plan whose fingerprint matches, if any.
+    pub fn plan_by_fingerprint(&self, fingerprint: &str) -> Option<&Plan> {
+        self.query.candidates.iter().find(|p| p.fingerprint() == fingerprint)
+    }
+
+    /// Runs a complete fault-injection scenario and returns the final testbed state,
+    /// the labelled run history and the scenario itself.
+    pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+        let mut testbed = Testbed::paper_default(scenario.scale_factor);
+        let injector = Injector::new();
+        let mut seed = 0u64;
+        for b in scenario.id.bytes() {
+            seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        let mut sampler = IntervalSampler::new(Duration::from_mins(5), scenario.noise.clone(), seed);
+
+        let schedule: Vec<Timestamp> = (0..scenario.timeline.total_runs())
+            .map(|i| scenario.timeline.first_run.plus(scenario.timeline.run_interval.scale(i as f64)))
+            .collect();
+
+        let mut pending: Vec<_> = scenario.faults.clone();
+        pending.sort_by_key(|f| f.inject_at);
+        let mut fault_log = Vec::new();
+
+        let mut records = Vec::new();
+        let mut query_loads: Vec<VolumeLoad> = Vec::new();
+        for &run_start in &schedule {
+            // Apply every fault due before this run.
+            while pending.first().is_some_and(|f| f.inject_at <= run_start) {
+                let fault = pending.remove(0);
+                let message = injector.apply(
+                    &fault.fault,
+                    &mut testbed.san,
+                    &mut testbed.catalog,
+                    &mut testbed.locks,
+                    &mut testbed.config,
+                    &mut testbed.db_events,
+                );
+                fault_log.push((fault.inject_at, message));
+            }
+            match testbed.execute_once(run_start) {
+                Ok(record) => {
+                    record.record_metrics(&mut testbed.store, DB_INSTANCE, DB_SERVER);
+                    query_loads.extend(record.volume_loads.clone());
+                    records.push(record);
+                }
+                Err(e) => {
+                    fault_log.push((run_start, format!("run failed: {e}")));
+                }
+            }
+        }
+        // Apply any faults scheduled after the last run (rare, but keeps the log honest).
+        for fault in pending {
+            let message = injector.apply(
+                &fault.fault,
+                &mut testbed.san,
+                &mut testbed.catalog,
+                &mut testbed.locks,
+                &mut testbed.config,
+                &mut testbed.db_events,
+            );
+            fault_log.push((fault.inject_at, message));
+        }
+
+        // Record the SAN's view of the whole period, including the query's own I/O.
+        let range = TimeRange::new(Timestamp::ZERO, scenario.timeline.end_time());
+        testbed.san.record_metrics(range, &query_loads, &mut sampler, &mut testbed.store);
+        sampler.flush(&mut testbed.store);
+
+        // Label runs by the scenario's timeline: everything before the fault is
+        // satisfactory (the administrator's time-window marking).
+        let mut history = RunHistory::new(records);
+        history.label_by_start_time(scenario.timeline.fault_time());
+
+        ScenarioOutcome { scenario: scenario.clone(), testbed, history, fault_log }
+    }
+}
+
+/// The result of running a scenario end to end.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// The final testbed state (catalog/SAN after faults, full metric and event stores).
+    pub testbed: Testbed,
+    /// The labelled run history.
+    pub history: RunHistory,
+    /// What the injector did, in time order.
+    pub fault_log: Vec<(Timestamp, String)>,
+}
+
+impl ScenarioOutcome {
+    /// The plan used by the unsatisfactory runs if they all share one, otherwise the
+    /// plan of the last run; falls back to the first candidate for an empty history.
+    pub fn diagnosed_plan(&self) -> Plan {
+        let fingerprint = self
+            .history
+            .unsatisfactory()
+            .last()
+            .map(|r| r.record.plan_fingerprint.clone())
+            .or_else(|| self.history.runs.last().map(|r| r.record.plan_fingerprint.clone()));
+        match fingerprint.and_then(|f| self.testbed.plan_by_fingerprint(&f).cloned()) {
+            Some(plan) => plan,
+            None => self.testbed.query.candidates[0].clone(),
+        }
+    }
+
+    /// Builds the APG for the diagnosed plan over the final testbed state.
+    pub fn apg(&self) -> Apg {
+        self.testbed.build_apg(&self.diagnosed_plan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
+
+    #[test]
+    fn paper_testbed_assembles() {
+        let testbed = Testbed::paper_default(1.0);
+        assert_eq!(testbed.query.candidates.len(), 3);
+        assert!(testbed.san.topology().volume("V1").is_some());
+        assert!(testbed.catalog.table("partsupp").is_some());
+        let record = testbed.execute_once(Timestamp::new(3_600)).unwrap();
+        assert_eq!(record.operators.len(), 25);
+        let apg = testbed.build_apg(testbed.plan_by_fingerprint(&record.plan_fingerprint).unwrap());
+        assert_eq!(apg.leaves_on_volume("V1").len(), 2);
+        assert!(testbed.all_events().is_empty());
+    }
+
+    #[test]
+    fn scenario_1_produces_a_labelled_slowdown() {
+        let scenario = scenario_1(ScenarioTimeline::short());
+        let outcome = Testbed::run_scenario(&scenario);
+        assert_eq!(outcome.history.len(), scenario.timeline.total_runs());
+        assert_eq!(outcome.history.satisfactory().len(), scenario.timeline.satisfactory_runs);
+        assert_eq!(outcome.history.unsatisfactory().len(), scenario.timeline.unsatisfactory_runs);
+        // The injected contention really slows the query down.
+        let slowdown = outcome.history.relative_slowdown().unwrap();
+        assert!(slowdown > 0.3, "slowdown = {slowdown}");
+        // The fault log shows the misconfiguration was applied.
+        assert!(outcome.fault_log.iter().any(|(_, m)| m.contains("Vprime")));
+        // The configuration events are visible on the merged timeline.
+        let events = outcome.testbed.all_events();
+        assert!(events.len() >= 3);
+        // Monitoring data was recorded for volumes and operators.
+        assert!(outcome.testbed.store.series_count() > 50);
+        let apg = outcome.apg();
+        assert_eq!(apg.plan.operator_count(), 25);
+    }
+}

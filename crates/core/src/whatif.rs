@@ -1,0 +1,130 @@
+//! What-if analysis (Section 7's first proposed extension).
+//!
+//! "Using techniques developed in our work, it is easy to conceive an integrated
+//! database and SAN tool that allows administrators to proactively assess the impact of
+//! their planned changes on the other layer." The implementation reuses the testbed's
+//! executor: a proposed change is applied to a *copy* of the deployment, the report
+//! query is executed once on the original and once on the modified copy, and the
+//! predicted change in running time is reported.
+
+use diads_monitor::Timestamp;
+
+use crate::testbed::Testbed;
+
+/// A change an administrator is considering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProposedChange {
+    /// Move a tablespace to a different volume (e.g. away from a contended pool).
+    MoveTablespace {
+        /// Tablespace to move.
+        tablespace: String,
+        /// Destination volume.
+        to_volume: String,
+    },
+    /// Change the database configuration (e.g. grow `work_mem` or `shared_buffers`).
+    ChangeConfig {
+        /// The new configuration.
+        new_config: diads_db::DbConfig,
+        /// Human-readable description of the change.
+        description: String,
+    },
+    /// Drop an index (to see what it would cost).
+    DropIndex {
+        /// The index to drop.
+        index: String,
+    },
+    /// Remove an external workload from the SAN (e.g. move the interloper elsewhere).
+    RemoveExternalWorkload {
+        /// Name of the workload to remove.
+        workload: String,
+    },
+}
+
+/// The outcome of a what-if evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfOutcome {
+    /// Description of the evaluated change.
+    pub change: String,
+    /// Query running time before the change (seconds).
+    pub baseline_secs: f64,
+    /// Predicted running time after the change (seconds).
+    pub predicted_secs: f64,
+}
+
+impl WhatIfOutcome {
+    /// Predicted relative improvement (positive = faster after the change).
+    pub fn improvement(&self) -> f64 {
+        if self.baseline_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.baseline_secs - self.predicted_secs) / self.baseline_secs
+    }
+}
+
+/// Evaluates a proposed change against a testbed by executing the report query once on
+/// the current deployment and once on a modified copy.
+///
+/// # Errors
+/// Propagates planner/executor errors (e.g. the change makes every candidate plan
+/// infeasible) as a human-readable message.
+pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Result<WhatIfOutcome, String> {
+    let baseline = testbed.execute_once(at).map_err(|e| e.to_string())?;
+
+    // Build the modified copy.
+    let mut modified = Testbed {
+        san: testbed.san.clone(),
+        catalog: testbed.catalog.clone(),
+        config: testbed.config.clone(),
+        locks: testbed.locks.clone(),
+        db_events: testbed.db_events.clone(),
+        store: diads_monitor::MetricStore::new(),
+        query: testbed.query.clone(),
+    };
+    let description = match change {
+        ProposedChange::MoveTablespace { tablespace, to_volume } => {
+            if modified.san.topology().volume(to_volume).is_none() {
+                return Err(format!("unknown destination volume {to_volume}"));
+            }
+            // Rebuild the catalog with the tablespace remapped.
+            let mut catalog = diads_db::Catalog::new();
+            for name in modified.catalog.tablespace_names() {
+                let ts = modified.catalog.tablespace(&name).expect("listed").clone();
+                let volume = if name == *tablespace { to_volume.clone() } else { ts.volume.clone() };
+                catalog
+                    .add_tablespace(diads_db::Tablespace { name: ts.name.clone(), volume, storage: ts.storage })
+                    .map_err(|e| e.to_string())?;
+            }
+            for name in modified.catalog.table_names() {
+                catalog.add_table(modified.catalog.table(&name).expect("listed").clone()).map_err(|e| e.to_string())?;
+            }
+            for name in modified.catalog.index_names() {
+                catalog.add_index(modified.catalog.index(&name).expect("listed").clone()).map_err(|e| e.to_string())?;
+            }
+            modified.catalog = catalog;
+            format!("move tablespace {tablespace} to {to_volume}")
+        }
+        ProposedChange::ChangeConfig { new_config, description } => {
+            modified.config = new_config.clone();
+            description.clone()
+        }
+        ProposedChange::DropIndex { index } => {
+            modified.catalog.drop_index(index).map_err(|e| e.to_string())?;
+            format!("drop index {index}")
+        }
+        ProposedChange::RemoveExternalWorkload { workload } => {
+            // The SAN simulator has no workload-removal API (workloads are append-only
+            // monitoring facts), so rebuild it without the named workload.
+            let mut san = diads_san::SanSimulator::with_config(testbed.san.topology().clone(), *testbed.san.config());
+            for w in testbed.san.workloads() {
+                if w.name != *workload {
+                    san.add_workload(w.clone()).map_err(|e| e.to_string())?;
+                }
+            }
+            modified.san = san;
+            format!("remove external workload {workload}")
+        }
+    };
+
+    let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
+    Ok(WhatIfOutcome { change: description, baseline_secs: baseline.elapsed_secs, predicted_secs: predicted.elapsed_secs })
+}

@@ -1,0 +1,1090 @@
+//! The DIADS diagnosis workflow (Figure 2).
+//!
+//! The workflow drills down progressively — Query → Plans → Operators → Components →
+//! Events → Symptoms → Impact — combining statistical machine learning (KDE anomaly
+//! scores over the satisfactory history) with domain knowledge (dependency paths, the
+//! symptoms database, impact analysis):
+//!
+//! * **PD — Plan Diffing**: did satisfactory and unsatisfactory runs use the same plan?
+//!   If not, which schema/configuration/data change explains the switch?
+//! * **CO — Correlated Operators**: which operators' running times best explain the
+//!   plan's slowdown (anomaly score `prob(S ≤ u)` above a threshold)?
+//! * **DA — Dependency Analysis**: which components on those operators' dependency
+//!   paths have performance metrics that are themselves anomalous?
+//! * **CR — Correlated Record-counts**: did the operators' record counts change
+//!   (i.e. did data properties change)?
+//! * **SD — Symptoms Database**: map the observed symptoms to root causes with
+//!   weighted codebook entries and confidence categories.
+//! * **IA — Impact Analysis**: for each high-confidence cause, how much of the
+//!   slowdown does it actually explain (inverse dependency analysis)?
+
+use std::collections::BTreeMap;
+
+use diads_db::{Catalog, DbConfig, OperatorId};
+use diads_monitor::{
+    ComponentId, ComponentKind, Duration, EventKind, EventStore, MetricName, MetricStore, TimeRange,
+    Timestamp,
+};
+use diads_san::workload::ExternalWorkload;
+use diads_san::SanTopology;
+use diads_stats::Kde;
+
+use crate::apg::Apg;
+use crate::diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
+use crate::runs::{LabeledRun, RunHistory};
+use crate::symptoms::{ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
+
+/// Tunables of the workflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkflowConfig {
+    /// Anomaly-score threshold for operators and component metrics (the paper uses 0.8).
+    pub anomaly_threshold: f64,
+    /// Two-sided score threshold for record-count changes.
+    pub record_count_threshold: f64,
+    /// Impact percentage above which a high-confidence cause is considered actionable.
+    pub actionable_impact_pct: f64,
+    /// Whether dependency-path pruning is enabled (the ablation flag: when off, DA
+    /// scores *every* monitored component instead of only those on the correlated
+    /// operators' dependency paths).
+    pub prune_by_dependency_paths: bool,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            anomaly_threshold: 0.8,
+            record_count_threshold: 0.8,
+            actionable_impact_pct: 25.0,
+            prune_by_dependency_paths: true,
+        }
+    }
+}
+
+/// Everything the workflow needs to diagnose one slowdown.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagnosisContext<'a> {
+    /// The APG of the plan under diagnosis.
+    pub apg: &'a Apg,
+    /// The labelled run history.
+    pub history: &'a RunHistory,
+    /// The monitoring store.
+    pub store: &'a MetricStore,
+    /// The merged SAN + database event timeline.
+    pub events: &'a EventStore,
+    /// The current catalog.
+    pub catalog: &'a Catalog,
+    /// The current database configuration.
+    pub config: &'a DbConfig,
+    /// The SAN topology (configuration data collected by the management tool).
+    pub topology: &'a SanTopology,
+    /// The external workloads known to the management tool.
+    pub workloads: &'a [ExternalWorkload],
+}
+
+impl<'a> DiagnosisContext<'a> {
+    /// The window in which configuration changes are considered "recent": from the
+    /// start of the last satisfactory run to the end of the last unsatisfactory run.
+    pub fn change_window(&self) -> TimeRange {
+        let start = self
+            .history
+            .satisfactory()
+            .last()
+            .map(|r| r.record.start)
+            .unwrap_or(Timestamp::ZERO);
+        let end = self
+            .history
+            .unsatisfactory()
+            .last()
+            .map(|r| r.record.end.plus(Duration::from_mins(5)))
+            .unwrap_or_else(|| start.plus(Duration::from_hours(24)));
+        TimeRange::new(start, end)
+    }
+
+    fn runs_with_plan<'h>(&self, runs: &[&'h LabeledRun]) -> Vec<&'h LabeledRun> {
+        let fingerprint = self.apg.plan.fingerprint();
+        runs.iter().copied().filter(|r| r.record.plan_fingerprint == fingerprint).collect()
+    }
+
+    /// Satisfactory runs that used the diagnosed plan.
+    pub fn satisfactory_runs(&self) -> Vec<&'a LabeledRun> {
+        self.runs_with_plan(&self.history.satisfactory())
+    }
+
+    /// Unsatisfactory runs that used the diagnosed plan.
+    pub fn unsatisfactory_runs(&self) -> Vec<&'a LabeledRun> {
+        self.runs_with_plan(&self.history.unsatisfactory())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Module results
+// ---------------------------------------------------------------------------
+
+/// A cause of a plan change identified by module PD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChangeCause {
+    /// What changed (index dropped, parameter changed, data properties changed).
+    pub kind: EventKind,
+    /// Human-readable explanation.
+    pub description: String,
+}
+
+/// Result of module PD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDiffResult {
+    /// Whether one plan is shared by satisfactory and unsatisfactory runs.
+    pub same_plan: bool,
+    /// Fingerprints used by satisfactory runs.
+    pub satisfactory_plans: Vec<String>,
+    /// Fingerprints used by unsatisfactory runs.
+    pub unsatisfactory_plans: Vec<String>,
+    /// Explanations for the plan change (empty when `same_plan`).
+    pub change_causes: Vec<PlanChangeCause>,
+}
+
+/// Result of module CO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedOperatorsResult {
+    /// Anomaly score of every operator.
+    pub scores: BTreeMap<OperatorId, f64>,
+    /// The correlated operator set (scores above the threshold).
+    pub correlated: Vec<OperatorId>,
+}
+
+/// Anomaly score of one performance metric of one component (module DA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentMetricScore {
+    /// The component.
+    pub component: ComponentId,
+    /// The metric.
+    pub metric: MetricName,
+    /// Anomaly score of the metric's per-run means.
+    pub anomaly_score: f64,
+}
+
+/// Result of module DA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyAnalysisResult {
+    /// Every scored (component, metric) pair.
+    pub metric_scores: Vec<ComponentMetricScore>,
+    /// The correlated component set (components with at least one metric above threshold).
+    pub correlated_components: Vec<ComponentId>,
+}
+
+impl DependencyAnalysisResult {
+    /// The anomaly score of one (component, metric) pair, if it was evaluated.
+    pub fn score_of(&self, component: &ComponentId, metric: &MetricName) -> Option<f64> {
+        self.metric_scores
+            .iter()
+            .find(|s| &s.component == component && &s.metric == metric)
+            .map(|s| s.anomaly_score)
+    }
+}
+
+/// Result of module CR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordCountResult {
+    /// Two-sided change score of every correlated operator's record counts.
+    pub scores: BTreeMap<OperatorId, f64>,
+    /// Operators whose record counts changed significantly.
+    pub changed: Vec<OperatorId>,
+}
+
+/// Result of module SD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymptomsResult {
+    /// Every symptom extracted from the earlier modules, the events and the metrics.
+    pub symptoms: Vec<Symptom>,
+    /// Root causes scored against the symptoms database, best first.
+    pub causes: Vec<ScoredCause>,
+}
+
+/// Impact of one root cause (module IA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CauseImpact {
+    /// The cause.
+    pub cause_id: String,
+    /// Percentage of the plan slowdown attributable to the cause.
+    pub impact_pct: f64,
+    /// The operators the cause affects.
+    pub affected_operators: Vec<OperatorId>,
+}
+
+/// Result of module IA.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ImpactResult {
+    /// Impact of every evaluated cause.
+    pub impacts: Vec<CauseImpact>,
+}
+
+impl ImpactResult {
+    /// The impact of a cause, 0 when it was not evaluated.
+    pub fn impact_of(&self, cause_id: &str) -> f64 {
+        self.impacts.iter().find(|i| i.cause_id == cause_id).map(|i| i.impact_pct).unwrap_or(0.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workflow
+// ---------------------------------------------------------------------------
+
+/// The DIADS diagnosis workflow.
+#[derive(Debug, Clone)]
+pub struct DiagnosisWorkflow {
+    /// Workflow tunables.
+    pub config: WorkflowConfig,
+    /// The symptoms database used by module SD.
+    pub symptoms_db: SymptomsDatabase,
+}
+
+impl Default for DiagnosisWorkflow {
+    fn default() -> Self {
+        DiagnosisWorkflow { config: WorkflowConfig::default(), symptoms_db: SymptomsDatabase::builtin() }
+    }
+}
+
+impl DiagnosisWorkflow {
+    /// A workflow with the built-in symptoms database and default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workflow with a custom symptoms database.
+    pub fn with_symptoms_db(symptoms_db: SymptomsDatabase) -> Self {
+        DiagnosisWorkflow { config: WorkflowConfig::default(), symptoms_db }
+    }
+
+    // ----- Module PD -----
+
+    /// Module PD: plan diffing and plan-change analysis.
+    pub fn plan_diffing(&self, ctx: &DiagnosisContext<'_>) -> PlanDiffResult {
+        let satisfactory_plans = ctx.history.satisfactory_plan_fingerprints();
+        let unsatisfactory_plans = ctx.history.unsatisfactory_plan_fingerprints();
+        let same_plan = !unsatisfactory_plans.is_empty()
+            && unsatisfactory_plans.iter().all(|f| satisfactory_plans.contains(f));
+        let mut change_causes = Vec::new();
+        if !same_plan {
+            let window = ctx.change_window();
+            for event in ctx.events.configuration_changes_in(window) {
+                if matches!(
+                    event.kind,
+                    EventKind::IndexDropped
+                        | EventKind::IndexCreated
+                        | EventKind::ConfigParameterChanged
+                ) {
+                    change_causes.push(PlanChangeCause { kind: event.kind.clone(), description: event.detail.clone() });
+                }
+            }
+            for event in ctx.events.in_range(window) {
+                if event.kind == EventKind::DataPropertiesChanged {
+                    change_causes.push(PlanChangeCause { kind: event.kind.clone(), description: event.detail.clone() });
+                }
+            }
+        }
+        PlanDiffResult { same_plan, satisfactory_plans, unsatisfactory_plans, change_causes }
+    }
+
+    // ----- Module CO -----
+
+    /// Module CO: KDE anomaly scores over operator running times.
+    pub fn correlated_operators(&self, ctx: &DiagnosisContext<'_>) -> CorrelatedOperatorsResult {
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let mut scores = BTreeMap::new();
+        let mut correlated = Vec::new();
+        for op in ctx.apg.plan.operators() {
+            let sat: Vec<f64> = samples(&satisfactory, |r| r.operator(op.id).map(|o| o.elapsed_secs));
+            let unsat: Vec<f64> = samples(&unsatisfactory, |r| r.operator(op.id).map(|o| o.elapsed_secs));
+            let score = anomaly_score(&sat, &unsat);
+            scores.insert(op.id, score);
+            if score >= self.config.anomaly_threshold {
+                correlated.push(op.id);
+            }
+        }
+        CorrelatedOperatorsResult { scores, correlated }
+    }
+
+    // ----- Module DA -----
+
+    /// Module DA: anomaly scores for the performance metrics of components on the
+    /// correlated operators' dependency paths (or of every component when pruning is
+    /// disabled — the ablation the paper's §1.1 argues against).
+    pub fn dependency_analysis(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+    ) -> DependencyAnalysisResult {
+        let components: Vec<ComponentId> = if self.config.prune_by_dependency_paths {
+            ctx.apg
+                .components_on_paths(&cos.correlated)
+                .into_iter()
+                .filter(|c| c.kind != ComponentKind::PlanOperator)
+                .collect()
+        } else {
+            ctx.store
+                .components()
+                .into_iter()
+                .filter(|c| c.kind != ComponentKind::PlanOperator)
+                .collect()
+        };
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let mut metric_scores = Vec::new();
+        let mut correlated_components = Vec::new();
+        for component in components {
+            let mut component_flagged = false;
+            for metric in ctx.store.metrics_of(&component) {
+                let sat = per_run_metric_means(ctx.store, &component, &metric, &satisfactory);
+                let unsat = per_run_metric_means(ctx.store, &component, &metric, &unsatisfactory);
+                if sat.len() < 3 || unsat.is_empty() {
+                    continue;
+                }
+                let score = if metric.higher_is_worse() {
+                    anomaly_score(&sat, &unsat)
+                } else {
+                    two_sided_score(&sat, &unsat)
+                };
+                if score >= self.config.anomaly_threshold {
+                    component_flagged = true;
+                }
+                metric_scores.push(ComponentMetricScore { component: component.clone(), metric, anomaly_score: score });
+            }
+            if component_flagged {
+                correlated_components.push(component);
+            }
+        }
+        DependencyAnalysisResult { metric_scores, correlated_components }
+    }
+
+    // ----- Module CR -----
+
+    /// Module CR: two-sided change scores of the correlated operators' record counts.
+    pub fn record_counts(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+    ) -> RecordCountResult {
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let mut scores = BTreeMap::new();
+        let mut changed = Vec::new();
+        for &op in &cos.correlated {
+            let sat: Vec<f64> = samples(&satisfactory, |r| r.operator(op).map(|o| o.actual_rows));
+            let unsat: Vec<f64> = samples(&unsatisfactory, |r| r.operator(op).map(|o| o.actual_rows));
+            if sat.is_empty() || unsat.is_empty() {
+                continue;
+            }
+            let sat_mean = mean(&sat);
+            let unsat_mean = mean(&unsat);
+            let relative_change = if sat_mean.abs() > f64::EPSILON {
+                ((unsat_mean - sat_mean) / sat_mean).abs()
+            } else if unsat_mean.abs() > f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            };
+            let score = if relative_change < 0.02 { 0.0 } else { two_sided_score(&sat, &unsat) };
+            scores.insert(op, score);
+            if score >= self.config.record_count_threshold {
+                changed.push(op);
+            }
+        }
+        RecordCountResult { scores, changed }
+    }
+
+    // ----- Module SD -----
+
+    /// Module SD: extract symptoms from the earlier modules, the event timeline and the
+    /// instance/server metrics, then score the symptoms database against them.
+    pub fn symptoms(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        pd: &PlanDiffResult,
+        cos: &CorrelatedOperatorsResult,
+        da: &DependencyAnalysisResult,
+        cr: &RecordCountResult,
+    ) -> SymptomsResult {
+        let symptoms = self.extract_symptoms(ctx, pd, cos, da, cr);
+        let causes = self.symptoms_db.evaluate(&symptoms);
+        SymptomsResult { symptoms, causes }
+    }
+
+    fn extract_symptoms(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        pd: &PlanDiffResult,
+        cos: &CorrelatedOperatorsResult,
+        da: &DependencyAnalysisResult,
+        cr: &RecordCountResult,
+    ) -> Vec<Symptom> {
+        let mut symptoms = Vec::new();
+        if pd.same_plan {
+            symptoms.push(Symptom::simple(SymptomKind::PlanUnchanged, "same plan used in both periods", 1.0));
+        } else {
+            symptoms.push(Symptom::simple(SymptomKind::PlanChanged, "different plans in the two periods", 1.0));
+        }
+
+        // Storage components with anomalous metrics.
+        let storage_kinds =
+            [ComponentKind::StorageVolume, ComponentKind::StoragePool, ComponentKind::Disk];
+        let mut anomalous_storage: Vec<(ComponentId, f64)> = Vec::new();
+        for component in &da.correlated_components {
+            if storage_kinds.contains(&component.kind) {
+                let strength = da
+                    .metric_scores
+                    .iter()
+                    .filter(|s| &s.component == component)
+                    .map(|s| s.anomaly_score)
+                    .fold(0.0_f64, f64::max);
+                anomalous_storage.push((component.clone(), strength));
+            }
+        }
+        for (component, strength) in &anomalous_storage {
+            symptoms.push(Symptom::about(
+                SymptomKind::VolumeMetricsAnomalous,
+                component.clone(),
+                format!("{component} has anomalous performance metrics"),
+                *strength,
+            ));
+        }
+
+        // Operators on contended storage: some correlated operator's inner path contains
+        // an anomalous storage component.
+        let contended_ops: Vec<OperatorId> = cos
+            .correlated
+            .iter()
+            .copied()
+            .filter(|op| {
+                ctx.apg
+                    .inner_path(*op)
+                    .iter()
+                    .any(|c| anomalous_storage.iter().any(|(a, _)| a == c))
+            })
+            .collect();
+        if !contended_ops.is_empty() {
+            let subject = anomalous_storage
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(c, _)| c.clone())
+                .expect("non-empty");
+            symptoms.push(Symptom::about(
+                SymptomKind::OperatorsOnContendedVolumeAnomalous,
+                subject,
+                format!(
+                    "correlated operators {} depend on anomalous storage components",
+                    contended_ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+                ),
+                0.9,
+            ));
+        }
+
+        // Configuration and system events in the change window.
+        let window = ctx.change_window();
+        let relevant_volumes: Vec<String> = cos
+            .correlated
+            .iter()
+            .flat_map(|op| ctx.apg.inner_path(*op))
+            .filter(|c| c.kind == ComponentKind::StorageVolume)
+            .map(|c| c.name.clone())
+            .collect();
+        for event in ctx.events.in_range(window) {
+            match event.kind {
+                EventKind::VolumeCreated => {
+                    let new_volume = &event.component.name;
+                    let shares_disks = ctx
+                        .topology
+                        .pool_of_volume(new_volume)
+                        .map(|pool| {
+                            relevant_volumes.iter().any(|v| {
+                                ctx.topology.pool_of_volume(v).map(|p| p.name == pool.name).unwrap_or(false)
+                            })
+                        })
+                        .unwrap_or(false);
+                    if shares_disks {
+                        symptoms.push(
+                            Symptom::about(
+                                SymptomKind::NewVolumeOnSharedDisks,
+                                event.component.clone(),
+                                event.detail.clone(),
+                                1.0,
+                            )
+                            .at(event.time),
+                        );
+                    }
+                }
+                EventKind::ZoningChanged | EventKind::LunMappingChanged => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::ZoningOrMappingChanged, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::DataPropertiesChanged => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::DataPropertiesChangedEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::LockContention => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::LockContentionEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::IndexDropped => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::IndexDroppedEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::ConfigParameterChanged => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::ConfigParameterChangedEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::RaidRebuildStarted => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::RaidRebuildEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                EventKind::DiskFailure => {
+                    symptoms.push(
+                        Symptom::about(SymptomKind::DiskFailureEvent, event.component.clone(), event.detail.clone(), 1.0)
+                            .at(event.time),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // External workloads active during the unsatisfactory period on disks shared
+        // with the correlated operators' volumes.
+        let unsat_window = window;
+        for workload in ctx.workloads {
+            if !workload.active.overlaps(&unsat_window) {
+                continue;
+            }
+            let shares = relevant_volumes.iter().any(|v| {
+                v == &workload.volume
+                    || ctx
+                        .topology
+                        .volumes_sharing_disks(v)
+                        .iter()
+                        .any(|s| s == &workload.volume)
+            });
+            if shares {
+                symptoms.push(Symptom::about(
+                    SymptomKind::ExternalWorkloadOnSharedDisks,
+                    ComponentId::external_workload(workload.name.clone()),
+                    format!("external workload {} targets {}", workload.name, workload.volume),
+                    1.0,
+                ));
+            }
+        }
+
+        // Record counts.
+        if !cr.changed.is_empty() {
+            symptoms.push(Symptom::simple(
+                SymptomKind::RecordCountsChanged,
+                format!(
+                    "record counts changed for {}",
+                    cr.changed.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+                ),
+                1.0,
+            ));
+        }
+
+        // Instance-level and server-level signals.
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let lock_sat = db_metric_samples(&satisfactory, &MetricName::LockWaitTime);
+        let lock_unsat = db_metric_samples(&unsatisfactory, &MetricName::LockWaitTime);
+        if !lock_unsat.is_empty() {
+            let sat_mean = mean(&lock_sat);
+            let unsat_mean = mean(&lock_unsat);
+            if unsat_mean > 10.0 && unsat_mean > 3.0 * sat_mean.max(1.0) {
+                symptoms.push(Symptom::simple(
+                    SymptomKind::LockWaitHigh,
+                    format!("lock wait rose from {sat_mean:.1}s to {unsat_mean:.1}s per run"),
+                    0.95,
+                ));
+            }
+        }
+        let hit_sat = db_metric_samples(&satisfactory, &MetricName::BufferHitRatio);
+        let hit_unsat = db_metric_samples(&unsatisfactory, &MetricName::BufferHitRatio);
+        if !hit_sat.is_empty() && !hit_unsat.is_empty() && mean(&hit_unsat) < 0.7 * mean(&hit_sat) {
+            symptoms.push(Symptom::simple(SymptomKind::BufferHitRatioDropped, "buffer hit ratio dropped by >30%", 0.8));
+        }
+        let cpu_unsat = per_run_metric_means(
+            ctx.store,
+            &ComponentId::server(&ctx.apg.db_server),
+            &MetricName::CpuUsagePercent,
+            &unsatisfactory,
+        );
+        if !cpu_unsat.is_empty() && mean(&cpu_unsat) > 90.0 {
+            symptoms.push(Symptom::simple(SymptomKind::CpuSaturated, "database server CPU above 90%", 0.9));
+        }
+
+        symptoms
+    }
+
+    // ----- Module IA -----
+
+    /// Module IA: impact of each medium/high-confidence cause via inverse dependency
+    /// analysis — the extra self time of the operators the cause affects, as a share of
+    /// the extra plan time.
+    pub fn impact_analysis(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+        da: &DependencyAnalysisResult,
+        cr: &RecordCountResult,
+        sd: &SymptomsResult,
+    ) -> ImpactResult {
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let extra_plan = (mean(&samples(&unsatisfactory, |r| Some(r.elapsed_secs)))
+            - mean(&samples(&satisfactory, |r| Some(r.elapsed_secs))))
+        .max(1e-9);
+
+        let extra_of = |op: OperatorId, f: &dyn Fn(&diads_db::OperatorRunStats) -> f64| -> f64 {
+            let sat = samples(&satisfactory, |r| r.operator(op).map(f));
+            let unsat = samples(&unsatisfactory, |r| r.operator(op).map(f));
+            if sat.is_empty() || unsat.is_empty() {
+                return 0.0;
+            }
+            (mean(&unsat) - mean(&sat)).max(0.0)
+        };
+
+        let mut impacts = Vec::new();
+        for cause in &sd.causes {
+            if cause.confidence == ConfidenceLevel::Low {
+                continue;
+            }
+            let (ops, extra): (Vec<OperatorId>, f64) = match cause.cause_id.as_str() {
+                "san-misconfiguration-contention" | "external-workload-contention" | "raid-rebuild"
+                | "disk-failure" => {
+                    // comp(R): the storage components implicated by the cause's subject
+                    // (its pool and sibling volumes); op(R): correlated operators whose
+                    // inner path touches them.
+                    let related = related_storage_components(ctx, cause.subject.as_ref(), da);
+                    let ops: Vec<OperatorId> = cos
+                        .correlated
+                        .iter()
+                        .copied()
+                        .filter(|op| ctx.apg.inner_path(*op).iter().any(|c| related.contains(c)))
+                        .filter(|op| ctx.apg.plan.operator(*op).map(|n| n.kind.is_leaf()).unwrap_or(false))
+                        .collect();
+                    let extra = ops.iter().map(|&op| extra_of(op, &|o| o.io_secs)).sum();
+                    (ops, extra)
+                }
+                "data-property-change" => {
+                    let ops: Vec<OperatorId> = cr
+                        .changed
+                        .iter()
+                        .copied()
+                        .filter(|op| ctx.apg.plan.operator(*op).map(|n| n.kind.is_leaf()).unwrap_or(false))
+                        .collect();
+                    let ops = if ops.is_empty() { cr.changed.clone() } else { ops };
+                    // Attribute the share of the unsatisfactory self time that is
+                    // proportional to the record-count growth.
+                    let mut extra = 0.0;
+                    for &op in &ops {
+                        let sat_rows = mean(&samples(&satisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
+                        let unsat_rows = mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
+                        let unsat_self = mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.self_secs)));
+                        if sat_rows > 0.0 && unsat_rows > sat_rows {
+                            let growth_share = 1.0 - sat_rows / unsat_rows;
+                            extra += (unsat_self * growth_share).min(extra_of(op, &|o| o.self_secs));
+                        }
+                    }
+                    (ops, extra)
+                }
+                "table-lock-contention" => {
+                    let ops: Vec<OperatorId> = cos
+                        .correlated
+                        .iter()
+                        .copied()
+                        .filter(|&op| extra_of(op, &|o| o.lock_wait_secs) > 1.0)
+                        .collect();
+                    let extra = ops.iter().map(|&op| extra_of(op, &|o| o.lock_wait_secs)).sum();
+                    (ops, extra)
+                }
+                "index-dropped" | "config-parameter-change" => {
+                    // A plan change explains the entire slowdown.
+                    (cos.correlated.clone(), extra_plan)
+                }
+                "cpu-saturation" => {
+                    let ops = cos.correlated.clone();
+                    let extra = ops.iter().map(|&op| extra_of(op, &|o| o.cpu_secs)).sum();
+                    (ops, extra)
+                }
+                _ => {
+                    // Generic fallback: extra self time of the correlated leaf operators.
+                    let ops: Vec<OperatorId> = cos
+                        .correlated
+                        .iter()
+                        .copied()
+                        .filter(|op| ctx.apg.plan.operator(*op).map(|n| n.kind.is_leaf()).unwrap_or(false))
+                        .collect();
+                    let extra = ops.iter().map(|&op| extra_of(op, &|o| o.self_secs)).sum();
+                    (ops, extra)
+                }
+            };
+            impacts.push(CauseImpact {
+                cause_id: cause.cause_id.clone(),
+                impact_pct: (extra / extra_plan * 100.0).clamp(0.0, 100.0),
+                affected_operators: ops,
+            });
+        }
+        ImpactResult { impacts }
+    }
+
+    // ----- Batch mode -----
+
+    /// Runs the whole workflow in batch mode (Figure 2) and assembles the report.
+    pub fn run(&self, ctx: &DiagnosisContext<'_>) -> DiagnosisReport {
+        let pd = self.plan_diffing(ctx);
+        let (cos, da, cr) = if pd.same_plan {
+            let cos = self.correlated_operators(ctx);
+            let da = self.dependency_analysis(ctx, &cos);
+            let cr = self.record_counts(ctx, &cos);
+            (cos, da, cr)
+        } else {
+            (
+                CorrelatedOperatorsResult { scores: BTreeMap::new(), correlated: vec![] },
+                DependencyAnalysisResult { metric_scores: vec![], correlated_components: vec![] },
+                RecordCountResult { scores: BTreeMap::new(), changed: vec![] },
+            )
+        };
+        let sd = self.symptoms(ctx, &pd, &cos, &da, &cr);
+        let ia = self.impact_analysis(ctx, &cos, &da, &cr, &sd);
+        self.assemble_report(ctx, &pd, &cos, &da, &cr, &sd, &ia)
+    }
+
+    /// Builds the final report from the module results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_report(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        pd: &PlanDiffResult,
+        cos: &CorrelatedOperatorsResult,
+        da: &DependencyAnalysisResult,
+        cr: &RecordCountResult,
+        sd: &SymptomsResult,
+        ia: &ImpactResult,
+    ) -> DiagnosisReport {
+        let mut causes: Vec<RankedCause> = sd
+            .causes
+            .iter()
+            .map(|c| RankedCause {
+                cause_id: c.cause_id.clone(),
+                description: c.description.clone(),
+                subject: c.subject.clone(),
+                confidence_score: c.confidence_score,
+                confidence: c.confidence,
+                impact_pct: ia.impact_of(&c.cause_id),
+            })
+            .collect();
+        causes.sort_by(|a, b| {
+            (b.confidence_score, b.impact_pct)
+                .partial_cmp(&(a.confidence_score, a.impact_pct))
+                .expect("finite scores")
+        });
+        DiagnosisReport {
+            query: ctx.apg.query.clone(),
+            satisfactory_mean_secs: ctx.history.mean_satisfactory_elapsed().unwrap_or(0.0),
+            unsatisfactory_mean_secs: ctx.history.mean_unsatisfactory_elapsed().unwrap_or(0.0),
+            plan_changed: !pd.same_plan,
+            plan_change_causes: pd.change_causes.iter().map(|c| c.description.clone()).collect(),
+            correlated_operators: cos.correlated.iter().map(|o| o.to_string()).collect(),
+            correlated_components: da.correlated_components.clone(),
+            record_count_changes: cr.changed.iter().map(|o| o.to_string()).collect(),
+            causes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interactive mode (Figure 7)
+// ---------------------------------------------------------------------------
+
+/// A step-by-step workflow session: modules are executed one at a time, results can be
+/// inspected and edited before the next module consumes them, and modules can be
+/// re-executed — the paper's interactive mode.
+#[derive(Debug)]
+pub struct WorkflowSession<'a> {
+    workflow: DiagnosisWorkflow,
+    ctx: DiagnosisContext<'a>,
+    /// Result of module PD, once executed.
+    pub pd: Option<PlanDiffResult>,
+    /// Result of module CO, once executed.
+    pub cos: Option<CorrelatedOperatorsResult>,
+    /// Result of module DA, once executed.
+    pub da: Option<DependencyAnalysisResult>,
+    /// Result of module CR, once executed.
+    pub cr: Option<RecordCountResult>,
+    /// Result of module SD, once executed.
+    pub sd: Option<SymptomsResult>,
+    /// Result of module IA, once executed.
+    pub ia: Option<ImpactResult>,
+}
+
+impl<'a> WorkflowSession<'a> {
+    /// Starts a session.
+    pub fn new(workflow: DiagnosisWorkflow, ctx: DiagnosisContext<'a>) -> Self {
+        WorkflowSession { workflow, ctx, pd: None, cos: None, da: None, cr: None, sd: None, ia: None }
+    }
+
+    /// Names of the modules that have been executed so far, in workflow order.
+    pub fn completed_modules(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.pd.is_some() {
+            out.push("PD");
+        }
+        if self.cos.is_some() {
+            out.push("CO");
+        }
+        if self.da.is_some() {
+            out.push("DA");
+        }
+        if self.cr.is_some() {
+            out.push("CR");
+        }
+        if self.sd.is_some() {
+            out.push("SD");
+        }
+        if self.ia.is_some() {
+            out.push("IA");
+        }
+        out
+    }
+
+    /// Executes (or re-executes) module PD.
+    pub fn run_plan_diffing(&mut self) -> &PlanDiffResult {
+        self.pd = Some(self.workflow.plan_diffing(&self.ctx));
+        self.pd.as_ref().expect("just set")
+    }
+
+    /// Executes (or re-executes) module CO.
+    pub fn run_correlated_operators(&mut self) -> &CorrelatedOperatorsResult {
+        self.cos = Some(self.workflow.correlated_operators(&self.ctx));
+        self.cos.as_ref().expect("just set")
+    }
+
+    /// Replaces the correlated-operator set (the administrator editing module CO's
+    /// result before the next module runs); downstream results are invalidated.
+    pub fn edit_correlated_operators(&mut self, operators: Vec<OperatorId>) {
+        if let Some(cos) = &mut self.cos {
+            cos.correlated = operators;
+        }
+        self.da = None;
+        self.cr = None;
+        self.sd = None;
+        self.ia = None;
+    }
+
+    /// Executes (or re-executes) module DA; runs CO first if needed.
+    pub fn run_dependency_analysis(&mut self) -> &DependencyAnalysisResult {
+        if self.cos.is_none() {
+            self.run_correlated_operators();
+        }
+        let cos = self.cos.as_ref().expect("ensured above");
+        self.da = Some(self.workflow.dependency_analysis(&self.ctx, cos));
+        self.da.as_ref().expect("just set")
+    }
+
+    /// Executes (or re-executes) module CR; runs CO first if needed.
+    pub fn run_record_counts(&mut self) -> &RecordCountResult {
+        if self.cos.is_none() {
+            self.run_correlated_operators();
+        }
+        let cos = self.cos.as_ref().expect("ensured above");
+        self.cr = Some(self.workflow.record_counts(&self.ctx, cos));
+        self.cr.as_ref().expect("just set")
+    }
+
+    /// Executes (or re-executes) module SD; runs the prerequisite modules first if needed.
+    pub fn run_symptoms(&mut self) -> &SymptomsResult {
+        if self.pd.is_none() {
+            self.run_plan_diffing();
+        }
+        if self.cos.is_none() {
+            self.run_correlated_operators();
+        }
+        if self.da.is_none() {
+            self.run_dependency_analysis();
+        }
+        if self.cr.is_none() {
+            self.run_record_counts();
+        }
+        let (pd, cos, da, cr) = (
+            self.pd.as_ref().expect("ensured"),
+            self.cos.as_ref().expect("ensured"),
+            self.da.as_ref().expect("ensured"),
+            self.cr.as_ref().expect("ensured"),
+        );
+        self.sd = Some(self.workflow.symptoms(&self.ctx, pd, cos, da, cr));
+        self.sd.as_ref().expect("just set")
+    }
+
+    /// Executes (or re-executes) module IA; runs the prerequisite modules first if needed.
+    pub fn run_impact_analysis(&mut self) -> &ImpactResult {
+        if self.sd.is_none() {
+            self.run_symptoms();
+        }
+        let (cos, da, cr, sd) = (
+            self.cos.as_ref().expect("ensured"),
+            self.da.as_ref().expect("ensured"),
+            self.cr.as_ref().expect("ensured"),
+            self.sd.as_ref().expect("ensured"),
+        );
+        self.ia = Some(self.workflow.impact_analysis(&self.ctx, cos, da, cr, sd));
+        self.ia.as_ref().expect("just set")
+    }
+
+    /// Finishes the session: runs anything missing and assembles the report.
+    pub fn finish(&mut self) -> DiagnosisReport {
+        self.run_impact_analysis();
+        self.workflow.assemble_report(
+            &self.ctx,
+            self.pd.as_ref().expect("ensured"),
+            self.cos.as_ref().expect("ensured"),
+            self.da.as_ref().expect("ensured"),
+            self.cr.as_ref().expect("ensured"),
+            self.sd.as_ref().expect("ensured"),
+            self.ia.as_ref().expect("ensured"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small shared helpers
+// ---------------------------------------------------------------------------
+
+fn samples<F>(runs: &[&LabeledRun], f: F) -> Vec<f64>
+where
+    F: Fn(&diads_db::QueryRunRecord) -> Option<f64>,
+{
+    runs.iter().filter_map(|r| f(&r.record)).collect()
+}
+
+fn db_metric_samples(runs: &[&LabeledRun], metric: &MetricName) -> Vec<f64> {
+    runs.iter()
+        .filter_map(|r| r.record.db_metrics.iter().find(|(m, _)| m == metric).map(|(_, v)| *v))
+        .collect()
+}
+
+fn per_run_metric_means(
+    store: &MetricStore,
+    component: &ComponentId,
+    metric: &MetricName,
+    runs: &[&LabeledRun],
+) -> Vec<f64> {
+    runs.iter()
+        .filter_map(|r| {
+            let window = TimeRange::new(
+                r.record.start.minus(Duration::from_mins(5)),
+                r.record.end.plus(Duration::from_mins(5)),
+            );
+            store.mean_in(component, metric, window)
+        })
+        .collect()
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn anomaly_score(satisfactory: &[f64], unsatisfactory: &[f64]) -> f64 {
+    if satisfactory.len() < 3 || unsatisfactory.is_empty() {
+        return 0.0;
+    }
+    match Kde::fit(satisfactory) {
+        Ok(kde) => kde.anomaly_score(mean(unsatisfactory)),
+        Err(_) => 0.0,
+    }
+}
+
+fn two_sided_score(satisfactory: &[f64], unsatisfactory: &[f64]) -> f64 {
+    if satisfactory.len() < 3 || unsatisfactory.is_empty() {
+        return 0.0;
+    }
+    match Kde::fit(satisfactory) {
+        Ok(kde) => kde.two_sided_score(mean(unsatisfactory)),
+        Err(_) => 0.0,
+    }
+}
+
+fn related_storage_components(
+    ctx: &DiagnosisContext<'_>,
+    subject: Option<&ComponentId>,
+    da: &DependencyAnalysisResult,
+) -> Vec<ComponentId> {
+    let storage_kinds = [ComponentKind::StorageVolume, ComponentKind::StoragePool, ComponentKind::Disk];
+    let anomalous: Vec<ComponentId> = da
+        .correlated_components
+        .iter()
+        .filter(|c| storage_kinds.contains(&c.kind))
+        .cloned()
+        .collect();
+    let Some(subject) = subject else { return anomalous };
+    // Resolve the subject to a pool, then return that pool, its volumes and disks.
+    let pool_name = match subject.kind {
+        ComponentKind::StoragePool => Some(subject.name.clone()),
+        ComponentKind::StorageVolume => ctx.topology.pool_of_volume(&subject.name).map(|p| p.name.clone()),
+        ComponentKind::Disk => ctx
+            .topology
+            .pool_names()
+            .into_iter()
+            .find(|p| ctx.topology.pool(p).map(|pp| pp.disks.contains(&subject.name)).unwrap_or(false)),
+        _ => None,
+    };
+    match pool_name {
+        Some(pool) => {
+            let mut out = vec![ComponentId::pool(pool.clone())];
+            for v in ctx.topology.volumes_in_pool(&pool) {
+                out.push(ComponentId::volume(v.name.clone()));
+            }
+            if let Some(p) = ctx.topology.pool(&pool) {
+                for d in &p.disks {
+                    out.push(ComponentId::disk(d.clone()));
+                }
+            }
+            out
+        }
+        None => anomalous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_config_defaults_match_the_paper() {
+        let cfg = WorkflowConfig::default();
+        assert_eq!(cfg.anomaly_threshold, 0.8);
+        assert!(cfg.prune_by_dependency_paths);
+    }
+
+    #[test]
+    fn anomaly_score_helpers_handle_small_samples() {
+        assert_eq!(anomaly_score(&[1.0, 2.0], &[10.0]), 0.0);
+        assert_eq!(anomaly_score(&[1.0, 2.0, 3.0, 2.5], &[]), 0.0);
+        assert!(anomaly_score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[5.0]) > 0.95);
+        assert!(two_sided_score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[1.0]) < 0.5);
+        assert!(two_sided_score(&[10.0, 10.5, 9.5, 10.2, 9.8], &[2.0]) > 0.9);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn impact_result_lookup_defaults_to_zero() {
+        let r = ImpactResult::default();
+        assert_eq!(r.impact_of("anything"), 0.0);
+    }
+}

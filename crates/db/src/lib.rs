@@ -1,0 +1,99 @@
+//! # diads-db
+//!
+//! A PostgreSQL-flavoured database *simulator*: the substrate that stands in for the
+//! instrumented PostgreSQL server of the paper's testbed (*"Why Did My Query Slow
+//! Down?"*, CIDR 2009).
+//!
+//! DIADS consumes only the per-run monitoring data the database reports — which plan a
+//! query used, each operator's start/stop times and record counts, and instance-level
+//! metrics (buffer hits, scans, locks). This crate produces that data from a simulated
+//! execution whose physics preserve the causal chains the paper's scenarios rely on:
+//!
+//! * SAN volume contention → slower page reads for leaf operators on that volume →
+//!   propagated slowdown of every upstream operator → plan slowdown (scenarios 1, 2, 4);
+//! * bulk DML changing data properties → changed record counts and more I/O (and
+//!   possibly a different plan chosen by the optimizer) (scenarios 3, 4);
+//! * lock contention → scan wait time without any SAN symptom (scenario 5);
+//! * configuration-parameter or index changes → different plan choices (module PD's
+//!   plan-change analysis).
+//!
+//! Modules:
+//!
+//! * [`catalog`] — tables, indexes, tablespaces and their mapping to SAN volumes
+//!   (System-Managed vs Database-Managed storage), plus mutable data properties.
+//! * [`config`] — the configuration parameters that influence plan selection.
+//! * [`plan`] — plan operators, plan trees, operator numbering and plan fingerprints.
+//! * [`cost`] — a PostgreSQL-style cost model over the catalog statistics snapshot.
+//! * [`optimizer`] — cost-based selection among candidate plans, sensitive to index
+//!   availability, data properties and configuration parameters.
+//! * [`buffer`] / [`locks`] — buffer-cache hit-ratio and lock-contention models.
+//! * [`executor`] — the simulated executor producing per-operator timings, record
+//!   counts, the database-level metrics of Figure 4 and the I/O load the run pushes
+//!   onto the SAN.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod buffer;
+pub mod catalog;
+pub mod config;
+pub mod cost;
+pub mod executor;
+pub mod locks;
+pub mod optimizer;
+pub mod plan;
+
+pub use buffer::BufferCache;
+pub use catalog::{Catalog, Index, StorageKind, Table, Tablespace};
+pub use config::DbConfig;
+pub use cost::{Cost, CostModel};
+pub use executor::{ExecutionEnvironment, Executor, OperatorRunStats, QueryRunRecord};
+pub use locks::{LockContentionWindow, LockManager};
+pub use optimizer::{Optimizer, PlanChoice};
+pub use plan::{OperatorId, OperatorKind, Plan, PlanNode};
+
+/// Errors produced by the database layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A referenced catalog object (table, index, tablespace) does not exist.
+    UnknownObject(String),
+    /// An attempt to create an object whose name already exists.
+    DuplicateObject(String),
+    /// The plan references an object missing from the catalog.
+    InvalidPlan(String),
+    /// No feasible plan was available to the optimizer.
+    NoFeasiblePlan,
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownObject(name) => write!(f, "unknown catalog object: {name}"),
+            DbError::DuplicateObject(name) => write!(f, "catalog object already exists: {name}"),
+            DbError::InvalidPlan(what) => write!(f, "invalid plan: {what}"),
+            DbError::NoFeasiblePlan => write!(f, "no feasible plan for the query"),
+            DbError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience result alias for the database layer.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(DbError::UnknownObject("part".into()).to_string().contains("part"));
+        assert!(DbError::DuplicateObject("idx".into()).to_string().contains("idx"));
+        assert!(DbError::InvalidPlan("orphan".into()).to_string().contains("orphan"));
+        assert!(DbError::NoFeasiblePlan.to_string().contains("feasible"));
+        assert!(DbError::InvalidParameter("work_mem").to_string().contains("work_mem"));
+    }
+}

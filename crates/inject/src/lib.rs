@@ -1,0 +1,38 @@
+//! # diads-inject
+//!
+//! The fault injector of the DIADS reproduction (*"Why Did My Query Slow Down?"*,
+//! CIDR 2009). The paper's demonstration testbed includes "a fault injector that can
+//! inject a variety of faults at the database and SAN levels, including SAN
+//! misconfiguration, server, disk, or volume contention, RAID rebuilds, changes in data
+//! properties, and table-locking problems"; the injector exists purely to create the
+//! problem scenarios DIADS is evaluated on (Table 1) and is not part of a production
+//! deployment.
+//!
+//! * [`fault`] — the individual fault types and the [`fault::Injector`] that applies
+//!   them to a testbed's SAN simulator, catalog, lock manager and configuration.
+//! * [`scenarios`] — the five Table-1 scenarios (plus the bursty-V2 variant of
+//!   scenario 1 used for Table 2), each as a canned timeline of faults with the
+//!   expected diagnosis outcome attached for verification.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod fault;
+pub mod scenarios;
+
+pub use fault::{Fault, Injector, TimedFault};
+pub use scenarios::{all_scenarios, Scenario, ScenarioTimeline};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_catalog_is_complete() {
+        let scenarios = all_scenarios();
+        assert_eq!(scenarios.len(), 6);
+        assert!(scenarios.iter().any(|s| s.id == "scenario-1"));
+        assert!(scenarios.iter().any(|s| s.id == "scenario-1b"));
+        assert!(scenarios.iter().any(|s| s.id == "scenario-5"));
+    }
+}

@@ -1,0 +1,475 @@
+//! The five problem-injection scenarios of Table 1, plus the bursty-V2 variant of
+//! scenario 1 that produces the second column of Table 2.
+//!
+//! Each scenario is a canned timeline: a period of satisfactory report runs, one or
+//! more faults injected, and a period of unsatisfactory runs, together with the
+//! expected diagnosis outcome so that the experiment harness and the integration tests
+//! can check DIADS's verdict automatically.
+
+use diads_db::DbConfig;
+use diads_monitor::noise::NoiseModel;
+use diads_monitor::{Duration, TimeRange, Timestamp};
+use diads_san::workload::{BurstPattern, IoProfile};
+
+use crate::fault::{Fault, TimedFault};
+
+/// Canonical root-cause identifiers shared between the scenarios' expected outcomes and
+/// the symptoms database of `diads-core`.
+pub mod cause_ids {
+    /// A misconfigured new volume placed on the database volume's disks plus an
+    /// external workload against it.
+    pub const SAN_MISCONFIGURATION: &str = "san-misconfiguration-contention";
+    /// Contention from an external workload directly on a database volume.
+    pub const EXTERNAL_WORKLOAD_CONTENTION: &str = "external-workload-contention";
+    /// A change in data properties caused by DML.
+    pub const DATA_PROPERTY_CHANGE: &str = "data-property-change";
+    /// Lock contention on a database table.
+    pub const TABLE_LOCK_CONTENTION: &str = "table-lock-contention";
+    /// A plan change caused by an index being dropped.
+    pub const INDEX_DROPPED: &str = "index-dropped";
+    /// A plan change caused by a configuration-parameter change.
+    pub const CONFIG_PARAMETER_CHANGE: &str = "config-parameter-change";
+    /// A RAID rebuild loading the pool.
+    pub const RAID_REBUILD: &str = "raid-rebuild";
+}
+
+/// The run cadence and satisfactory/unsatisfactory split of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioTimeline {
+    /// Time of the first report run.
+    pub first_run: Timestamp,
+    /// Interval between runs.
+    pub run_interval: Duration,
+    /// Number of runs before the fault (the satisfactory history).
+    pub satisfactory_runs: usize,
+    /// Number of runs after the fault (the unsatisfactory evidence).
+    pub unsatisfactory_runs: usize,
+}
+
+impl ScenarioTimeline {
+    /// The paper-style cadence: a report every hour, 30 satisfactory runs, 10
+    /// unsatisfactory runs.
+    pub fn paper_default() -> Self {
+        ScenarioTimeline {
+            first_run: Timestamp::new(3_600),
+            run_interval: Duration::from_hours(1),
+            satisfactory_runs: 30,
+            unsatisfactory_runs: 10,
+        }
+    }
+
+    /// A shorter cadence for fast tests (12 satisfactory / 6 unsatisfactory runs).
+    pub fn short() -> Self {
+        ScenarioTimeline {
+            first_run: Timestamp::new(1_800),
+            run_interval: Duration::from_hours(1),
+            satisfactory_runs: 12,
+            unsatisfactory_runs: 6,
+        }
+    }
+
+    /// Total number of runs.
+    pub fn total_runs(&self) -> usize {
+        self.satisfactory_runs + self.unsatisfactory_runs
+    }
+
+    /// When the fault takes effect: half an interval before the first unsatisfactory run.
+    pub fn fault_time(&self) -> Timestamp {
+        self.first_run
+            .plus(self.run_interval.scale(self.satisfactory_runs as f64))
+            .minus(self.run_interval.scale(0.5))
+    }
+
+    /// The end of the simulated period (one interval after the last run).
+    pub fn end_time(&self) -> Timestamp {
+        self.first_run.plus(self.run_interval.scale(self.total_runs() as f64 + 1.0))
+    }
+
+    /// The window from the fault to the end of the simulation (the default "active"
+    /// window of injected contention).
+    pub fn fault_window(&self) -> TimeRange {
+        TimeRange::new(self.fault_time(), self.end_time())
+    }
+}
+
+/// What DIADS is expected to conclude for a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedOutcome {
+    /// Cause ids that must be reported with high confidence and high impact.
+    pub primary_causes: Vec<String>,
+    /// Cause ids that must *not* end up as high-confidence, high-impact findings
+    /// (the spurious explanations the scenario is designed to tempt a tool into).
+    pub rejected_causes: Vec<String>,
+}
+
+/// One evaluation scenario: faults over a timeline plus the expected verdict.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable identifier (`scenario-1` .. `scenario-5`, `scenario-1b`).
+    pub id: String,
+    /// The Table-1 problem description.
+    pub name: String,
+    /// A longer explanation of the injected problem.
+    pub description: String,
+    /// The Table-1 "critical role of DIADS modules" column.
+    pub critical_modules: String,
+    /// Run cadence.
+    pub timeline: ScenarioTimeline,
+    /// TPC-H scale factor of the testbed.
+    pub scale_factor: f64,
+    /// Faults to inject, in injection order.
+    pub faults: Vec<TimedFault>,
+    /// Monitoring-noise model for the collector.
+    pub noise: NoiseModel,
+    /// Expected diagnosis.
+    pub expected: ExpectedOutcome,
+}
+
+impl Scenario {
+    /// Returns a copy of the scenario with the shorter test timeline, re-deriving the
+    /// fault windows (only scenarios built by this module's constructors are supported).
+    pub fn with_timeline(&self, timeline: ScenarioTimeline) -> Scenario {
+        let builder: fn(ScenarioTimeline) -> Scenario = match self.id.as_str() {
+            "scenario-1" => scenario_1,
+            "scenario-1b" => scenario_1b,
+            "scenario-2" => scenario_2,
+            "scenario-3" => scenario_3,
+            "scenario-4" => scenario_4,
+            "scenario-5" => scenario_5,
+            _ => return self.clone(),
+        };
+        builder(timeline)
+    }
+}
+
+/// The interloper profile used by the SAN-misconfiguration scenarios: enough random
+/// I/O against a 4-disk RAID-5 pool to roughly double V1's service times.
+fn interloper_profile() -> IoProfile {
+    IoProfile::oltp(150.0, 60.0)
+}
+
+/// Scenario 1: SAN misconfiguration leading to contention in volume V1.
+pub fn scenario_1(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-1".into(),
+        name: "SAN misconfiguration leading to contention in volume V1".into(),
+        description: "A new volume V' is created on pool P1 (the physical disks backing V1), a new zone and \
+                      LUN mapping give the application server access to it, and an external workload starts \
+                      issuing I/O against it. The report query slows down because its partsupp scans share \
+                      V1's disks with the interloper."
+            .into(),
+        critical_modules: "Identified symptoms pinpoint the correct volume; SD maps symptoms to the correct root cause"
+            .into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![TimedFault::new(Fault::SanMisconfiguration {
+            pool: "P1".into(),
+            new_volume: "Vprime".into(),
+            workload_server: "app-server".into(),
+            profile: interloper_profile(),
+            window: timeline.fault_window(),
+        })],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::SAN_MISCONFIGURATION.into()],
+            rejected_causes: vec![
+                cause_ids::DATA_PROPERTY_CHANGE.into(),
+                cause_ids::TABLE_LOCK_CONTENTION.into(),
+            ],
+        },
+    }
+}
+
+/// Scenario 1b: scenario 1 plus a *bursty* external load on V2 that raises V2's metrics
+/// without materially affecting the query (the second column of Table 2).
+pub fn scenario_1b(timeline: ScenarioTimeline) -> Scenario {
+    let mut s = scenario_1(timeline);
+    s.id = "scenario-1b".into();
+    s.name = "Scenario 1 plus bursty, low-impact contention on volume V2".into();
+    s.description.push_str(
+        " Additionally, a bursty write workload hits V2 directly; it inflates V2's performance metrics but \
+         has little impact on the query beyond the original effect of V1's contention.",
+    );
+    s.faults.push(TimedFault::new(Fault::ExternalVolumeContention {
+        volume: "V2".into(),
+        workload_server: "app-server".into(),
+        profile: IoProfile::batch_write(150.0),
+        pattern: BurstPattern::Bursty { period_secs: 1_800, burst_secs: 900, multiplier: 1.0, idle_fraction: 0.0 },
+        window: timeline.fault_window(),
+    }));
+    s.expected.rejected_causes.push(cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into());
+    s
+}
+
+/// Scenario 2: external contention on both V1 and V2, with only the V1 load affecting
+/// query performance.
+pub fn scenario_2(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-2".into(),
+        name: "Contention caused by external workloads on volumes V1 and V2; only the former affects query performance"
+            .into(),
+        description: "Two external workloads appear at the same time: a heavy random-I/O workload on V1 (which the \
+                      partsupp scans depend on) and a light sequential write workload on V2 (whose leaf operators are \
+                      small and mostly cached). Only the V1 contention explains the slowdown; dependency analysis must \
+                      prune the V2 symptoms."
+            .into(),
+        critical_modules: "DA prunes out the unrelated symptoms and events for volume V2".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![
+            TimedFault::new(Fault::ExternalVolumeContention {
+                volume: "V1".into(),
+                workload_server: "app-server".into(),
+                profile: interloper_profile(),
+                pattern: BurstPattern::Steady,
+                window: timeline.fault_window(),
+            }),
+            TimedFault::new(Fault::ExternalVolumeContention {
+                volume: "V2".into(),
+                workload_server: "app-server".into(),
+                profile: IoProfile::batch_write(80.0),
+                pattern: BurstPattern::Steady,
+                window: timeline.fault_window(),
+            }),
+        ],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into()],
+            rejected_causes: vec![cause_ids::DATA_PROPERTY_CHANGE.into(), cause_ids::TABLE_LOCK_CONTENTION.into()],
+        },
+    }
+}
+
+/// Scenario 3: a bulk DML statement subtly changes data properties; the extra data
+/// propagates to the SAN as higher volume load.
+pub fn scenario_3(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-3".into(),
+        name: "SQL DML causes a subtle change in data properties; problem propagates to SAN causing volume contention"
+            .into(),
+        description: "A nightly load grows partsupp by ~70% and shifts its value distribution. Operator record counts \
+                      change, the query reads considerably more data from V1, and V1's utilisation rises — but the \
+                      root cause is the data change, not the storage."
+            .into(),
+        critical_modules: "CR identifies the important symptoms; IA rules out volume contention as a root cause".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![TimedFault::new(Fault::BulkDml {
+            table: "partsupp".into(),
+            row_factor: 1.7,
+            new_selectivity: 1.0,
+            at: timeline.fault_time(),
+        })],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::DATA_PROPERTY_CHANGE.into()],
+            rejected_causes: vec![
+                cause_ids::SAN_MISCONFIGURATION.into(),
+                cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into(),
+            ],
+        },
+    }
+}
+
+/// Scenario 4: concurrent database (data-property change) and SAN (misconfiguration)
+/// problems.
+pub fn scenario_4(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-4".into(),
+        name: "Concurrent DB (change in data properties) and SAN (misconfiguration) problems".into(),
+        description: "The scenario-1 misconfiguration and a scenario-3-style bulk DML happen in the same maintenance \
+                      window. Both contribute to the slowdown; impact analysis must rank them."
+            .into(),
+        critical_modules: "Both problems identified; IA correctly ranks them".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![
+            TimedFault::new(Fault::SanMisconfiguration {
+                pool: "P1".into(),
+                new_volume: "Vprime".into(),
+                workload_server: "app-server".into(),
+                profile: interloper_profile(),
+                window: timeline.fault_window(),
+            }),
+            TimedFault::new(Fault::BulkDml {
+                table: "partsupp".into(),
+                row_factor: 1.4,
+                new_selectivity: 1.0,
+                at: timeline.fault_time(),
+            }),
+        ],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::SAN_MISCONFIGURATION.into(), cause_ids::DATA_PROPERTY_CHANGE.into()],
+            rejected_causes: vec![cause_ids::TABLE_LOCK_CONTENTION.into()],
+        },
+    }
+}
+
+/// Scenario 5: a locking problem inside the database plus monitoring noise that creates
+/// spurious volume-contention symptoms.
+pub fn scenario_5(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-5".into(),
+        name: "DB problem (locking-based) and spurious symptoms of volume contention due to noise".into(),
+        description: "A long-running maintenance transaction holds locks on partsupp, stalling every report run's \
+                      scans. At the same time the monitoring data is noisier than usual, occasionally spiking V2's \
+                      storage metrics even though nothing is wrong with the SAN."
+            .into(),
+        critical_modules: "IA identifies volume contention as low impact".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![TimedFault::new(Fault::TableLockContention {
+            table: "partsupp".into(),
+            window: timeline.fault_window(),
+            wait_secs_per_scan: 150.0,
+        })],
+        noise: NoiseModel::GaussianWithSpikes { sigma: 0.08, spike_prob: 0.06, spike_factor: 4.0 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::TABLE_LOCK_CONTENTION.into()],
+            rejected_causes: vec![
+                cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into(),
+                cause_ids::SAN_MISCONFIGURATION.into(),
+            ],
+        },
+    }
+}
+
+/// A plan-change scenario (not part of Table 1, used by module-PD tests and the
+/// what-if example): the part index is dropped between the satisfactory and
+/// unsatisfactory periods, so later runs use a different, slower plan.
+pub fn index_drop_scenario(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-index-drop".into(),
+        name: "Plan change caused by dropping the part index".into(),
+        description: "A migration script drops part_type_size_idx; the optimizer switches to the sequential-scan \
+                      plan for part, and the report slows down."
+            .into(),
+        critical_modules: "PD detects the plan change and attributes it to the dropped index".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![TimedFault::new(Fault::IndexDrop {
+            index: "part_type_size_idx".into(),
+            at: timeline.fault_time(),
+        })],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::INDEX_DROPPED.into()],
+            rejected_causes: vec![cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into()],
+        },
+    }
+}
+
+/// A configuration-change scenario for module PD: `random_page_cost` is mis-set.
+pub fn config_change_scenario(timeline: ScenarioTimeline) -> Scenario {
+    Scenario {
+        id: "scenario-config-change".into(),
+        name: "Plan change caused by a configuration-parameter change".into(),
+        description: "random_page_cost is raised from 4 to 80, pricing the index plan out; the optimizer switches \
+                      to sequential scans and the report slows down."
+            .into(),
+        critical_modules: "PD detects the plan change and attributes it to the parameter change".into(),
+        timeline,
+        scale_factor: 10.0,
+        faults: vec![TimedFault::new(Fault::ConfigParameterChange {
+            description: "random_page_cost: 4 -> 80".into(),
+            new_config: DbConfig::paper_default().with_random_page_cost(80.0),
+            at: timeline.fault_time(),
+        })],
+        noise: NoiseModel::Gaussian { sigma: 0.05 },
+        expected: ExpectedOutcome {
+            primary_causes: vec![cause_ids::CONFIG_PARAMETER_CHANGE.into()],
+            rejected_causes: vec![],
+        },
+    }
+}
+
+/// The Table-1 scenarios (1–5) plus the Table-2 variant (1b), on the paper timeline.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let t = ScenarioTimeline::paper_default();
+    vec![scenario_1(t), scenario_1b(t), scenario_2(t), scenario_3(t), scenario_4(t), scenario_5(t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_arithmetic() {
+        let t = ScenarioTimeline::paper_default();
+        assert_eq!(t.total_runs(), 40);
+        // Fault lands between run 29 (the 30th) and run 30 (the 31st).
+        let run_30_start = t.first_run.plus(t.run_interval.scale(29.0));
+        let run_31_start = t.first_run.plus(t.run_interval.scale(30.0));
+        assert!(t.fault_time() > run_30_start);
+        assert!(t.fault_time() < run_31_start);
+        assert!(t.end_time() > t.first_run.plus(t.run_interval.scale(40.0)));
+        assert!(t.fault_window().contains(run_31_start));
+        assert!(!t.fault_window().contains(run_30_start));
+        let s = ScenarioTimeline::short();
+        assert_eq!(s.total_runs(), 18);
+        assert!(s.end_time() < t.end_time());
+    }
+
+    #[test]
+    fn every_scenario_has_faults_and_expectations() {
+        for s in all_scenarios() {
+            assert!(!s.faults.is_empty(), "{}", s.id);
+            assert!(!s.expected.primary_causes.is_empty(), "{}", s.id);
+            assert!(!s.name.is_empty() && !s.critical_modules.is_empty());
+            assert!(s.scale_factor > 0.0);
+            // Every fault takes effect after the satisfactory period starts.
+            for f in &s.faults {
+                assert!(f.inject_at >= s.timeline.fault_time(), "{}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_1b_extends_scenario_1() {
+        let t = ScenarioTimeline::paper_default();
+        let s1 = scenario_1(t);
+        let s1b = scenario_1b(t);
+        assert_eq!(s1.faults.len(), 1);
+        assert_eq!(s1b.faults.len(), 2);
+        assert_eq!(s1b.expected.primary_causes, s1.expected.primary_causes);
+        assert!(s1b.expected.rejected_causes.len() > s1.expected.rejected_causes.len());
+    }
+
+    #[test]
+    fn scenario_4_is_concurrent() {
+        let s = scenario_4(ScenarioTimeline::paper_default());
+        assert_eq!(s.faults.len(), 2);
+        assert_eq!(s.expected.primary_causes.len(), 2);
+    }
+
+    #[test]
+    fn scenario_5_uses_noisy_monitoring() {
+        let s = scenario_5(ScenarioTimeline::paper_default());
+        assert!(matches!(s.noise, NoiseModel::GaussianWithSpikes { .. }));
+        assert_eq!(s.expected.primary_causes, vec![cause_ids::TABLE_LOCK_CONTENTION.to_string()]);
+    }
+
+    #[test]
+    fn with_timeline_rebuilds_fault_windows() {
+        let paper = scenario_1(ScenarioTimeline::paper_default());
+        let short = paper.with_timeline(ScenarioTimeline::short());
+        assert_eq!(short.id, "scenario-1");
+        assert!(short.timeline.total_runs() < paper.timeline.total_runs());
+        assert!(short.faults[0].inject_at < paper.faults[0].inject_at);
+        // Unknown ids fall back to a plain clone.
+        let mut odd = paper.clone();
+        odd.id = "custom".into();
+        let same = odd.with_timeline(ScenarioTimeline::short());
+        assert_eq!(same.timeline, odd.timeline);
+    }
+
+    #[test]
+    fn extra_pd_scenarios_exist() {
+        let t = ScenarioTimeline::short();
+        let idx = index_drop_scenario(t);
+        assert_eq!(idx.expected.primary_causes, vec![cause_ids::INDEX_DROPPED.to_string()]);
+        let cfg = config_change_scenario(t);
+        assert_eq!(cfg.expected.primary_causes, vec![cause_ids::CONFIG_PARAMETER_CHANGE.to_string()]);
+    }
+}

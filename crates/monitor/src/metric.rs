@@ -1,0 +1,299 @@
+//! The metric vocabulary.
+//!
+//! Figure 4 of the paper lists the performance metrics DIADS collects from the four
+//! layers (database, server, network, storage). [`MetricName`] enumerates that
+//! vocabulary plus an escape hatch for user-defined metrics; [`MetricKey`] pairs a
+//! metric with the component it was measured on, which is the key of the time-series
+//! store.
+
+use crate::ids::{ComponentId, Layer};
+
+/// A performance metric name, following Figure 4 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MetricName {
+    // ---- Database metrics ----
+    /// Elapsed running time of a plan operator for one execution (seconds).
+    OperatorElapsedTime,
+    /// Exclusive (self) running time of a plan operator for one execution (seconds).
+    OperatorSelfTime,
+    /// Actual number of records output by an operator in one execution.
+    OperatorRecordCount,
+    /// Optimizer-estimated number of records output by an operator.
+    OperatorEstimatedRecords,
+    /// Elapsed running time of a whole plan execution (seconds).
+    PlanElapsedTime,
+    /// Number of locks held by the database during the interval.
+    LocksHeld,
+    /// Time spent waiting on locks (seconds).
+    LockWaitTime,
+    /// Space usage of the database (KB).
+    SpaceUsage,
+    /// Blocks read from storage.
+    BlocksRead,
+    /// Buffer-cache hits.
+    BufferHits,
+    /// Buffer-cache hit ratio (0..1).
+    BufferHitRatio,
+    /// Number of index scans started.
+    IndexScans,
+    /// Index blocks read.
+    IndexReads,
+    /// Index entries fetched.
+    IndexFetches,
+    /// Number of sequential (full-table) scans started.
+    SequentialScans,
+    /// Random I/O operations issued by the database.
+    RandomIos,
+
+    // ---- Server metrics ----
+    /// CPU usage percentage of the host.
+    CpuUsagePercent,
+    /// CPU usage in MHz.
+    CpuUsageMhz,
+    /// Open handle count.
+    Handles,
+    /// Thread count.
+    Threads,
+    /// Process count.
+    Processes,
+    /// Heap memory usage (KB).
+    HeapMemoryKb,
+    /// Physical memory usage percentage.
+    PhysicalMemoryPercent,
+    /// Kernel memory (KB).
+    KernelMemoryKb,
+    /// Memory being swapped (KB).
+    SwappedMemoryKb,
+    /// Reserved memory capacity (KB).
+    ReservedMemoryKb,
+
+    // ---- Network (fabric / HBA) metrics ----
+    /// Bytes transmitted on a port.
+    BytesTransmitted,
+    /// Bytes received on a port.
+    BytesReceived,
+    /// Packets (frames) transmitted.
+    PacketsTransmitted,
+    /// Packets (frames) received.
+    PacketsReceived,
+    /// Loop-initialisation-primitive count.
+    LipCount,
+    /// NOS (not-operational) count.
+    NosCount,
+    /// Error frames observed.
+    ErrorFrames,
+    /// Dumped frames observed.
+    DumpedFrames,
+    /// Link failures observed.
+    LinkFailures,
+    /// CRC errors observed.
+    CrcErrors,
+    /// Address errors observed.
+    AddressErrors,
+
+    // ---- Storage metrics ----
+    /// Bytes read from a storage component.
+    BytesRead,
+    /// Bytes written to a storage component.
+    BytesWritten,
+    /// Contaminating writes (writes interleaved into a sequential read stream).
+    ContaminatingWrites,
+    /// Read I/O operations completed.
+    ReadIo,
+    /// Write I/O operations completed.
+    WriteIo,
+    /// Cumulative physical read time (seconds) — `writeTime`'s read counterpart.
+    ReadTime,
+    /// Cumulative physical write time (seconds) — Table 2's `writeTime`.
+    WriteTime,
+    /// Average read response time (milliseconds per I/O).
+    ReadResponseTimeMs,
+    /// Average write response time (milliseconds per I/O).
+    WriteResponseTimeMs,
+    /// Sequential read cache hits.
+    SequentialReadHits,
+    /// Sequential read requests.
+    SequentialReadRequests,
+    /// Sequential write requests.
+    SequentialWriteRequests,
+    /// Total I/O operations (reads + writes).
+    TotalIos,
+    /// Component utilisation in `[0, 1]` (fraction of the interval the component was busy).
+    Utilization,
+
+    /// Escape hatch for user-defined or trigger-specific metrics.
+    Custom(String),
+}
+
+impl MetricName {
+    /// The layer whose components usually report this metric.
+    pub fn layer(&self) -> Layer {
+        use MetricName::*;
+        match self {
+            OperatorElapsedTime | OperatorSelfTime | OperatorRecordCount | OperatorEstimatedRecords
+            | PlanElapsedTime | LocksHeld | LockWaitTime | SpaceUsage | BlocksRead | BufferHits
+            | BufferHitRatio | IndexScans | IndexReads | IndexFetches | SequentialScans | RandomIos => {
+                Layer::Database
+            }
+            CpuUsagePercent | CpuUsageMhz | Handles | Threads | Processes | HeapMemoryKb
+            | PhysicalMemoryPercent | KernelMemoryKb | SwappedMemoryKb | ReservedMemoryKb => Layer::Server,
+            BytesTransmitted | BytesReceived | PacketsTransmitted | PacketsReceived | LipCount
+            | NosCount | ErrorFrames | DumpedFrames | LinkFailures | CrcErrors | AddressErrors => {
+                Layer::Network
+            }
+            BytesRead | BytesWritten | ContaminatingWrites | ReadIo | WriteIo | ReadTime | WriteTime
+            | ReadResponseTimeMs | WriteResponseTimeMs | SequentialReadHits | SequentialReadRequests
+            | SequentialWriteRequests | TotalIos | Utilization => Layer::Storage,
+            Custom(_) => Layer::Workload,
+        }
+    }
+
+    /// Canonical short name used in rendered tables (matches the paper's spelling where
+    /// the paper names the metric, e.g. `writeIO` and `writeTime` in Table 2).
+    pub fn short_name(&self) -> String {
+        use MetricName::*;
+        match self {
+            OperatorElapsedTime => "opElapsedTime".into(),
+            OperatorSelfTime => "opSelfTime".into(),
+            OperatorRecordCount => "opRecordCount".into(),
+            OperatorEstimatedRecords => "opEstimatedRecords".into(),
+            PlanElapsedTime => "planElapsedTime".into(),
+            LocksHeld => "locksHeld".into(),
+            LockWaitTime => "lockWaitTime".into(),
+            SpaceUsage => "spaceUsage".into(),
+            BlocksRead => "blocksRead".into(),
+            BufferHits => "bufferHits".into(),
+            BufferHitRatio => "bufferHitRatio".into(),
+            IndexScans => "indexScans".into(),
+            IndexReads => "indexReads".into(),
+            IndexFetches => "indexFetches".into(),
+            SequentialScans => "sequentialScans".into(),
+            RandomIos => "randomIOs".into(),
+            CpuUsagePercent => "cpuUsagePct".into(),
+            CpuUsageMhz => "cpuUsageMhz".into(),
+            Handles => "handles".into(),
+            Threads => "threads".into(),
+            Processes => "processes".into(),
+            HeapMemoryKb => "heapMemoryKB".into(),
+            PhysicalMemoryPercent => "physMemoryPct".into(),
+            KernelMemoryKb => "kernelMemoryKB".into(),
+            SwappedMemoryKb => "swappedMemoryKB".into(),
+            ReservedMemoryKb => "reservedMemoryKB".into(),
+            BytesTransmitted => "bytesTx".into(),
+            BytesReceived => "bytesRx".into(),
+            PacketsTransmitted => "packetsTx".into(),
+            PacketsReceived => "packetsRx".into(),
+            LipCount => "lipCount".into(),
+            NosCount => "nosCount".into(),
+            ErrorFrames => "errorFrames".into(),
+            DumpedFrames => "dumpedFrames".into(),
+            LinkFailures => "linkFailures".into(),
+            CrcErrors => "crcErrors".into(),
+            AddressErrors => "addressErrors".into(),
+            BytesRead => "bytesRead".into(),
+            BytesWritten => "bytesWritten".into(),
+            ContaminatingWrites => "contaminatingWrites".into(),
+            ReadIo => "readIO".into(),
+            WriteIo => "writeIO".into(),
+            ReadTime => "readTime".into(),
+            WriteTime => "writeTime".into(),
+            ReadResponseTimeMs => "readRespMs".into(),
+            WriteResponseTimeMs => "writeRespMs".into(),
+            SequentialReadHits => "seqReadHits".into(),
+            SequentialReadRequests => "seqReadReqs".into(),
+            SequentialWriteRequests => "seqWriteReqs".into(),
+            TotalIos => "totalIOs".into(),
+            Utilization => "utilization".into(),
+            Custom(name) => name.clone(),
+        }
+    }
+
+    /// Whether higher values of this metric indicate *more load or worse performance*
+    /// (true for most counters and times) as opposed to metrics where a drop is the
+    /// suspicious direction (e.g. cache-hit ratios and free memory).
+    pub fn higher_is_worse(&self) -> bool {
+        !matches!(
+            self,
+            MetricName::BufferHitRatio
+                | MetricName::BufferHits
+                | MetricName::SequentialReadHits
+                | MetricName::ReservedMemoryKb
+        )
+    }
+}
+
+impl std::fmt::Display for MetricName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.short_name())
+    }
+}
+
+/// A (component, metric) pair — the key of the time-series store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// The component the metric was measured on.
+    pub component: ComponentId,
+    /// The metric name.
+    pub metric: MetricName,
+}
+
+impl MetricKey {
+    /// Creates a metric key.
+    pub fn new(component: ComponentId, metric: MetricName) -> Self {
+        MetricKey { component, metric }
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.component, self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ComponentKind;
+
+    #[test]
+    fn metric_layers() {
+        assert_eq!(MetricName::BufferHits.layer(), Layer::Database);
+        assert_eq!(MetricName::CpuUsagePercent.layer(), Layer::Server);
+        assert_eq!(MetricName::CrcErrors.layer(), Layer::Network);
+        assert_eq!(MetricName::WriteTime.layer(), Layer::Storage);
+        assert_eq!(MetricName::Custom("x".into()).layer(), Layer::Workload);
+    }
+
+    #[test]
+    fn table2_metric_names_match_the_paper() {
+        assert_eq!(MetricName::WriteIo.short_name(), "writeIO");
+        assert_eq!(MetricName::WriteTime.short_name(), "writeTime");
+    }
+
+    #[test]
+    fn higher_is_worse_flags() {
+        assert!(MetricName::WriteTime.higher_is_worse());
+        assert!(MetricName::LockWaitTime.higher_is_worse());
+        assert!(!MetricName::BufferHitRatio.higher_is_worse());
+        assert!(!MetricName::SequentialReadHits.higher_is_worse());
+    }
+
+    #[test]
+    fn metric_key_display() {
+        let key = MetricKey::new(
+            ComponentId::new(ComponentKind::StorageVolume, "V1"),
+            MetricName::WriteIo,
+        );
+        assert_eq!(key.to_string(), "volume:V1/writeIO");
+    }
+
+    #[test]
+    fn custom_metrics_are_distinct() {
+        let a = MetricName::Custom("queue_depth".into());
+        let b = MetricName::Custom("queue_depth".into());
+        let c = MetricName::Custom("other".into());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.short_name(), "queue_depth");
+    }
+}

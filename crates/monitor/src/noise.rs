@@ -1,0 +1,143 @@
+//! Measurement-noise models.
+//!
+//! Production monitoring is configured for low overhead: coarse intervals, sampled
+//! counters, occasionally dropped or duplicated reports. Section 1.1 of the paper calls
+//! out these "inaccuracies in monitoring data" as a core challenge, and scenario 5 of
+//! Table 1 relies on noise producing *spurious symptoms*. The noise models here are
+//! applied by the collector when it flushes interval averages into the metric store.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A measurement-noise model applied to each flushed sample.
+#[derive(Debug, Clone)]
+pub enum NoiseModel {
+    /// No noise at all (useful for unit tests that need exact values).
+    None,
+    /// Multiplicative Gaussian noise: `value * (1 + N(0, sigma))`, clamped at zero.
+    ///
+    /// `sigma` around 0.02–0.10 matches the jitter of five-minute averaged counters.
+    Gaussian {
+        /// Relative standard deviation of the noise.
+        sigma: f64,
+    },
+    /// Gaussian jitter plus occasional spikes: with probability `spike_prob` a sample is
+    /// multiplied by `spike_factor`. This is what creates the paper's "spurious
+    /// symptoms caused by noise".
+    GaussianWithSpikes {
+        /// Relative standard deviation of the background jitter.
+        sigma: f64,
+        /// Probability that any given sample is a spike.
+        spike_prob: f64,
+        /// Multiplier applied to spiked samples.
+        spike_factor: f64,
+    },
+}
+
+impl NoiseModel {
+    /// A light default noise model for production-like monitoring data.
+    pub fn default_production() -> Self {
+        NoiseModel::Gaussian { sigma: 0.05 }
+    }
+}
+
+/// A seeded noise generator that perturbs metric samples according to a [`NoiseModel`].
+#[derive(Debug, Clone)]
+pub struct NoiseGenerator {
+    model: NoiseModel,
+    rng: StdRng,
+}
+
+impl NoiseGenerator {
+    /// Creates a generator with a fixed seed (deterministic across runs).
+    pub fn new(model: NoiseModel, seed: u64) -> Self {
+        NoiseGenerator { model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Applies noise to a raw value; never returns a negative number, since every
+    /// metric in the Figure-4 catalog is a non-negative counter, time or percentage.
+    pub fn perturb(&mut self, value: f64) -> f64 {
+        match self.model {
+            NoiseModel::None => value,
+            NoiseModel::Gaussian { sigma } => {
+                let z = self.sample_standard_normal();
+                (value * (1.0 + sigma * z)).max(0.0)
+            }
+            NoiseModel::GaussianWithSpikes { sigma, spike_prob, spike_factor } => {
+                let z = self.sample_standard_normal();
+                let mut v = value * (1.0 + sigma * z);
+                if self.rng.gen::<f64>() < spike_prob {
+                    v *= spike_factor;
+                }
+                v.max(0.0)
+            }
+        }
+    }
+
+    /// Standard normal via Box–Muller (avoids pulling in a distributions crate).
+    fn sample_standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut g = NoiseGenerator::new(NoiseModel::None, 1);
+        assert_eq!(g.perturb(42.0), 42.0);
+        assert_eq!(g.perturb(0.0), 0.0);
+    }
+
+    #[test]
+    fn gaussian_noise_is_small_and_unbiased() {
+        let mut g = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.05 }, 7);
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = g.perturb(100.0);
+            assert!(v >= 0.0);
+            assert!((v - 100.0).abs() < 40.0, "5-sigma-ish bound: {v}");
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 99);
+        let mut b = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 99);
+        let va: Vec<f64> = (0..20).map(|_| a.perturb(10.0)).collect();
+        let vb: Vec<f64> = (0..20).map(|_| b.perturb(10.0)).collect();
+        assert_eq!(va, vb);
+        let mut c = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 100);
+        let vc: Vec<f64> = (0..20).map(|_| c.perturb(10.0)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_the_configured_rate() {
+        let mut g = NoiseGenerator::new(
+            NoiseModel::GaussianWithSpikes { sigma: 0.01, spike_prob: 0.1, spike_factor: 10.0 },
+            5,
+        );
+        let n = 5000;
+        let spikes = (0..n).filter(|_| g.perturb(10.0) > 50.0).count();
+        let rate = spikes as f64 / n as f64;
+        assert!(rate > 0.05 && rate < 0.15, "spike rate = {rate}");
+    }
+
+    #[test]
+    fn negative_results_are_clamped() {
+        // Large sigma would otherwise produce negative counters.
+        let mut g = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 5.0 }, 3);
+        for _ in 0..500 {
+            assert!(g.perturb(1.0) >= 0.0);
+        }
+    }
+}

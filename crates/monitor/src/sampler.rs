@@ -1,0 +1,178 @@
+//! The interval collector.
+//!
+//! Production monitoring samples at coarse intervals ("5 minutes or higher" per §1.1):
+//! raw per-second observations produced by the simulators are accumulated per interval,
+//! averaged, optionally perturbed by a noise model, and only the averaged value lands in
+//! the metric store. This is precisely the mechanism that makes bursty behaviour hard to
+//! see in the stored data.
+
+use std::collections::BTreeMap;
+
+use crate::metric::MetricKey;
+use crate::noise::{NoiseGenerator, NoiseModel};
+use crate::store::MetricStore;
+use crate::time::{Duration, Timestamp};
+
+/// Accumulates raw observations and flushes interval averages into a [`MetricStore`].
+#[derive(Debug)]
+pub struct IntervalSampler {
+    interval: Duration,
+    noise: NoiseGenerator,
+    /// Per key: (interval start, sum, count) of the currently open interval.
+    open: BTreeMap<MetricKey, (u64, f64, usize)>,
+}
+
+impl IntervalSampler {
+    /// Creates a sampler with the given interval and noise model. The seed makes the
+    /// injected noise deterministic.
+    pub fn new(interval: Duration, noise: NoiseModel, seed: u64) -> Self {
+        IntervalSampler { interval, noise: NoiseGenerator::new(noise, seed), open: BTreeMap::new() }
+    }
+
+    /// A production-like sampler: 5-minute intervals, light Gaussian noise.
+    pub fn production_default(seed: u64) -> Self {
+        Self::new(Duration::from_mins(5), NoiseModel::default_production(), seed)
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Feeds one raw observation; if the observation falls into a new interval for this
+    /// key, the previous interval is flushed into `store` first.
+    pub fn observe(&mut self, store: &mut MetricStore, key: MetricKey, time: Timestamp, value: f64) {
+        let bucket = self.bucket_start(time);
+        match self.open.get_mut(&key) {
+            Some((start, sum, count)) if *start == bucket => {
+                *sum += value;
+                *count += 1;
+            }
+            Some(entry) => {
+                let (start, sum, count) = *entry;
+                let avg = self.noise.perturb(sum / count as f64);
+                store.record_key(key.clone(), Timestamp::new(start), avg);
+                *self.open.get_mut(&key).expect("just read") = (bucket, value, 1);
+            }
+            None => {
+                self.open.insert(key, (bucket, value, 1));
+            }
+        }
+    }
+
+    /// Flushes every open interval into the store (call at the end of a simulation).
+    pub fn flush(&mut self, store: &mut MetricStore) {
+        let open = std::mem::take(&mut self.open);
+        for (key, (start, sum, count)) in open {
+            if count > 0 {
+                let avg = self.noise.perturb(sum / count as f64);
+                store.record_key(key, Timestamp::new(start), avg);
+            }
+        }
+    }
+
+    fn bucket_start(&self, time: Timestamp) -> u64 {
+        let secs = self.interval.as_secs().max(1);
+        time.as_secs() / secs * secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ComponentId;
+    use crate::metric::MetricName;
+    use crate::time::TimeRange;
+
+    fn key() -> MetricKey {
+        MetricKey::new(ComponentId::volume("V1"), MetricName::WriteIo)
+    }
+
+    #[test]
+    fn averages_within_interval() {
+        let mut sampler = IntervalSampler::new(Duration::from_mins(5), NoiseModel::None, 1);
+        let mut store = MetricStore::new();
+        // 300 one-second observations of value 10, then one observation in the next interval.
+        for t in 0..300 {
+            sampler.observe(&mut store, key(), Timestamp::new(t), 10.0);
+        }
+        sampler.observe(&mut store, key(), Timestamp::new(300), 50.0);
+        // The first interval has been flushed with its average.
+        let series = store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series.points()[0].time, Timestamp::new(0));
+        assert!((series.points()[0].value - 10.0).abs() < 1e-9);
+        // Final flush writes the second interval too.
+        sampler.flush(&mut store);
+        let series = store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.points()[1].value, 50.0);
+    }
+
+    #[test]
+    fn bursts_are_averaged_away() {
+        let mut sampler = IntervalSampler::new(Duration::from_mins(5), NoiseModel::None, 1);
+        let mut store = MetricStore::new();
+        // Idle interval with a single 30-second burst of 100 IOPS.
+        for t in 0..300 {
+            let v = if (100..130).contains(&t) { 100.0 } else { 1.0 };
+            sampler.observe(&mut store, key(), Timestamp::new(t), v);
+        }
+        sampler.flush(&mut store);
+        let avg = store
+            .mean_in(
+                &ComponentId::volume("V1"),
+                &MetricName::WriteIo,
+                TimeRange::new(Timestamp::new(0), Timestamp::new(600)),
+            )
+            .unwrap();
+        // 30s of 100 + 270s of 1 averaged over 300s ≈ 10.9 — the burst is no longer visible
+        // as a 100-IOPS event.
+        assert!(avg < 15.0, "avg = {avg}");
+        assert!(avg > 5.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn separate_keys_do_not_interfere() {
+        let mut sampler = IntervalSampler::new(Duration::from_secs(60), NoiseModel::None, 1);
+        let mut store = MetricStore::new();
+        let other = MetricKey::new(ComponentId::volume("V2"), MetricName::WriteIo);
+        sampler.observe(&mut store, key(), Timestamp::new(0), 5.0);
+        sampler.observe(&mut store, other.clone(), Timestamp::new(0), 50.0);
+        sampler.flush(&mut store);
+        assert_eq!(
+            store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap().points()[0].value,
+            5.0
+        );
+        assert_eq!(
+            store.series(&ComponentId::volume("V2"), &MetricName::WriteIo).unwrap().points()[0].value,
+            50.0
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_flushed_values_deterministically() {
+        let run = |seed: u64| {
+            let mut sampler =
+                IntervalSampler::new(Duration::from_secs(60), NoiseModel::Gaussian { sigma: 0.1 }, seed);
+            let mut store = MetricStore::new();
+            for t in 0..60 {
+                sampler.observe(&mut store, key(), Timestamp::new(t), 100.0);
+            }
+            sampler.flush(&mut store);
+            store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap().points()[0].value
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!((a - 100.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn production_default_uses_five_minute_interval() {
+        let s = IntervalSampler::production_default(1);
+        assert_eq!(s.interval(), Duration::from_mins(5));
+    }
+}

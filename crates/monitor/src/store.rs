@@ -1,0 +1,176 @@
+//! The central metric store — the reproduction's stand-in for the TPC/DB2 monitoring
+//! database the paper's deployment records everything into (Figure 5).
+
+use std::collections::BTreeMap;
+
+use crate::ids::{ComponentId, ComponentKind};
+use crate::metric::{MetricKey, MetricName};
+use crate::series::TimeSeries;
+use crate::time::{TimeRange, Timestamp};
+
+/// An in-memory store of metric time series keyed by (component, metric).
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters for reproducible
+/// experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct MetricStore {
+    series: BTreeMap<MetricKey, TimeSeries>,
+}
+
+impl MetricStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, component: ComponentId, metric: MetricName, time: Timestamp, value: f64) {
+        self.series
+            .entry(MetricKey::new(component, metric))
+            .or_default()
+            .push(time, value);
+    }
+
+    /// Records one observation by key.
+    pub fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
+        self.series.entry(key).or_default().push(time, value);
+    }
+
+    /// The series for a (component, metric) pair, if any observation was ever recorded.
+    pub fn series(&self, component: &ComponentId, metric: &MetricName) -> Option<&TimeSeries> {
+        self.series.get(&MetricKey::new(component.clone(), metric.clone()))
+    }
+
+    /// Values of a metric within a time range (empty if the series does not exist).
+    pub fn values_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> Vec<f64> {
+        self.series(component, metric).map(|s| s.values_in(range)).unwrap_or_default()
+    }
+
+    /// Mean of a metric within a time range.
+    pub fn mean_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> Option<f64> {
+        self.series(component, metric).and_then(|s| s.mean_in(range))
+    }
+
+    /// Sum of a metric within a time range (0.0 if absent).
+    pub fn sum_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> f64 {
+        self.series(component, metric).map(|s| s.sum_in(range)).unwrap_or(0.0)
+    }
+
+    /// All metric names ever recorded for a component, in deterministic order.
+    pub fn metrics_of(&self, component: &ComponentId) -> Vec<MetricName> {
+        self.series
+            .keys()
+            .filter(|k| &k.component == component)
+            .map(|k| k.metric.clone())
+            .collect()
+    }
+
+    /// All components of a given kind that have at least one recorded metric.
+    pub fn components_of_kind(&self, kind: ComponentKind) -> Vec<ComponentId> {
+        let mut out: Vec<ComponentId> = self
+            .series
+            .keys()
+            .filter(|k| k.component.kind == kind)
+            .map(|k| k.component.clone())
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// All distinct components with any recorded metric.
+    pub fn components(&self) -> Vec<ComponentId> {
+        let mut out: Vec<ComponentId> = self.series.keys().map(|k| k.component.clone()).collect();
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct (component, metric) series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total number of recorded data points across all series.
+    pub fn point_count(&self) -> usize {
+        self.series.values().map(|s| s.len()).sum()
+    }
+
+    /// Merges another store into this one (used when assembling a testbed from the SAN
+    /// and database collectors).
+    pub fn merge(&mut self, other: &MetricStore) {
+        for (key, series) in &other.series {
+            let entry = self.series.entry(key.clone()).or_default();
+            for p in series.points() {
+                entry.push(p.time, p.value);
+            }
+        }
+    }
+
+    /// Iterates over every (key, series) pair in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &TimeSeries)> {
+        self.series.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volume(name: &str) -> ComponentId {
+        ComponentId::volume(name)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut store = MetricStore::new();
+        for t in 0..10 {
+            store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(t * 60), t as f64);
+        }
+        let r = TimeRange::new(Timestamp::new(0), Timestamp::new(300));
+        assert_eq!(store.values_in(&volume("V1"), &MetricName::WriteIo, r), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(store.mean_in(&volume("V1"), &MetricName::WriteIo, r), Some(2.0));
+        assert_eq!(store.sum_in(&volume("V1"), &MetricName::WriteIo, r), 10.0);
+        // Unknown series behave as empty.
+        assert!(store.values_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
+        assert_eq!(store.mean_in(&volume("V1"), &MetricName::ReadIo, r), None);
+        assert_eq!(store.sum_in(&volume("V9"), &MetricName::ReadIo, r), 0.0);
+    }
+
+    #[test]
+    fn metrics_of_and_components() {
+        let mut store = MetricStore::new();
+        store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        store.record(volume("V1"), MetricName::WriteTime, Timestamp::new(0), 1.0);
+        store.record(volume("V2"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        store.record(ComponentId::disk("d1"), MetricName::Utilization, Timestamp::new(0), 0.3);
+
+        assert_eq!(store.metrics_of(&volume("V1")).len(), 2);
+        assert_eq!(store.components_of_kind(ComponentKind::StorageVolume).len(), 2);
+        assert_eq!(store.components_of_kind(ComponentKind::Disk), vec![ComponentId::disk("d1")]);
+        assert_eq!(store.components().len(), 3);
+        assert_eq!(store.series_count(), 4);
+        assert_eq!(store.point_count(), 4);
+    }
+
+    #[test]
+    fn merge_combines_points() {
+        let mut a = MetricStore::new();
+        a.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        let mut b = MetricStore::new();
+        b.record(volume("V1"), MetricName::WriteIo, Timestamp::new(60), 2.0);
+        b.record(volume("V2"), MetricName::ReadIo, Timestamp::new(0), 3.0);
+        a.merge(&b);
+        assert_eq!(a.series_count(), 2);
+        assert_eq!(a.series(&volume("V1"), &MetricName::WriteIo).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut store = MetricStore::new();
+        store.record(volume("V2"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        let keys: Vec<String> = store.iter().map(|(k, _)| k.to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

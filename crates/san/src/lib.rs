@@ -1,0 +1,83 @@
+//! # diads-san
+//!
+//! A Storage Area Network simulator: the substrate that replaces the production IBM
+//! SAN of the paper's testbed (*"Why Did My Query Slow Down?"*, CIDR 2009).
+//!
+//! The paper's DIADS prototype never talks to SAN hardware directly — it consumes the
+//! configuration snapshots, performance time series and events that a storage
+//! management tool (IBM TotalStorage Productivity Center) collects. This crate produces
+//! exactly that data from a simulated SAN:
+//!
+//! * [`topology`] — servers, HBAs and their ports, FC switches, the storage subsystem,
+//!   RAID pools, volumes and physical disks, plus the connectivity between them.
+//!   Topology mutations (creating a volume, changing zoning or LUN mapping) emit the
+//!   configuration events of Section 3.
+//! * [`zoning`] — zone sets and LUN mapping/masking, the two settings whose
+//!   misconfiguration drives scenario 1 of the evaluation.
+//! * [`raid`] — RAID levels and their I/O amplification, plus rebuild penalties.
+//! * [`workload`] — external application workloads (steady or bursty) that share the
+//!   SAN with the database, the source of cross-volume contention.
+//! * [`perf`] — the performance engine: an M/M/1-style queueing model per disk, load
+//!   spread across a pool's disks, cross-volume contention through shared disks, and
+//!   per-component metric emission into the monitoring store.
+//! * [`path`] — I/O-path resolution used to build APG dependency paths (inner path:
+//!   server → HBA → switches → subsystem → pool → volume → disks; outer path: volumes
+//!   and workloads sharing those disks).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod path;
+pub mod perf;
+pub mod raid;
+pub mod topology;
+pub mod workload;
+pub mod zoning;
+
+pub use perf::{SanPerfConfig, SanSimulator, VolumeLoad};
+pub use raid::RaidLevel;
+pub use topology::{SanTopology, TopologyBuilder};
+pub use workload::{BurstPattern, ExternalWorkload, IoProfile};
+pub use zoning::{LunMapping, Zone, ZoningConfig};
+
+/// Errors produced by the SAN layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanError {
+    /// A referenced component does not exist in the topology.
+    UnknownComponent(String),
+    /// An attempt to create a component whose name already exists.
+    DuplicateComponent(String),
+    /// An operation that requires a non-empty set (e.g. a pool with no disks).
+    EmptySet(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for SanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SanError::UnknownComponent(name) => write!(f, "unknown SAN component: {name}"),
+            SanError::DuplicateComponent(name) => write!(f, "SAN component already exists: {name}"),
+            SanError::EmptySet(what) => write!(f, "{what} must not be empty"),
+            SanError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SanError {}
+
+/// Convenience result alias for the SAN layer.
+pub type Result<T> = std::result::Result<T, SanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(SanError::UnknownComponent("V9".into()).to_string().contains("V9"));
+        assert!(SanError::DuplicateComponent("V1".into()).to_string().contains("V1"));
+        assert!(SanError::EmptySet("pool disks").to_string().contains("pool disks"));
+        assert!(SanError::InvalidParameter("iops").to_string().contains("iops"));
+    }
+}

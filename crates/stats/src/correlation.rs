@@ -1,0 +1,194 @@
+//! Correlation analysis between paired samples.
+//!
+//! Module DA ("Dependency Analysis") checks whether a component's performance metric
+//! is *significantly correlated* with the running time of an operator in the
+//! correlated-operator set; module CR does the same for record counts. DIADS uses the
+//! KDE anomaly score as its primary signal but cross-checks with rank correlation so
+//! that a metric that merely drifted (without tracking the operator) is not blamed.
+
+use crate::{Result, StatsError};
+
+fn validate_pair(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::NotEnoughSamples { required: 2, got: x.len() });
+    }
+    crate::ensure_finite(x)?;
+    crate::ensure_finite(y)?;
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient of two paired samples.
+///
+/// Returns 0 when either sample has zero variance (a constant signal carries no
+/// correlation information for diagnosis purposes).
+///
+/// # Errors
+/// Returns an error on length mismatch, fewer than two pairs, or non-finite values.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    validate_pair(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Mid-rank assignment (ties get the average of the ranks they span).
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the mean rank of the tied block.
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient of two paired samples.
+///
+/// # Errors
+/// Same error conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    validate_pair(x, y)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Sample covariance (n-1 denominator) of two paired samples.
+///
+/// # Errors
+/// Same error conditions as [`pearson`].
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64> {
+    validate_pair(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let s: f64 = x.iter().zip(y).map(|(&xi, &yi)| (xi - mx) * (yi - my)).sum();
+    Ok(s / (n - 1.0))
+}
+
+/// A qualitative strength bucket for a correlation coefficient, used when rendering
+/// dependency-analysis results for the administrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationStrength {
+    /// |r| ≥ 0.7
+    Strong,
+    /// 0.4 ≤ |r| < 0.7
+    Moderate,
+    /// 0.2 ≤ |r| < 0.4
+    Weak,
+    /// |r| < 0.2
+    Negligible,
+}
+
+impl CorrelationStrength {
+    /// Buckets a correlation coefficient.
+    pub fn from_coefficient(r: f64) -> Self {
+        let a = r.abs();
+        if a >= 0.7 {
+            CorrelationStrength::Strong
+        } else if a >= 0.4 {
+            CorrelationStrength::Moderate
+        } else if a >= 0.2 {
+            CorrelationStrength::Weak
+        } else {
+            CorrelationStrength::Negligible
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg = [10.0, 8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_signal_is_zero() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [3.0, -3.0, 3.0, -3.0, 3.0, -3.0, 3.0, -3.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        // Monotone but highly nonlinear: Spearman is exactly 1, Pearson is less.
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_are_mid_ranks() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 5.0]), vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn covariance_matches_manual() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((covariance(&x, &y).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strength_buckets() {
+        assert_eq!(CorrelationStrength::from_coefficient(0.9), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::from_coefficient(-0.75), CorrelationStrength::Strong);
+        assert_eq!(CorrelationStrength::from_coefficient(0.5), CorrelationStrength::Moderate);
+        assert_eq!(CorrelationStrength::from_coefficient(0.25), CorrelationStrength::Weak);
+        assert_eq!(CorrelationStrength::from_coefficient(0.05), CorrelationStrength::Negligible);
+    }
+}

@@ -1,0 +1,282 @@
+//! Histograms: equi-width and equi-depth.
+//!
+//! Used in two places: the database-statistics layer keeps equi-depth histograms of
+//! column values (they drive selectivity estimation in the simulated optimizer, which
+//! module PD's plan-change analysis reasons about), and the experiment harnesses use
+//! equi-width histograms to summarise score distributions.
+
+use crate::{ensure_finite, Result, StatsError};
+
+/// An equi-width histogram over a fixed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Creates a histogram with `buckets` equal-width buckets spanning `[min, max]`.
+    ///
+    /// # Errors
+    /// Returns [`StatsError::InvalidParameter`] if `buckets == 0` or `min >= max`.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Result<Self> {
+        if buckets == 0 {
+            return Err(StatsError::InvalidParameter("bucket count must be positive"));
+        }
+        if !(min < max) || !min.is_finite() || !max.is_finite() {
+            return Err(StatsError::InvalidParameter("histogram range must be finite and non-empty"));
+        }
+        Ok(EquiWidthHistogram { min, max, counts: vec![0; buckets], total: 0, below: 0, above: 0 })
+    }
+
+    /// Adds one observation. Values outside the range are counted in overflow bins.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.min {
+            self.below += 1;
+            return;
+        }
+        if value > self.max {
+            self.above += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let mut idx = ((value - self.min) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // value == max
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket counts (excluding overflow bins).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// The `[low, high)` bounds of bucket `i` (the last bucket is inclusive of `max`).
+    pub fn bucket_bounds(&self, i: usize) -> Option<(f64, f64)> {
+        if i >= self.counts.len() {
+            return None;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        Some((self.min + i as f64 * width, self.min + (i + 1) as f64 * width))
+    }
+
+    /// Fraction of in-range observations falling at or below `value`
+    /// (linear interpolation within the containing bucket).
+    pub fn cdf(&self, value: f64) -> f64 {
+        let in_range = self.total - self.below - self.above;
+        if in_range == 0 {
+            return if value >= self.max { 1.0 } else { 0.0 };
+        }
+        if value < self.min {
+            return 0.0;
+        }
+        if value >= self.max {
+            return 1.0;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let idx = (((value - self.min) / width) as usize).min(self.counts.len() - 1);
+        let mut below_count: u64 = self.counts[..idx].iter().sum();
+        let frac_in_bucket = (value - (self.min + idx as f64 * width)) / width;
+        let interpolated = self.counts[idx] as f64 * frac_in_bucket;
+        below_count += interpolated as u64;
+        (below_count as f64 + (interpolated - interpolated.floor())) / in_range as f64
+    }
+}
+
+/// An equi-depth (equi-height) histogram: bucket boundaries chosen so each bucket holds
+/// approximately the same number of observations. This is the PostgreSQL-style
+/// structure used for selectivity estimation in `diads-db`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// `bounds.len() == buckets + 1`; bucket `i` covers `[bounds[i], bounds[i+1]]`.
+    bounds: Vec<f64>,
+    rows_per_bucket: f64,
+    total_rows: u64,
+}
+
+impl EquiDepthHistogram {
+    /// Builds an equi-depth histogram with the requested number of buckets.
+    ///
+    /// # Errors
+    /// Returns an error for empty/non-finite samples or a zero bucket count.
+    pub fn build(sample: &[f64], buckets: usize) -> Result<Self> {
+        if buckets == 0 {
+            return Err(StatsError::InvalidParameter("bucket count must be positive"));
+        }
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        ensure_finite(sample)?;
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let buckets = buckets.min(sorted.len());
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            let pos = (i as f64 / buckets as f64) * (sorted.len() - 1) as f64;
+            bounds.push(sorted[pos.round() as usize]);
+        }
+        Ok(EquiDepthHistogram {
+            bounds,
+            rows_per_bucket: sample.len() as f64 / buckets as f64,
+            total_rows: sample.len() as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of rows the histogram summarises.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Bucket boundaries (length = buckets + 1).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Estimated selectivity of the predicate `value <= x` in `[0, 1]`.
+    pub fn selectivity_le(&self, x: f64) -> f64 {
+        let lo = self.bounds[0];
+        let hi = self.bounds[self.bounds.len() - 1];
+        if x < lo {
+            return 0.0;
+        }
+        if x >= hi {
+            return 1.0;
+        }
+        let mut rows = 0.0;
+        for i in 0..self.bucket_count() {
+            let (b_lo, b_hi) = (self.bounds[i], self.bounds[i + 1]);
+            if x >= b_hi {
+                rows += self.rows_per_bucket;
+            } else if x >= b_lo {
+                let width = (b_hi - b_lo).max(f64::EPSILON);
+                rows += self.rows_per_bucket * ((x - b_lo) / width);
+                break;
+            } else {
+                break;
+            }
+        }
+        (rows / self.total_rows as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of the range predicate `lo <= value <= hi`.
+    pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.selectivity_le(hi) - self.selectivity_le(lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_counts_and_bounds() {
+        let mut h = EquiWidthHistogram::new(0.0, 10.0, 5).unwrap();
+        for v in [0.5, 1.5, 2.5, 3.5, 9.9, 10.0, -1.0, 11.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 6);
+        assert_eq!(h.bucket_bounds(0), Some((0.0, 2.0)));
+        assert_eq!(h.bucket_bounds(4), Some((8.0, 10.0)));
+        assert_eq!(h.bucket_bounds(5), None);
+        // max value lands in the last bucket, not overflow
+        assert_eq!(h.counts()[4], 2);
+    }
+
+    #[test]
+    fn equi_width_invalid_params() {
+        assert!(EquiWidthHistogram::new(0.0, 10.0, 0).is_err());
+        assert!(EquiWidthHistogram::new(10.0, 0.0, 5).is_err());
+        assert!(EquiWidthHistogram::new(0.0, f64::INFINITY, 5).is_err());
+    }
+
+    #[test]
+    fn equi_width_cdf_monotone() {
+        let mut h = EquiWidthHistogram::new(0.0, 100.0, 20).unwrap();
+        for i in 0..1000 {
+            h.add((i % 100) as f64);
+        }
+        let mut prev = -1.0;
+        for x in [0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let c = h.cdf(x);
+            assert!(c >= prev);
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((h.cdf(50.0) - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn equi_depth_selectivity_uniform() {
+        let sample: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepthHistogram::build(&sample, 10).unwrap();
+        assert_eq!(h.bucket_count(), 10);
+        assert_eq!(h.total_rows(), 1000);
+        assert!((h.selectivity_le(499.0) - 0.5).abs() < 0.02);
+        assert_eq!(h.selectivity_le(-10.0), 0.0);
+        assert_eq!(h.selectivity_le(2000.0), 1.0);
+        assert!((h.selectivity_range(250.0, 750.0) - 0.5).abs() < 0.02);
+        assert_eq!(h.selectivity_range(700.0, 300.0), 0.0);
+    }
+
+    #[test]
+    fn equi_depth_skewed_data() {
+        // 90% of values are 0..10, 10% are 1000..1010: equi-depth adapts its bounds.
+        let mut sample = Vec::new();
+        for i in 0..900 {
+            sample.push((i % 10) as f64);
+        }
+        for i in 0..100 {
+            sample.push(1000.0 + (i % 10) as f64);
+        }
+        let h = EquiDepthHistogram::build(&sample, 10).unwrap();
+        let sel_small = h.selectivity_le(10.0);
+        assert!(sel_small > 0.8, "most mass below 10: {sel_small}");
+        assert!(h.selectivity_range(500.0, 900.0) < 0.05);
+    }
+
+    #[test]
+    fn equi_depth_errors() {
+        assert!(EquiDepthHistogram::build(&[], 4).is_err());
+        assert!(EquiDepthHistogram::build(&[1.0, 2.0], 0).is_err());
+        assert!(EquiDepthHistogram::build(&[1.0, f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn equi_depth_more_buckets_than_samples() {
+        let h = EquiDepthHistogram::build(&[1.0, 2.0, 3.0], 10).unwrap();
+        assert!(h.bucket_count() <= 3);
+        assert_eq!(h.selectivity_le(3.0), 1.0);
+    }
+}

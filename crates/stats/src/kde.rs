@@ -1,0 +1,310 @@
+//! Gaussian Kernel Density Estimation and the DIADS anomaly score.
+//!
+//! Module CO of the paper fits a KDE to the running times of each operator over the
+//! *satisfactory* runs of a plan, and scores an observation `u` taken from an
+//! *unsatisfactory* run with `prob(S <= u)`; operators whose score exceeds a threshold
+//! (0.8 in the paper's evaluation) form the correlated-operator set. Modules DA and CR
+//! apply exactly the same machinery to component performance metrics and operator
+//! record counts.
+
+use crate::dist::{normal_cdf, normal_pdf};
+use crate::summary::Summary;
+use crate::{ensure_finite, Result, StatsError};
+
+/// Bandwidth-selection strategy for the Gaussian kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb: `0.9 * min(sd, IQR/1.34) * n^(-1/5)`.
+    ///
+    /// This is the default; it is robust for the small (few tens of samples)
+    /// unimodal samples the diagnosis workflow works with.
+    Silverman,
+    /// Scott's rule: `1.06 * sd * n^(-1/5)`.
+    Scott,
+    /// A fixed, caller-supplied bandwidth (must be positive).
+    Fixed(f64),
+}
+
+impl Default for Bandwidth {
+    fn default() -> Self {
+        Bandwidth::Silverman
+    }
+}
+
+/// A one-dimensional Gaussian kernel density estimate.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+/// Minimum bandwidth used when the sample is (nearly) degenerate.
+///
+/// Production monitoring data is frequently quantised (e.g. an idle metric that is
+/// exactly 0 for every satisfactory run); a zero bandwidth would turn the CDF into a
+/// step function and make every later observation maximally anomalous. The floor is
+/// relative to the sample magnitude so the score stays well-behaved.
+fn bandwidth_floor(samples: &[f64]) -> f64 {
+    let scale = samples.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+    (scale * 1e-3).max(1e-9)
+}
+
+impl Kde {
+    /// Fits a KDE with the default (Silverman) bandwidth.
+    ///
+    /// # Errors
+    /// Returns an error if the sample is empty or contains non-finite values.
+    pub fn fit(samples: &[f64]) -> Result<Self> {
+        Self::fit_with(samples, Bandwidth::Silverman)
+    }
+
+    /// Fits a KDE with an explicit bandwidth strategy.
+    ///
+    /// # Errors
+    /// Returns an error if the sample is empty, contains non-finite values, or a
+    /// non-positive fixed bandwidth is supplied.
+    pub fn fit_with(samples: &[f64], bandwidth: Bandwidth) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        ensure_finite(samples)?;
+        let h = match bandwidth {
+            Bandwidth::Fixed(h) => {
+                if h <= 0.0 || !h.is_finite() {
+                    return Err(StatsError::InvalidParameter("bandwidth must be positive"));
+                }
+                h
+            }
+            Bandwidth::Silverman => silverman_bandwidth(samples),
+            Bandwidth::Scott => scott_bandwidth(samples),
+        };
+        let h = h.max(bandwidth_floor(samples));
+        Ok(Kde { samples: samples.to_vec(), bandwidth: h })
+    }
+
+    /// The bandwidth actually used by this estimate.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of observations the estimate is built from.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the estimate is built from an empty sample (never true for a
+    /// successfully constructed [`Kde`]).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The underlying sample.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Estimated probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        self.samples.iter().map(|&s| normal_pdf(x, s, self.bandwidth)).sum::<f64>() / n
+    }
+
+    /// Estimated cumulative distribution `P(S <= x)`.
+    ///
+    /// For a Gaussian kernel this has the closed form
+    /// `(1/n) Σ Φ((x − s_i) / h)`, so no numerical integration is needed.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        let c = self.samples.iter().map(|&s| normal_cdf(x, s, self.bandwidth)).sum::<f64>() / n;
+        c.clamp(0.0, 1.0)
+    }
+
+    /// The DIADS anomaly score of an observation `u`: `prob(S <= u)`.
+    ///
+    /// Values close to 1 mean `u` is significantly above the satisfactory range of the
+    /// variable; the paper flags scores above 0.8.
+    pub fn anomaly_score(&self, u: f64) -> f64 {
+        self.cdf(u)
+    }
+
+    /// Anomaly score of a *set* of observations, scored by their mean.
+    ///
+    /// The workflow frequently has several unsatisfactory runs; the paper scores the
+    /// observed value of each unsatisfactory run and DIADS aggregates them. Scoring the
+    /// mean observation is robust when only a handful of unsatisfactory runs exist.
+    ///
+    /// # Errors
+    /// Returns an error if `observations` is empty or non-finite.
+    pub fn anomaly_score_mean(&self, observations: &[f64]) -> Result<f64> {
+        if observations.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        ensure_finite(observations)?;
+        let m = observations.iter().sum::<f64>() / observations.len() as f64;
+        Ok(self.anomaly_score(m))
+    }
+
+    /// Two-sided "unusualness" score: `2 * |prob(S <= u) - 0.5|`.
+    ///
+    /// Useful for metrics where a drop is as suspicious as a rise (e.g. cache hit
+    /// ratios); 0 means perfectly typical, 1 means extreme in either direction.
+    pub fn two_sided_score(&self, u: f64) -> f64 {
+        (2.0 * (self.cdf(u) - 0.5)).abs()
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth.
+///
+/// Uses the robust spread `min(sd, IQR / 1.34)`; falls back to the non-zero one when
+/// either is zero, and to a relative floor when the sample is degenerate.
+pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
+    let n = samples.len() as f64;
+    let sd = Summary::from_sample(samples)
+        .ok()
+        .and_then(|s| s.std_dev())
+        .unwrap_or(0.0);
+    let iqr = crate::summary::iqr(samples).unwrap_or(0.0) / 1.34;
+    let spread = match (sd > 0.0, iqr > 0.0) {
+        (true, true) => sd.min(iqr),
+        (true, false) => sd,
+        (false, true) => iqr,
+        (false, false) => 0.0,
+    };
+    if spread <= 0.0 {
+        bandwidth_floor(samples)
+    } else {
+        0.9 * spread * n.powf(-0.2)
+    }
+}
+
+/// Scott's rule bandwidth: `1.06 * sd * n^(-1/5)`.
+pub fn scott_bandwidth(samples: &[f64]) -> f64 {
+    let n = samples.len() as f64;
+    let sd = Summary::from_sample(samples)
+        .ok()
+        .and_then(|s| s.std_dev())
+        .unwrap_or(0.0);
+    if sd <= 0.0 {
+        bandwidth_floor(samples)
+    } else {
+        1.06 * sd * n.powf(-0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_normal_like() -> Vec<f64> {
+        // A deterministic, roughly bell-shaped sample centred on 100.
+        vec![
+            92.0, 95.0, 96.5, 98.0, 99.0, 99.5, 100.0, 100.2, 100.8, 101.5, 102.0, 103.0, 104.5,
+            106.0, 108.0,
+        ]
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(Kde::fit(&[]).is_err());
+        assert!(Kde::fit(&[1.0, f64::NAN]).is_err());
+        assert!(Kde::fit_with(&[1.0, 2.0], Bandwidth::Fixed(0.0)).is_err());
+        assert!(Kde::fit_with(&[1.0, 2.0], Bandwidth::Fixed(-1.0)).is_err());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = 80.0 + i as f64 * 0.25;
+            let c = kde.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c + 1e-12 >= prev, "cdf must be non-decreasing");
+            prev = c;
+        }
+        assert!(kde.cdf(50.0) < 0.01);
+        assert!(kde.cdf(150.0) > 0.99);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        // Trapezoidal integration over a wide range.
+        let (lo, hi, steps) = (60.0, 140.0, 4000);
+        let dx = (hi - lo) / steps as f64;
+        let mut area = 0.0;
+        for i in 0..steps {
+            let x0 = lo + i as f64 * dx;
+            area += 0.5 * (kde.pdf(x0) + kde.pdf(x0 + dx)) * dx;
+        }
+        assert!((area - 1.0).abs() < 0.01, "area = {area}");
+    }
+
+    #[test]
+    fn anomaly_score_flags_large_observations() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        // A value far above the satisfactory range must be ≈ 1.
+        assert!(kde.anomaly_score(160.0) > 0.95);
+        // A typical value must be mid-range.
+        let mid = kde.anomaly_score(100.0);
+        assert!(mid > 0.3 && mid < 0.7, "mid = {mid}");
+        // A value far below must be ≈ 0.
+        assert!(kde.anomaly_score(40.0) < 0.05);
+    }
+
+    #[test]
+    fn anomaly_score_mean_aggregates() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        let score = kde.anomaly_score_mean(&[150.0, 155.0, 160.0]).unwrap();
+        assert!(score > 0.95);
+        assert!(kde.anomaly_score_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn two_sided_score_detects_drops() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        assert!(kde.two_sided_score(40.0) > 0.9);
+        assert!(kde.two_sided_score(160.0) > 0.9);
+        assert!(kde.two_sided_score(100.0) < 0.4);
+    }
+
+    #[test]
+    fn degenerate_sample_does_not_panic() {
+        // All-equal sample: bandwidth floor keeps the CDF smooth enough to score.
+        let kde = Kde::fit(&[5.0; 20]).unwrap();
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.anomaly_score(5.0) > 0.4 && kde.anomaly_score(5.0) < 0.6);
+        assert!(kde.anomaly_score(500.0) > 0.99);
+        // All-zero sample (idle metric).
+        let kde = Kde::fit(&[0.0; 10]).unwrap();
+        assert!(kde.anomaly_score(1.0) > 0.99);
+        assert!(kde.anomaly_score(0.0) < 0.6);
+    }
+
+    #[test]
+    fn bandwidth_rules_are_positive_and_ordered() {
+        let s = sample_normal_like();
+        let h_silverman = silverman_bandwidth(&s);
+        let h_scott = scott_bandwidth(&s);
+        assert!(h_silverman > 0.0 && h_scott > 0.0);
+        // Scott uses sd with a larger constant; Silverman uses min(sd, iqr/1.34) * 0.9.
+        assert!(h_scott >= h_silverman);
+    }
+
+    #[test]
+    fn fixed_bandwidth_is_respected() {
+        let kde = Kde::fit_with(&sample_normal_like(), Bandwidth::Fixed(2.5)).unwrap();
+        assert!((kde.bandwidth() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_samples_sharpen_the_estimate() {
+        // With more satisfactory samples tightly clustered, a moderately high value
+        // becomes more clearly anomalous.
+        let tight: Vec<f64> = (0..50).map(|i| 100.0 + (i % 5) as f64 * 0.5).collect();
+        let loose: Vec<f64> = (0..5).map(|i| 100.0 + i as f64 * 0.5).collect();
+        let k_tight = Kde::fit(&tight).unwrap();
+        let k_loose = Kde::fit(&loose).unwrap();
+        assert!(k_tight.anomaly_score(106.0) >= k_loose.anomaly_score(106.0) - 1e-9);
+    }
+}

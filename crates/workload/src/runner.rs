@@ -1,0 +1,86 @@
+//! The periodic report-generation schedule.
+//!
+//! The paper's motivating setting is a query "executed multiple times (e.g., in a
+//! periodic report-generation setting)": the same report runs every couple of hours,
+//! some runs are satisfactory, later ones are not, and DIADS diagnoses the difference.
+//! This module produces those run start times and bundles a query with its cadence.
+
+use diads_db::Plan;
+use diads_monitor::{Duration, Timestamp};
+
+use crate::queries::ReportQuery;
+
+/// Start times of `count` periodic runs beginning at `start`, one every `interval`.
+pub fn periodic_schedule(start: Timestamp, interval: Duration, count: usize) -> Vec<Timestamp> {
+    (0..count).map(|i| start.plus(interval.scale(i as f64))).collect()
+}
+
+/// A report query plus the cadence it is executed on.
+#[derive(Debug, Clone)]
+pub struct ReportWorkload {
+    /// The query and its candidate plans.
+    pub query: ReportQuery,
+    /// Time of the first run.
+    pub first_run: Timestamp,
+    /// Interval between consecutive runs.
+    pub interval: Duration,
+    /// Total number of runs.
+    pub runs: usize,
+}
+
+impl ReportWorkload {
+    /// Creates a workload description.
+    pub fn new(query: ReportQuery, first_run: Timestamp, interval: Duration, runs: usize) -> Self {
+        ReportWorkload { query, first_run, interval, runs }
+    }
+
+    /// The start times of every run.
+    pub fn schedule(&self) -> Vec<Timestamp> {
+        periodic_schedule(self.first_run, self.interval, self.runs)
+    }
+
+    /// The time of the last scheduled run.
+    pub fn last_run(&self) -> Timestamp {
+        self.schedule().last().copied().unwrap_or(self.first_run)
+    }
+
+    /// The candidate plans of the query.
+    pub fn candidates(&self) -> &[Plan] {
+        &self.query.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::q2_plan_candidates;
+    use crate::tpch::{tpch_catalog, TpchLayout};
+
+    #[test]
+    fn schedule_is_evenly_spaced() {
+        let s = periodic_schedule(Timestamp::new(100), Duration::from_hours(2), 4);
+        assert_eq!(
+            s.iter().map(|t| t.as_secs()).collect::<Vec<_>>(),
+            vec![100, 100 + 7200, 100 + 14_400, 100 + 21_600]
+        );
+        assert!(periodic_schedule(Timestamp::new(0), Duration::from_mins(1), 0).is_empty());
+    }
+
+    #[test]
+    fn workload_bundles_query_and_cadence() {
+        let catalog = tpch_catalog(1.0, &TpchLayout::paper_default());
+        let query = ReportQuery { name: "TPC-H Q2".into(), candidates: q2_plan_candidates(&catalog) };
+        let w = ReportWorkload::new(query, Timestamp::new(3_600), Duration::from_hours(2), 10);
+        assert_eq!(w.schedule().len(), 10);
+        assert_eq!(w.last_run(), Timestamp::new(3_600 + 9 * 7_200));
+        assert_eq!(w.candidates().len(), 3);
+    }
+
+    #[test]
+    fn empty_workload_last_run_is_first_run() {
+        let catalog = tpch_catalog(1.0, &TpchLayout::paper_default());
+        let query = ReportQuery { name: "TPC-H Q2".into(), candidates: q2_plan_candidates(&catalog) };
+        let w = ReportWorkload::new(query, Timestamp::new(50), Duration::from_hours(1), 0);
+        assert_eq!(w.last_run(), Timestamp::new(50));
+    }
+}

@@ -1,0 +1,167 @@
+//! The TPC-H-like schema and its layout over the SAN volumes of the Figure-1 testbed.
+//!
+//! The paper's testbed stores the TPC-H tables in two Ext3 file-system volumes V1 and
+//! V2. Figure 1 shows that the two leaf operators reading V1 are the two partsupp
+//! scans while the remaining seven leaves read V2, so the reproduction's default layout
+//! places `partsupp` on V1 and every other table on V2.
+
+use diads_db::{Catalog, Index, StorageKind, Table, Tablespace};
+
+/// How the TPC-H tables are laid out over tablespaces and SAN volumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpchLayout {
+    /// Volume backing the `partsupp` tablespace.
+    pub partsupp_volume: String,
+    /// Volume backing every other table's tablespace.
+    pub default_volume: String,
+    /// SMS or DMS binding for both tablespaces.
+    pub storage: StorageKind,
+}
+
+impl TpchLayout {
+    /// The paper's layout: partsupp on V1, everything else on V2, SMS (Ext3 file systems).
+    pub fn paper_default() -> Self {
+        TpchLayout {
+            partsupp_volume: "V1".to_string(),
+            default_volume: "V2".to_string(),
+            storage: StorageKind::SystemManaged,
+        }
+    }
+}
+
+/// Base row counts at scale factor 1.0, `(table, rows, avg_row_bytes, selectivity, clustering)`.
+///
+/// The selectivity column is the fraction of the table a "typical" report predicate
+/// keeps (used when plan builders set leaf selectivities); clustering describes how
+/// well indexes correlate with physical order.
+const BASE_TABLES: &[(&str, u64, u32, f64, f64)] = &[
+    ("region", 5, 124, 0.2, 1.0),
+    ("nation", 25, 128, 1.0, 1.0),
+    ("supplier", 10_000, 159, 1.0, 0.9),
+    ("customer", 150_000, 179, 0.2, 0.9),
+    ("part", 200_000, 155, 0.01, 0.9),
+    ("partsupp", 800_000, 144, 1.0, 0.6),
+    ("orders", 1_500_000, 121, 0.3, 0.95),
+    ("lineitem", 6_000_000, 129, 0.98, 0.95),
+];
+
+/// Builds the TPC-H catalog at the given scale factor with the given volume layout.
+///
+/// Scale factors below 0.01 are clamped up so every table keeps at least a handful of
+/// rows. The fixed-size tables (`region`, `nation`) do not scale, as in TPC-H.
+pub fn tpch_catalog(scale_factor: f64, layout: &TpchLayout) -> Catalog {
+    let sf = scale_factor.max(0.01);
+    let mut catalog = Catalog::new();
+    catalog
+        .add_tablespace(Tablespace {
+            name: "ts_partsupp".into(),
+            volume: layout.partsupp_volume.clone(),
+            storage: layout.storage,
+        })
+        .expect("fresh catalog");
+    catalog
+        .add_tablespace(Tablespace {
+            name: "ts_main".into(),
+            volume: layout.default_volume.clone(),
+            storage: layout.storage,
+        })
+        .expect("fresh catalog");
+
+    for &(name, rows, width, selectivity, clustering) in BASE_TABLES {
+        let scaled_rows = if name == "region" || name == "nation" {
+            rows
+        } else {
+            ((rows as f64) * sf).round() as u64
+        };
+        let tablespace = if name == "partsupp" { "ts_partsupp" } else { "ts_main" };
+        catalog
+            .add_table(Table {
+                name: name.into(),
+                tablespace: tablespace.into(),
+                row_count: scaled_rows.max(1),
+                avg_row_bytes: width,
+                predicate_selectivity: selectivity,
+                clustering,
+            })
+            .expect("unique table names");
+    }
+
+    for (index, table, column, unique) in [
+        ("part_pkey", "part", "p_partkey", true),
+        ("part_type_size_idx", "part", "(p_type, p_size)", false),
+        ("supplier_pkey", "supplier", "s_suppkey", true),
+        ("partsupp_pkey", "partsupp", "(ps_partkey, ps_suppkey)", true),
+        ("partsupp_partkey_idx", "partsupp", "ps_partkey", false),
+        ("customer_pkey", "customer", "c_custkey", true),
+        ("orders_pkey", "orders", "o_orderkey", true),
+        ("orders_custkey_idx", "orders", "o_custkey", false),
+        ("lineitem_orderkey_idx", "lineitem", "l_orderkey", false),
+        ("nation_pkey", "nation", "n_nationkey", true),
+        ("region_pkey", "region", "r_regionkey", true),
+    ] {
+        catalog
+            .add_index(Index { name: index.into(), table: table.into(), column: column.into(), unique })
+            .expect("unique index names");
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_splits_partsupp_from_the_rest() {
+        let cat = tpch_catalog(1.0, &TpchLayout::paper_default());
+        assert_eq!(cat.volume_of_table("partsupp").unwrap(), "V1");
+        for t in ["part", "supplier", "nation", "region", "customer", "orders", "lineitem"] {
+            assert_eq!(cat.volume_of_table(t).unwrap(), "V2", "{t}");
+        }
+        assert_eq!(cat.tables_on_volume("V1"), vec!["partsupp"]);
+        assert_eq!(cat.tables_on_volume("V2").len(), 7);
+    }
+
+    #[test]
+    fn scale_factor_scales_variable_tables_only() {
+        let sf1 = tpch_catalog(1.0, &TpchLayout::paper_default());
+        let sf10 = tpch_catalog(10.0, &TpchLayout::paper_default());
+        assert_eq!(sf1.table("nation").unwrap().row_count, 25);
+        assert_eq!(sf10.table("nation").unwrap().row_count, 25);
+        assert_eq!(sf1.table("region").unwrap().row_count, 5);
+        assert_eq!(sf10.table("partsupp").unwrap().row_count, 8_000_000);
+        assert_eq!(sf10.table("lineitem").unwrap().row_count, 60_000_000);
+        assert_eq!(sf1.table("part").unwrap().row_count, 200_000);
+    }
+
+    #[test]
+    fn tiny_scale_factor_keeps_rows_positive() {
+        let cat = tpch_catalog(0.0, &TpchLayout::paper_default());
+        for name in cat.table_names() {
+            assert!(cat.table(&name).unwrap().row_count >= 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn expected_indexes_exist() {
+        let cat = tpch_catalog(1.0, &TpchLayout::paper_default());
+        for idx in ["part_pkey", "part_type_size_idx", "supplier_pkey", "partsupp_pkey", "nation_pkey"] {
+            assert!(cat.index(idx).is_some(), "{idx}");
+        }
+        assert!(cat.has_index_on("part"));
+        assert!(cat.has_index_on("partsupp"));
+        assert_eq!(cat.index_names().len(), 11);
+    }
+
+    #[test]
+    fn custom_layout_is_respected() {
+        let layout = TpchLayout {
+            partsupp_volume: "VOL-A".into(),
+            default_volume: "VOL-B".into(),
+            storage: StorageKind::DatabaseManaged,
+        };
+        let cat = tpch_catalog(1.0, &layout);
+        assert_eq!(cat.volume_of_table("partsupp").unwrap(), "VOL-A");
+        assert_eq!(cat.volume_of_table("orders").unwrap(), "VOL-B");
+        assert_eq!(cat.tablespace("ts_partsupp").unwrap().storage, StorageKind::DatabaseManaged);
+    }
+}

@@ -1,0 +1,38 @@
+//! Quick start: simulate the paper's scenario 1 (a SAN misconfiguration that creates
+//! contention on volume V1) and let DIADS diagnose why the report query slowed down.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use diads::core::Testbed;
+use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
+
+fn main() {
+    // 1. Build the paper's testbed and run the fault-injection scenario: 12 satisfactory
+    //    report runs, the misconfiguration, then 6 unsatisfactory runs — all monitored.
+    let scenario = scenario_1(ScenarioTimeline::short());
+    println!("Simulating: {}\n", scenario.name);
+    let outcome = Testbed::run_scenario(&scenario);
+    println!(
+        "Collected {} runs ({} satisfactory / {} unsatisfactory), {} metric series, {} events.",
+        outcome.history.len(),
+        outcome.history.satisfactory().len(),
+        outcome.history.unsatisfactory().len(),
+        outcome.testbed.store.series_count(),
+        outcome.testbed.all_events().len(),
+    );
+    println!(
+        "Mean running time went from {:.0}s to {:.0}s.\n",
+        outcome.history.mean_satisfactory_elapsed().unwrap_or(0.0),
+        outcome.history.mean_unsatisfactory_elapsed().unwrap_or(0.0),
+    );
+
+    // 2. Diagnose: build the APG, run the workflow, print the report.
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    println!("{}", report.render());
+
+    let primary = report.primary_cause().expect("at least one cause is scored");
+    println!(
+        "\n==> Primary root cause: {} ({} confidence, {:.1}% of the slowdown)",
+        primary.cause_id, primary.confidence, primary.impact_pct
+    );
+}

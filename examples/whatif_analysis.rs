@@ -1,0 +1,52 @@
+//! The Section-7 what-if extension: after DIADS has diagnosed scenario 1, evaluate the
+//! remediation options an administrator might consider — remove the interfering
+//! workload, migrate the hot tablespace to the other pool, or shrink `work_mem` — and
+//! predict their effect on the report query before touching the real systems.
+//!
+//! Run with `cargo run --release --example whatif_analysis`.
+
+use diads::core::whatif::{evaluate, ProposedChange};
+use diads::core::Testbed;
+use diads::db::DbConfig;
+use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
+use diads::monitor::Timestamp;
+
+fn main() {
+    let scenario = scenario_1(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    println!(
+        "Diagnosis: {} ({:.1}% of the slowdown)\n",
+        report.primary_cause().map(|c| c.cause_id.clone()).unwrap_or_default(),
+        report.primary_cause().map(|c| c.impact_pct).unwrap_or(0.0)
+    );
+
+    let at = Timestamp::new(scenario.timeline.end_time().as_secs() - 3_600);
+    let interloper = outcome.testbed.san.workloads()[0].name.clone();
+    let changes = vec![
+        ProposedChange::RemoveExternalWorkload { workload: interloper },
+        ProposedChange::MoveTablespace { tablespace: "ts_partsupp".into(), to_volume: "V2".into() },
+        ProposedChange::ChangeConfig {
+            new_config: DbConfig::paper_default().with_work_mem_kb(512),
+            description: "shrink work_mem to 512kB".into(),
+        },
+        ProposedChange::DropIndex { index: "part_type_size_idx".into() },
+    ];
+
+    println!("{:<55} {:>12} {:>12} {:>12}", "Proposed change", "baseline", "predicted", "improvement");
+    for change in &changes {
+        match evaluate(&outcome.testbed, change, at) {
+            Ok(result) => println!(
+                "{:<55} {:>10.0}s {:>10.0}s {:>11.1}%",
+                result.change,
+                result.baseline_secs,
+                result.predicted_secs,
+                result.improvement() * 100.0
+            ),
+            Err(e) => println!("{change:?}: evaluation failed: {e}"),
+        }
+    }
+    println!("\nThe impact-analysis machinery predicts that removing the interloper (or moving the");
+    println!("partsupp tablespace off the contended pool) recovers the slowdown, while the");
+    println!("database-side knobs the silo tools would suggest change little.");
+}

@@ -1,0 +1,61 @@
+//! # diads
+//!
+//! An open-source reproduction of **DIADS**, the integrated database + SAN
+//! query-slowdown diagnosis tool of *"Why Did My Query Slow Down?"* (Borisov, Babu,
+//! Uttamchandani, Routray, Singh — CIDR 2009).
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! * [`stats`] — KDE anomaly scoring, correlation, baseline detectors;
+//! * [`monitor`] — component identities, the Figure-4 metric catalog, time-series and
+//!   event stores, the noisy interval collector;
+//! * [`san`] — the SAN simulator (topology, zoning, RAID, external workloads,
+//!   queueing-based performance model);
+//! * [`db`] — the PostgreSQL-flavoured database simulator (catalog, plans, cost model,
+//!   optimizer, buffer cache, locks, executor);
+//! * [`workload`] — the TPC-H-like schema and the Figure-1 Q2 plan;
+//! * [`inject`] — the fault injector and the Table-1 evaluation scenarios;
+//! * [`core`] — Annotated Plan Graphs, the diagnosis workflow (PD, CO, DA, CR, SD, IA),
+//!   the symptoms database, impact analysis, the silo-tool baselines, the text screens
+//!   and the what-if extension.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use diads::core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+//! use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
+//!
+//! // Run the paper's scenario 1 (SAN misconfiguration causing contention on V1)
+//! // on a shortened timeline, then diagnose it.
+//! let scenario = scenario_1(ScenarioTimeline::short());
+//! let outcome = Testbed::run_scenario(&scenario);
+//! let report = diads::diagnose_scenario_outcome(&outcome);
+//! println!("{}", report.render());
+//! assert!(!report.causes.is_empty());
+//! ```
+
+pub use diads_core as core;
+pub use diads_db as db;
+pub use diads_inject as inject;
+pub use diads_monitor as monitor;
+pub use diads_san as san;
+pub use diads_stats as stats;
+pub use diads_workload as workload;
+
+/// Convenience: build the diagnosis context for a completed scenario run and execute
+/// the full batch workflow, returning the report.
+pub fn diagnose_scenario_outcome(outcome: &core::ScenarioOutcome) -> core::DiagnosisReport {
+    let apg = outcome.apg();
+    let events = outcome.testbed.all_events();
+    let ctx = core::DiagnosisContext {
+        apg: &apg,
+        history: &outcome.history,
+        store: &outcome.testbed.store,
+        events: &events,
+        catalog: &outcome.testbed.catalog,
+        config: &outcome.testbed.config,
+        topology: outcome.testbed.san.topology(),
+        workloads: outcome.testbed.san.workloads(),
+    };
+    core::DiagnosisWorkflow::new().run(&ctx)
+}

@@ -1,0 +1,116 @@
+//! Integration tests for APG construction and annotation over a full scenario run
+//! (Figure 1's structure on live monitoring data), plus monitoring-coverage checks
+//! against the Figure-4 catalog.
+
+use diads::core::Testbed;
+use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
+use diads::monitor::catalog::metrics_for_component;
+use diads::monitor::{ComponentId, ComponentKind, MetricName};
+
+#[test]
+fn apg_for_figure1_plan_has_the_paper_structure() {
+    let testbed = Testbed::paper_default(1.0);
+    let plan = testbed.query.candidates[0].clone();
+    let apg = testbed.build_apg(&plan);
+
+    // 25 operators, 9 leaves, 2 on V1, 7 on V2.
+    assert_eq!(apg.plan.operator_count(), 25);
+    assert_eq!(apg.plan.leaves().len(), 9);
+    assert_eq!(apg.leaves_on_volume("V1").len(), 2);
+    assert_eq!(apg.leaves_on_volume("V2").len(), 7);
+
+    // The inner path of a V2 leaf contains exactly the Figure-1 chain.
+    let part_leaf = apg.leaves_on_volume("V2")[0];
+    let kinds: Vec<ComponentKind> = apg.inner_path(part_leaf).iter().map(|c| c.kind).collect();
+    for expected in [
+        ComponentKind::Server,
+        ComponentKind::Hba,
+        ComponentKind::FcSwitch,
+        ComponentKind::StorageSubsystem,
+        ComponentKind::StoragePool,
+        ComponentKind::StorageVolume,
+        ComponentKind::Disk,
+        ComponentKind::DatabaseInstance,
+        ComponentKind::Tablespace,
+    ] {
+        assert!(kinds.contains(&expected), "missing {expected:?}");
+    }
+}
+
+#[test]
+fn annotations_slice_monitoring_data_to_the_operator_window() {
+    let scenario = scenario_1(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let apg = outcome.apg();
+    let run = &outcome.history.unsatisfactory()[0].record;
+    let o8 = diads::db::OperatorId(8);
+    let annotation = apg.annotate(&outcome.testbed.store, run, o8);
+    assert!(!annotation.is_empty());
+    // The annotation covers V1's storage metrics during the operator's window.
+    assert!(annotation
+        .iter()
+        .any(|(c, m, values)| c == &ComponentId::volume("V1") && *m == MetricName::ReadIo && !values.is_empty()));
+    // Unknown operators annotate to nothing.
+    assert!(apg.annotate(&outcome.testbed.store, run, diads::db::OperatorId(99)).is_empty());
+}
+
+#[test]
+fn every_figure4_metric_class_is_collected_on_the_default_testbed() {
+    let scenario = scenario_1(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let store = &outcome.testbed.store;
+
+    // For each monitored component kind that exists in the testbed, at least half of
+    // its catalog metrics have been recorded (the executor/SAN engine do not emit every
+    // single counter, but the coverage must be broad).
+    let expectations = [
+        (ComponentKind::StorageVolume, 0.8),
+        (ComponentKind::StoragePool, 0.5),
+        (ComponentKind::Disk, 0.5),
+        (ComponentKind::FcSwitch, 0.5),
+        (ComponentKind::PlanOperator, 1.0),
+        (ComponentKind::DatabaseInstance, 0.6),
+    ];
+    for (kind, min_fraction) in expectations {
+        let components = store.components_of_kind(kind);
+        assert!(!components.is_empty(), "no {kind:?} components recorded");
+        let component = &components[0];
+        let expected = metrics_for_component(kind);
+        let recorded = store.metrics_of(component);
+        let covered = expected.iter().filter(|m| recorded.contains(m)).count();
+        let fraction = covered as f64 / expected.len() as f64;
+        assert!(
+            fraction >= min_fraction,
+            "{kind:?}: only {covered}/{} catalog metrics recorded for {component}",
+            expected.len()
+        );
+    }
+}
+
+#[test]
+fn configuration_events_of_the_misconfiguration_are_on_the_timeline() {
+    let scenario = scenario_1(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let events = outcome.testbed.all_events();
+    let labels: Vec<String> = events.all().iter().map(|e| e.kind.label()).collect();
+    assert!(labels.contains(&"volume-created".to_string()));
+    assert!(labels.contains(&"zoning-changed".to_string()));
+    assert!(labels.contains(&"lun-mapping-changed".to_string()));
+    // All of them land before the first unsatisfactory run.
+    let first_unsat = outcome.history.first_unsatisfactory_start().unwrap();
+    assert!(events.all().iter().all(|e| e.time <= first_unsat));
+}
+
+#[test]
+fn apg_render_is_a_usable_figure1_substitute() {
+    let testbed = Testbed::paper_default(1.0);
+    let apg = testbed.build_apg(&testbed.query.candidates[0]);
+    let text = apg.render();
+    // The rendering names every operator and the full storage path of the V1 leaves.
+    for op in 1..=25 {
+        assert!(text.contains(&format!("O{op} ")), "missing O{op}");
+    }
+    assert!(text.contains("pool:P1"));
+    assert!(text.contains("pool:P2"));
+    assert!(text.contains("disk:ds-10"));
+}

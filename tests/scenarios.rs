@@ -1,0 +1,153 @@
+//! End-to-end integration tests: every Table-1 scenario is simulated, monitored and
+//! diagnosed, and DIADS's verdict is checked against the scenario's expected outcome.
+
+use diads::core::{ConfidenceLevel, Testbed};
+use diads::inject::scenarios::{
+    cause_ids, config_change_scenario, index_drop_scenario, scenario_1, scenario_1b, scenario_2,
+    scenario_3, scenario_4, scenario_5, Scenario, ScenarioTimeline,
+};
+
+fn diagnose(scenario: &Scenario) -> (diads::core::ScenarioOutcome, diads::core::DiagnosisReport) {
+    let outcome = Testbed::run_scenario(scenario);
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    (outcome, report)
+}
+
+/// The generic scenario check: the expected primary causes are high-confidence and carry
+/// the highest impacts among high-confidence causes; the rejected causes are not
+/// actionable (not simultaneously high-confidence and high-impact).
+fn check_expectations(scenario: &Scenario, report: &diads::core::DiagnosisReport) {
+    for expected in &scenario.expected.primary_causes {
+        let cause = report
+            .causes
+            .iter()
+            .find(|c| &c.cause_id == expected)
+            .unwrap_or_else(|| panic!("{}: cause {} missing from report", scenario.id, expected));
+        assert_eq!(
+            cause.confidence,
+            ConfidenceLevel::High,
+            "{}: expected {} to be high confidence, got {} ({:.1})\n{}",
+            scenario.id,
+            expected,
+            cause.confidence,
+            cause.confidence_score,
+            report.render()
+        );
+        assert!(
+            cause.impact_pct >= 25.0,
+            "{}: expected {} to carry substantial impact, got {:.1}%\n{}",
+            scenario.id,
+            expected,
+            cause.impact_pct,
+            report.render()
+        );
+    }
+    for rejected in &scenario.expected.rejected_causes {
+        if let Some(cause) = report.causes.iter().find(|c| &c.cause_id == rejected) {
+            assert!(
+                !(cause.confidence == ConfidenceLevel::High && cause.impact_pct >= 50.0),
+                "{}: cause {} should have been rejected but is high confidence with {:.1}% impact\n{}",
+                scenario.id,
+                rejected,
+                cause.impact_pct,
+                report.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_1_san_misconfiguration_is_diagnosed() {
+    let scenario = scenario_1(ScenarioTimeline::short());
+    let (outcome, report) = diagnose(&scenario);
+    // The injected problem really produced a slowdown worth diagnosing.
+    assert!(outcome.history.relative_slowdown().unwrap() > 0.3);
+    // PD/CR: no plan change, and the primary cause is the SAN misconfiguration.
+    assert!(!report.plan_changed);
+    check_expectations(&scenario, &report);
+    let top = report.primary_cause().unwrap();
+    assert_eq!(top.cause_id, cause_ids::SAN_MISCONFIGURATION);
+    // §5: impact analysis attributes essentially the whole slowdown to V1's contention.
+    assert!(top.impact_pct > 70.0, "impact = {:.1}\n{}", top.impact_pct, report.render());
+    // CO: both V1 leaf operators (O8 and O22) are in the correlated set.
+    assert!(report.correlated_operators.contains(&"O8".to_string()));
+    assert!(report.correlated_operators.contains(&"O22".to_string()));
+    // DA: some storage component of pool P1 (V1 side) is correlated, and none of P2's
+    // disks are.
+    assert!(report
+        .correlated_components
+        .iter()
+        .any(|c| c.name == "V1" || c.name == "P1" || c.name.starts_with("ds-0")));
+}
+
+#[test]
+fn scenario_1b_bursty_v2_load_does_not_change_the_verdict() {
+    let scenario = scenario_1b(ScenarioTimeline::short());
+    let (_, report) = diagnose(&scenario);
+    check_expectations(&scenario, &report);
+    assert_eq!(report.primary_cause().unwrap().cause_id, cause_ids::SAN_MISCONFIGURATION);
+}
+
+#[test]
+fn scenario_2_only_v1_contention_matters() {
+    let scenario = scenario_2(ScenarioTimeline::short());
+    let (_, report) = diagnose(&scenario);
+    assert!(!report.plan_changed);
+    check_expectations(&scenario, &report);
+    assert_eq!(report.primary_cause().unwrap().cause_id, cause_ids::EXTERNAL_WORKLOAD_CONTENTION);
+}
+
+#[test]
+fn scenario_3_data_property_change_is_diagnosed() {
+    let scenario = scenario_3(ScenarioTimeline::short());
+    let (_, report) = diagnose(&scenario);
+    check_expectations(&scenario, &report);
+    // CR found record-count changes.
+    assert!(!report.record_count_changes.is_empty(), "{}", report.render());
+}
+
+#[test]
+fn scenario_4_concurrent_problems_are_both_found() {
+    let scenario = scenario_4(ScenarioTimeline::short());
+    let (_, report) = diagnose(&scenario);
+    check_expectations(&scenario, &report);
+    // Both causes are high confidence; IA gives each a meaningful share.
+    let misconfig = report.causes.iter().find(|c| c.cause_id == cause_ids::SAN_MISCONFIGURATION).unwrap();
+    let dml = report.causes.iter().find(|c| c.cause_id == cause_ids::DATA_PROPERTY_CHANGE).unwrap();
+    assert_eq!(misconfig.confidence, ConfidenceLevel::High);
+    assert_eq!(dml.confidence, ConfidenceLevel::High);
+    assert!(misconfig.impact_pct > 0.0 && dml.impact_pct > 0.0);
+}
+
+#[test]
+fn scenario_5_lock_contention_wins_over_noise() {
+    let scenario = scenario_5(ScenarioTimeline::short());
+    let (_, report) = diagnose(&scenario);
+    check_expectations(&scenario, &report);
+    assert_eq!(report.primary_cause().unwrap().cause_id, cause_ids::TABLE_LOCK_CONTENTION);
+    // Any volume-contention cause that slipped in has low impact (the paper's point).
+    for cause in &report.causes {
+        if cause.cause_id == cause_ids::EXTERNAL_WORKLOAD_CONTENTION
+            || cause.cause_id == cause_ids::SAN_MISCONFIGURATION
+        {
+            assert!(cause.impact_pct < 50.0, "{}\n{}", cause.impact_pct, report.render());
+        }
+    }
+}
+
+#[test]
+fn plan_change_scenarios_are_explained_by_module_pd() {
+    let idx = index_drop_scenario(ScenarioTimeline::short());
+    let (outcome, report) = diagnose(&idx);
+    assert!(report.plan_changed, "{}", report.render());
+    assert!(report.plan_change_causes.iter().any(|c| c.contains("part_type_size_idx")));
+    let top = report.causes.iter().find(|c| c.cause_id == cause_ids::INDEX_DROPPED).unwrap();
+    assert_eq!(top.confidence, ConfidenceLevel::High);
+    assert!(outcome.history.unsatisfactory_plan_fingerprints() != outcome.history.satisfactory_plan_fingerprints());
+
+    let cfg = config_change_scenario(ScenarioTimeline::short());
+    let (_, report) = diagnose(&cfg);
+    assert!(report.plan_changed);
+    let top = report.causes.iter().find(|c| c.cause_id == cause_ids::CONFIG_PARAMETER_CHANGE).unwrap();
+    assert_eq!(top.confidence, ConfidenceLevel::High);
+}
