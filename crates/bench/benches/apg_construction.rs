@@ -1,7 +1,8 @@
 //! Criterion benchmark: Annotated Plan Graph construction for the Figure-1 plan
 //! (Section 3.1's end-to-end mapping).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diads_bench::microbench::Criterion;
+use diads_bench::{criterion_group, criterion_main};
 use diads_core::Testbed;
 use std::hint::black_box;
 
@@ -10,9 +11,7 @@ fn bench_apg(c: &mut Criterion) {
     let plan = testbed.query.candidates[0].clone();
     let mut group = c.benchmark_group("apg");
     group.sample_size(30);
-    group.bench_function("build_figure1_apg", |b| {
-        b.iter(|| black_box(testbed.build_apg(black_box(&plan))))
-    });
+    group.bench_function("build_figure1_apg", |b| b.iter(|| black_box(testbed.build_apg(black_box(&plan)))));
     let apg = testbed.build_apg(&plan);
     group.bench_function("dependency_search_space", |b| {
         let ops: Vec<_> = apg.plan.operators().iter().map(|o| o.id).collect();

@@ -1,7 +1,8 @@
 //! Criterion benchmark: planning and executing the Figure-1 TPC-H Q2 plan on the
 //! simulated database + SAN (one report run).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diads_bench::microbench::Criterion;
+use diads_bench::{criterion_group, criterion_main};
 use diads_core::Testbed;
 use diads_db::Optimizer;
 use diads_monitor::Timestamp;

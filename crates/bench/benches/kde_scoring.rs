@@ -1,8 +1,10 @@
 //! Criterion benchmark: KDE fitting and anomaly scoring (the statistical core of
 //! modules CO, DA and CR).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use diads_stats::Kde;
+use diads_bench::hotpath;
+use diads_bench::microbench::{BenchmarkId, Criterion};
+use diads_bench::{criterion_group, criterion_main};
+use diads_stats::{Kde, ScoringCache};
 use std::hint::black_box;
 
 fn bench_kde(c: &mut Criterion) {
@@ -21,5 +23,27 @@ fn bench_kde(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kde);
+/// The refit-vs-cache comparison behind the zero-copy scoring engine (the same
+/// workload `bench_diads` tracks in `BENCH_diads.json` — defined once in
+/// `diads_bench::hotpath`).
+fn bench_repeated_scoring(c: &mut Criterion) {
+    let sample = hotpath::kde_sample();
+    let observations = hotpath::kde_observations();
+
+    let mut group = c.benchmark_group("kde_repeated");
+    group.sample_size(30);
+    group.bench_function("refit_per_score", |b| {
+        b.iter(|| black_box(hotpath::refit_per_score(black_box(&sample), &observations)))
+    });
+    group.bench_function("fit_once_score_many", |b| {
+        let mut cache: ScoringCache<u32> = ScoringCache::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            black_box(hotpath::cached_score_many(&mut cache, &mut out, &sample, black_box(&observations)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kde, bench_repeated_scoring);
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Criterion benchmark: the SAN performance engine (response-time evaluation and
 //! metric recording over the Figure-1 topology).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diads_bench::microbench::Criterion;
+use diads_bench::{criterion_group, criterion_main};
 use diads_monitor::noise::NoiseModel;
 use diads_monitor::{Duration, IntervalSampler, MetricStore, TimeRange, Timestamp};
 use diads_san::topology::paper_testbed;

@@ -1,0 +1,149 @@
+//! The canonical performance tracker: measures the scoring-engine hot paths and
+//! writes machine-readable results to `BENCH_diads.json` at the workspace root (or the
+//! path given as the first argument), so the perf trajectory is tracked PR over PR.
+//!
+//! Covered comparisons:
+//!
+//! * **KDE scoring throughput** — re-fitting per score (the pre-cache workflow
+//!   behaviour) vs. fitting once and batch-scoring with `score_many`.
+//! * **Module DA latency** — the component×metric scoring loop with per-call refits
+//!   vs. the shared `DiagnosisCache`, and (with the `parallel` feature on a
+//!   multi-core host) the scoped-thread-pool path.
+//! * **End-to-end diagnosis** — full scenario-1 batch diagnosis wall time, refit
+//!   baseline vs. the cached engine.
+//!
+//! Run with `cargo run --release -p diads-bench --bin bench_diads`.
+
+use diads_bench::hotpath;
+use diads_bench::microbench::{Criterion, Record};
+use diads_core::workflow::DiagnosisCache;
+use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
+use diads_stats::ScoringCache;
+use std::hint::black_box;
+
+fn median_of(records: &[Record], group: &str, bench: &str) -> f64 {
+    records.iter().find(|r| r.group == group && r.bench == bench).map(|r| r.median_ns).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_diads.json".to_string());
+    let mut c = Criterion::new();
+
+    // ----- KDE scoring: per-call refit vs. cache + score_many -----
+    // The workload is shared with the kde_scoring bench (diads_bench::hotpath) so the
+    // tracked JSON stays representative of what the bench suite measures.
+    let sample = hotpath::kde_sample();
+    let observations = hotpath::kde_observations();
+    {
+        let mut group = c.benchmark_group("kde");
+        group.sample_size(30);
+        group.bench_function("refit_per_score", |b| {
+            b.iter(|| black_box(hotpath::refit_per_score(black_box(&sample), &observations)))
+        });
+        group.bench_function("cached_score_many", |b| {
+            let mut cache: ScoringCache<u32> = ScoringCache::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                black_box(hotpath::cached_score_many(&mut cache, &mut out, &sample, black_box(&observations)))
+            })
+        });
+        group.finish();
+    }
+
+    // ----- Module DA and end-to-end diagnosis over scenario 1 -----
+    let outcome = Testbed::run_scenario(&scenario_1(ScenarioTimeline::short()));
+    let apg = outcome.apg();
+    let events = outcome.testbed.all_events();
+    let ctx = DiagnosisContext {
+        apg: &apg,
+        history: &outcome.history,
+        store: &outcome.testbed.store,
+        events: &events,
+        catalog: &outcome.testbed.catalog,
+        config: &outcome.testbed.config,
+        topology: outcome.testbed.san.topology(),
+        workloads: outcome.testbed.san.workloads(),
+    };
+    let workflow = DiagnosisWorkflow::new();
+    let cos = workflow.correlated_operators(&ctx);
+
+    {
+        let mut group = c.benchmark_group("da");
+        group.sample_size(20);
+        group.bench_function("refit_baseline", |b| {
+            b.iter(|| {
+                let mut cache = DiagnosisCache::disabled();
+                black_box(workflow.dependency_analysis_sequential(&ctx, &cos, &mut cache))
+            })
+        });
+        group.bench_function("cached", |b| {
+            let mut cache = DiagnosisCache::new();
+            b.iter(|| black_box(workflow.dependency_analysis_sequential(&ctx, &cos, &mut cache)))
+        });
+        #[cfg(feature = "parallel")]
+        group.bench_function("parallel", |b| {
+            b.iter(|| black_box(workflow.dependency_analysis_parallel(&ctx, &cos, 0)))
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("end_to_end");
+        group.sample_size(15);
+        group.bench_function("scenario1_refit_baseline", |b| {
+            b.iter(|| {
+                let mut cache = DiagnosisCache::disabled();
+                black_box(workflow.run_with_cache(black_box(&ctx), &mut cache))
+            })
+        });
+        group.bench_function("scenario1_diagnosis", |b| b.iter(|| black_box(workflow.run(black_box(&ctx)))));
+        group.bench_function("scenario1_diagnosis_warm", |b| {
+            // The interactive / what-if pattern: repeated diagnoses of one context
+            // share a cache, so every KDE fit after the first diagnosis is skipped.
+            let mut cache = DiagnosisCache::new();
+            b.iter(|| black_box(workflow.run_with_cache(black_box(&ctx), &mut cache)))
+        });
+        group.finish();
+    }
+
+    // ----- Assemble BENCH_diads.json -----
+    let r = c.records();
+    let kde_refit = median_of(r, "kde", "refit_per_score");
+    let kde_cached = median_of(r, "kde", "cached_score_many");
+    let da_refit = median_of(r, "da", "refit_baseline");
+    let da_cached = median_of(r, "da", "cached");
+    let e2e_refit = median_of(r, "end_to_end", "scenario1_refit_baseline");
+    let e2e = median_of(r, "end_to_end", "scenario1_diagnosis");
+    let e2e_warm = median_of(r, "end_to_end", "scenario1_diagnosis_warm");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallel_enabled = cfg!(feature = "parallel");
+    let da_parallel = if parallel_enabled { median_of(r, "da", "parallel") } else { f64::NAN };
+
+    let mut json = String::from("{\n  \"schema\": \"diads-bench-v1\",\n");
+    json.push_str(&format!(
+        "  \"environment\": {{\"threads\": {threads}, \"parallel_feature\": {parallel_enabled}, \"profile\": \"{}\"}},\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    ));
+    json.push_str(&format!(
+        "  \"kde_scoring\": {{\"observations\": {}, \"refit_per_score_ns\": {kde_refit:.1}, \"cached_score_many_ns\": {kde_cached:.1}, \"throughput_speedup\": {:.2}}},\n",
+        observations.len(),
+        kde_refit / kde_cached
+    ));
+    json.push_str(&format!(
+        "  \"dependency_analysis\": {{\"refit_baseline_ns\": {da_refit:.1}, \"cached_ns\": {da_cached:.1}, \"cached_speedup\": {:.2}, \"parallel_ns\": {}}},\n",
+        da_refit / da_cached,
+        if da_parallel.is_nan() { "null".to_string() } else { format!("{da_parallel:.1}") }
+    ));
+    json.push_str(&format!(
+        "  \"end_to_end\": {{\"scenario\": \"scenario-1 (short timeline)\", \"refit_baseline_ms\": {:.3}, \"cold_cache_ms\": {:.3}, \"warm_cache_ms\": {:.3}, \"warm_speedup\": {:.2}}}\n",
+        e2e_refit / 1e6,
+        e2e / 1e6,
+        e2e_warm / 1e6,
+        e2e_refit / e2e_warm
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_diads.json");
+    println!("\n--- {out_path} ---\n{json}");
+}

@@ -3,13 +3,12 @@
 //!
 //! Run with `cargo run --release -p diads-bench --bin figure2_workflow`.
 
-use diads_bench::harness::{run_and_diagnose, heading};
+use diads_bench::harness::{heading, run_and_diagnose};
 use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
 
 fn main() {
     heading("Figure 2: the DIADS diagnosis workflow");
     println!(
-        "{}",
         r#"  Admin identifies satisfactory / unsatisfactory runs of query Q
       |
       v

@@ -30,7 +30,8 @@ fn main() {
     println!("Total data points: {}", store.point_count());
     let mut recorded: Vec<_> = Vec::new();
     for (key, series) in store.iter() {
-        recorded.push((key.component.kind, key.metric.clone(), series.len()));
+        let (component, metric) = store.resolve(key);
+        recorded.push((component.kind, metric.clone(), series.len()));
     }
     let mut by_layer = std::collections::BTreeMap::new();
     for (kind, metric, _) in &recorded {
@@ -40,11 +41,8 @@ fn main() {
     layers.sort();
     layers.dedup();
     for layer in layers {
-        let metrics: Vec<String> = by_layer
-            .keys()
-            .filter(|(l, _)| *l == layer)
-            .map(|(_, m)| m.to_string())
-            .collect();
+        let metrics: Vec<String> =
+            by_layer.keys().filter(|(l, _)| *l == layer).map(|(_, m)| m.to_string()).collect();
         println!("\n{layer}: {} distinct metrics recorded ({})", metrics.len(), metrics.join(", "));
     }
 }

@@ -30,10 +30,16 @@ fn main() {
     println!("{}", query_selection_screen("TPC-H Q2", &outcome.history));
 
     heading("Figure 6: APG visualization screen (volume V1 selected)");
-    let window = outcome.history.unsatisfactory().first().map(|r| r.record.window()).unwrap_or_else(|| {
-        outcome.history.runs.last().expect("runs exist").record.window()
-    });
-    println!("{}", apg_visualization_screen(&apg, &outcome.testbed.store, &ComponentId::volume("V1"), window));
+    let window = outcome
+        .history
+        .unsatisfactory()
+        .first()
+        .map(|r| r.record.window())
+        .unwrap_or_else(|| outcome.history.runs.last().expect("runs exist").record.window());
+    println!(
+        "{}",
+        apg_visualization_screen(&apg, &outcome.testbed.store, &ComponentId::volume("V1"), window)
+    );
 
     heading("Figure 7: interactive workflow execution screen");
     let mut session = WorkflowSession::new(DiagnosisWorkflow::new(), ctx);

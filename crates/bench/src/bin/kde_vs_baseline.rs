@@ -12,25 +12,22 @@
 //! Run with `cargo run --release -p diads-bench --bin kde_vs_baseline`.
 
 use diads_bench::harness::heading;
+use diads_monitor::rng::SplitMix64;
 use diads_stats::bayes::RunLabel;
 use diads_stats::{AnomalyDetector, GaussianNaiveBayes, KdeDetector, PercentileDetector, ZScoreDetector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+fn normal(rng: &mut SplitMix64, mean: f64, sd: f64) -> f64 {
+    rng.next_normal(mean, sd)
 }
 
 /// One trial: accuracy of each detector at separating shifted from unshifted
 /// observations given `n` satisfactory samples and a noise-spike probability.
-fn trial(rng: &mut StdRng, n: usize, spike_prob: f64) -> (f64, f64, f64, f64) {
+fn trial(rng: &mut SplitMix64, n: usize, spike_prob: f64) -> (f64, f64, f64, f64) {
     let base = 100.0;
     let sd = 8.0;
-    let gen_sample = |rng: &mut StdRng| {
+    let gen_sample = |rng: &mut SplitMix64| {
         let v = normal(rng, base, sd).max(0.0);
-        if rng.gen::<f64>() < spike_prob {
+        if rng.next_f64() < spike_prob {
             v * 4.0
         } else {
             v
@@ -82,7 +79,7 @@ fn sweep(label: &str, spike_prob: f64) {
         let mut sums = (0.0, 0.0, 0.0, 0.0);
         let reps = 20;
         for rep in 0..reps {
-            let mut rng = StdRng::seed_from_u64(1000 + rep as u64 * 7 + n as u64);
+            let mut rng = SplitMix64::new(1000 + rep as u64 * 7 + n as u64);
             let (a, b, c, d) = trial(&mut rng, n, spike_prob);
             sums = (sums.0 + a, sums.1 + b, sums.2 + c, sums.3 + d);
         }

@@ -54,21 +54,31 @@ fn main() {
 
     let da = workflow.dependency_analysis(&ctx, &cos);
     println!("\n[Module DA] correlated components (storage side):");
-    for c in da
-        .correlated_components
-        .iter()
-        .filter(|c| matches!(c.kind, ComponentKind::StorageVolume | ComponentKind::StoragePool | ComponentKind::Disk))
-    {
+    for c in da.correlated_components.iter().filter(|c| {
+        matches!(c.kind, ComponentKind::StorageVolume | ComponentKind::StoragePool | ComponentKind::Disk)
+    }) {
         println!("    {c}");
     }
 
     let cr = workflow.record_counts(&ctx, &cos);
-    println!("\n[Module CR] operators with record-count changes: {}", if cr.changed.is_empty() { "none (data properties unchanged)".to_string() } else { format!("{:?}", cr.changed) });
+    println!(
+        "\n[Module CR] operators with record-count changes: {}",
+        if cr.changed.is_empty() {
+            "none (data properties unchanged)".to_string()
+        } else {
+            format!("{:?}", cr.changed)
+        }
+    );
 
     let sd = workflow.symptoms(&ctx, &pd, &cos, &da, &cr);
     println!("\n[Module SD] root-cause confidence scores:");
     for cause in &sd.causes {
-        println!("    [{:<6}] {:>5.1}%  {}", cause.confidence.label(), cause.confidence_score, cause.cause_id);
+        println!(
+            "    [{:<6}] {:>5.1}%  {}",
+            cause.confidence.label(),
+            cause.confidence_score,
+            cause.cause_id
+        );
     }
 
     let ia = workflow.impact_analysis(&ctx, &cos, &da, &cr, &sd);

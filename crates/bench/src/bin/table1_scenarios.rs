@@ -11,7 +11,7 @@ use diads_inject::scenarios::{scenario_1, scenario_2, scenario_3, scenario_4, sc
 
 fn main() {
     let timeline = ScenarioTimeline::paper_default();
-    let scenarios = vec![
+    let scenarios = [
         scenario_1(timeline),
         scenario_2(timeline),
         scenario_3(timeline),
@@ -43,12 +43,14 @@ fn main() {
                 cause.cause_id
             );
         }
-        let expected_found = scenario
-            .expected
-            .primary_causes
-            .iter()
-            .all(|e| report.causes.iter().any(|c| &c.cause_id == e && c.confidence == ConfidenceLevel::High));
-        println!("Expected root cause(s) identified with high confidence: {}", if expected_found { "YES" } else { "NO" });
+        let expected_found =
+            scenario.expected.primary_causes.iter().all(|e| {
+                report.causes.iter().any(|c| &c.cause_id == e && c.confidence == ConfidenceLevel::High)
+            });
+        println!(
+            "Expected root cause(s) identified with high confidence: {}",
+            if expected_found { "YES" } else { "NO" }
+        );
 
         // Silo-tool comparison (Section 5 discussion).
         let apg = outcome.apg();

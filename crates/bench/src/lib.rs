@@ -6,3 +6,5 @@
 //! holds Criterion micro/macro benchmarks of the main code paths.
 
 pub mod harness;
+pub mod hotpath;
+pub mod microbench;

@@ -124,11 +124,7 @@ impl Apg {
 
     /// The leaf operators that read the given volume.
     pub fn leaves_on_volume(&self, volume: &str) -> Vec<OperatorId> {
-        self.leaf_volumes
-            .iter()
-            .filter(|(_, v)| v.as_str() == volume)
-            .map(|(op, _)| *op)
-            .collect()
+        self.leaf_volumes.iter().filter(|(_, v)| v.as_str() == volume).map(|(op, _)| *op).collect()
     }
 
     /// Every distinct component appearing on the inner dependency path of any of the
@@ -176,10 +172,14 @@ impl Apg {
         );
         let mut out = Vec::new();
         for component in self.inner_path(op) {
-            for metric in store.metrics_of(component) {
-                let values = store.values_in(component, &metric, window);
-                if !values.is_empty() {
-                    out.push((component.clone(), metric, values));
+            // Walk the component's series by interned key: no identity clones until a
+            // non-empty annotation is actually produced.
+            let Some(sym) = store.interner().component_sym(component) else { continue };
+            for key in store.keys_of(sym) {
+                let points = store.points_in_by_key(key, window);
+                if !points.is_empty() {
+                    let values = points.iter().map(|p| p.value).collect();
+                    out.push((component.clone(), store.resolve(key).1.clone(), values));
                 }
             }
         }
@@ -271,13 +271,8 @@ mod tests {
         assert!(path.contains(&ComponentId::new(ComponentKind::StorageSubsystem, "DS6000")));
         assert!(!path.contains(&ComponentId::volume("V2")));
         // The part index scan reads V2 in pool P2 with disks ds-05..ds-10.
-        let part_leaf = apg
-            .plan
-            .leaves()
-            .into_iter()
-            .find(|n| n.table.as_deref() == Some("part"))
-            .unwrap()
-            .id;
+        let part_leaf =
+            apg.plan.leaves().into_iter().find(|n| n.table.as_deref() == Some("part")).unwrap().id;
         assert_eq!(apg.volume_of(part_leaf), Some("V2"));
         assert!(apg.inner_path(part_leaf).contains(&ComponentId::disk("ds-07")));
         // V2's outer path includes V3/V4 and the external workload on V3.

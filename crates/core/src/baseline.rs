@@ -44,7 +44,13 @@ impl SanOnlyTool {
         for component in ctx.store.components_of_kind(ComponentKind::StorageVolume) {
             let mut worst = 0.0_f64;
             let mut total_io = 0.0_f64;
-            for metric in [MetricName::ReadTime, MetricName::WriteTime, MetricName::ReadIo, MetricName::WriteIo, MetricName::TotalIos] {
+            for metric in [
+                MetricName::ReadTime,
+                MetricName::WriteTime,
+                MetricName::ReadIo,
+                MetricName::WriteIo,
+                MetricName::TotalIos,
+            ] {
                 let sat: Vec<f64> = satisfactory
                     .iter()
                     .filter_map(|r| ctx.store.mean_in(&component, &metric, r.record.window()))
@@ -98,8 +104,14 @@ impl DbOnlyTool {
         // Slow operators (it can see these precisely).
         let mut slow_ops = Vec::new();
         for op in ctx.apg.plan.operators() {
-            let sat: Vec<f64> = satisfactory.iter().filter_map(|r| r.record.operator(op.id).map(|o| o.elapsed_secs)).collect();
-            let unsat: Vec<f64> = unsatisfactory.iter().filter_map(|r| r.record.operator(op.id).map(|o| o.elapsed_secs)).collect();
+            let sat: Vec<f64> = satisfactory
+                .iter()
+                .filter_map(|r| r.record.operator(op.id).map(|o| o.elapsed_secs))
+                .collect();
+            let unsat: Vec<f64> = unsatisfactory
+                .iter()
+                .filter_map(|r| r.record.operator(op.id).map(|o| o.elapsed_secs))
+                .collect();
             if sat.len() >= 3 && !unsat.is_empty() {
                 if let Ok(kde) = Kde::fit(&sat) {
                     if kde.anomaly_score(unsat.iter().sum::<f64>() / unsat.len() as f64) >= 0.8 {
@@ -110,7 +122,10 @@ impl DbOnlyTool {
         }
         if !slow_ops.is_empty() {
             findings.push(SiloFinding {
-                description: format!("operators {} slowed down; consider a suboptimal execution plan", slow_ops.join(", ")),
+                description: format!(
+                    "operators {} slowed down; consider a suboptimal execution plan",
+                    slow_ops.join(", ")
+                ),
                 subject: None,
                 score: 0.9,
             });
@@ -124,22 +139,39 @@ impl DbOnlyTool {
         // Lock waits (it can see these too).
         let lock_unsat: Vec<f64> = unsatisfactory
             .iter()
-            .filter_map(|r| r.record.db_metrics.iter().find(|(m, _)| *m == MetricName::LockWaitTime).map(|(_, v)| *v))
+            .filter_map(|r| {
+                r.record.db_metrics.iter().find(|(m, _)| *m == MetricName::LockWaitTime).map(|(_, v)| *v)
+            })
             .collect();
         if !lock_unsat.is_empty() && lock_unsat.iter().sum::<f64>() / lock_unsat.len() as f64 > 10.0 {
-            findings.push(SiloFinding { description: "significant lock waits observed".into(), subject: None, score: 0.85 });
+            findings.push(SiloFinding {
+                description: "significant lock waits observed".into(),
+                subject: None,
+                score: 0.85,
+            });
         }
 
         // Record-count drift.
         let drift = ctx.apg.plan.leaves().iter().any(|leaf| {
-            let sat: Vec<f64> = satisfactory.iter().filter_map(|r| r.record.operator(leaf.id).map(|o| o.actual_rows)).collect();
-            let unsat: Vec<f64> = unsatisfactory.iter().filter_map(|r| r.record.operator(leaf.id).map(|o| o.actual_rows)).collect();
+            let sat: Vec<f64> = satisfactory
+                .iter()
+                .filter_map(|r| r.record.operator(leaf.id).map(|o| o.actual_rows))
+                .collect();
+            let unsat: Vec<f64> = unsatisfactory
+                .iter()
+                .filter_map(|r| r.record.operator(leaf.id).map(|o| o.actual_rows))
+                .collect();
             !sat.is_empty()
                 && !unsat.is_empty()
-                && (unsat.iter().sum::<f64>() / unsat.len() as f64) > 1.2 * (sat.iter().sum::<f64>() / sat.len() as f64)
+                && (unsat.iter().sum::<f64>() / unsat.len() as f64)
+                    > 1.2 * (sat.iter().sum::<f64>() / sat.len() as f64)
         });
         if drift {
-            findings.push(SiloFinding { description: "table statistics appear stale (row counts changed); run ANALYZE".into(), subject: None, score: 0.8 });
+            findings.push(SiloFinding {
+                description: "table statistics appear stale (row counts changed); run ANALYZE".into(),
+                subject: None,
+                score: 0.8,
+            });
         }
 
         findings.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));

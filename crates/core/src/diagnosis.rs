@@ -127,7 +127,11 @@ impl DiagnosisReport {
             out.push_str("Plan Diffing: the same plan was used in both periods.\n");
             out.push_str(&format!(
                 "Correlated operators (anomaly > threshold): {}\n",
-                if self.correlated_operators.is_empty() { "none".to_string() } else { self.correlated_operators.join(", ") }
+                if self.correlated_operators.is_empty() {
+                    "none".to_string()
+                } else {
+                    self.correlated_operators.join(", ")
+                }
             ));
             out.push_str(&format!(
                 "Correlated components: {}\n",
@@ -139,7 +143,11 @@ impl DiagnosisReport {
             ));
             out.push_str(&format!(
                 "Operators with record-count changes: {}\n",
-                if self.record_count_changes.is_empty() { "none".to_string() } else { self.record_count_changes.join(", ") }
+                if self.record_count_changes.is_empty() {
+                    "none".to_string()
+                } else {
+                    self.record_count_changes.join(", ")
+                }
             ));
         }
         out.push_str("Root causes (confidence, impact):\n");
@@ -150,11 +158,7 @@ impl DiagnosisReport {
                 cause.confidence_score,
                 cause.impact_pct,
                 cause.description,
-                cause
-                    .subject
-                    .as_ref()
-                    .map(|s| format!(" ({s})"))
-                    .unwrap_or_default()
+                cause.subject.as_ref().map(|s| format!(" ({s})")).unwrap_or_default()
             ));
         }
         out

@@ -330,15 +330,25 @@ mod tests {
     fn scenario1_symptoms() -> Vec<Symptom> {
         vec![
             Symptom::simple(SymptomKind::PlanUnchanged, "same plan in both periods", 1.0),
-            Symptom::about(SymptomKind::VolumeMetricsAnomalous, ComponentId::volume("V1"), "V1 writeTime 0.89", 0.89),
+            Symptom::about(
+                SymptomKind::VolumeMetricsAnomalous,
+                ComponentId::volume("V1"),
+                "V1 writeTime 0.89",
+                0.89,
+            ),
             Symptom::about(
                 SymptomKind::OperatorsOnContendedVolumeAnomalous,
                 ComponentId::volume("V1"),
                 "O8, O22 anomalous and depend on V1",
                 0.9,
             ),
-            Symptom::about(SymptomKind::NewVolumeOnSharedDisks, ComponentId::volume("Vprime"), "V' on P1", 1.0)
-                .at(Timestamp::new(100)),
+            Symptom::about(
+                SymptomKind::NewVolumeOnSharedDisks,
+                ComponentId::volume("Vprime"),
+                "V' on P1",
+                1.0,
+            )
+            .at(Timestamp::new(100)),
             Symptom::simple(SymptomKind::ZoningOrMappingChanged, "new zone + LUN mapping", 1.0),
             Symptom::about(
                 SymptomKind::ExternalWorkloadOnSharedDisks,

@@ -13,9 +13,7 @@ use diads_db::{
     QueryRunRecord,
 };
 use diads_inject::{Injector, Scenario};
-use diads_monitor::{
-    Duration, EventStore, IntervalSampler, MetricStore, TimeRange, Timestamp,
-};
+use diads_monitor::{Duration, EventStore, IntervalSampler, MetricStore, TimeRange, Timestamp};
 use diads_san::topology::paper_testbed;
 use diads_san::{SanPerfConfig, SanSimulator, VolumeLoad};
 use diads_workload::{q2_plan_candidates, tpch_catalog, ReportQuery, TpchLayout};
@@ -52,8 +50,7 @@ impl Testbed {
     /// given scale factor laid out with partsupp on V1, the default configuration, and
     /// TPC-H Q2 as the report query.
     pub fn paper_default(scale_factor: f64) -> Testbed {
-        let mut san_config = SanPerfConfig::default();
-        san_config.metric_step_secs = 60;
+        let san_config = SanPerfConfig { metric_step_secs: 60, ..SanPerfConfig::default() };
         let san = SanSimulator::with_config(paper_testbed(), san_config);
         let catalog = tpch_catalog(scale_factor, &TpchLayout::paper_default());
         let candidates = q2_plan_candidates(&catalog);

@@ -91,14 +91,22 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
                 let ts = modified.catalog.tablespace(&name).expect("listed").clone();
                 let volume = if name == *tablespace { to_volume.clone() } else { ts.volume.clone() };
                 catalog
-                    .add_tablespace(diads_db::Tablespace { name: ts.name.clone(), volume, storage: ts.storage })
+                    .add_tablespace(diads_db::Tablespace {
+                        name: ts.name.clone(),
+                        volume,
+                        storage: ts.storage,
+                    })
                     .map_err(|e| e.to_string())?;
             }
             for name in modified.catalog.table_names() {
-                catalog.add_table(modified.catalog.table(&name).expect("listed").clone()).map_err(|e| e.to_string())?;
+                catalog
+                    .add_table(modified.catalog.table(&name).expect("listed").clone())
+                    .map_err(|e| e.to_string())?;
             }
             for name in modified.catalog.index_names() {
-                catalog.add_index(modified.catalog.index(&name).expect("listed").clone()).map_err(|e| e.to_string())?;
+                catalog
+                    .add_index(modified.catalog.index(&name).expect("listed").clone())
+                    .map_err(|e| e.to_string())?;
             }
             modified.catalog = catalog;
             format!("move tablespace {tablespace} to {to_volume}")
@@ -114,7 +122,8 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
         ProposedChange::RemoveExternalWorkload { workload } => {
             // The SAN simulator has no workload-removal API (workloads are append-only
             // monitoring facts), so rebuild it without the named workload.
-            let mut san = diads_san::SanSimulator::with_config(testbed.san.topology().clone(), *testbed.san.config());
+            let mut san =
+                diads_san::SanSimulator::with_config(testbed.san.topology().clone(), *testbed.san.config());
             for w in testbed.san.workloads() {
                 if w.name != *workload {
                     san.add_workload(w.clone()).map_err(|e| e.to_string())?;
@@ -126,5 +135,9 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
     };
 
     let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
-    Ok(WhatIfOutcome { change: description, baseline_secs: baseline.elapsed_secs, predicted_secs: predicted.elapsed_secs })
+    Ok(WhatIfOutcome {
+        change: description,
+        baseline_secs: baseline.elapsed_secs,
+        predicted_secs: predicted.elapsed_secs,
+    })
 }

@@ -22,17 +22,90 @@ use std::collections::BTreeMap;
 
 use diads_db::{Catalog, DbConfig, OperatorId};
 use diads_monitor::{
-    ComponentId, ComponentKind, Duration, EventKind, EventStore, MetricName, MetricStore, TimeRange,
-    Timestamp,
+    ComponentId, ComponentKind, Duration, EventKind, EventStore, MetricKey, MetricName, MetricStore,
+    TimeRange, Timestamp,
 };
 use diads_san::workload::ExternalWorkload;
 use diads_san::SanTopology;
-use diads_stats::Kde;
+use diads_stats::ScoringCache;
 
 use crate::apg::Apg;
 use crate::diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
 use crate::runs::{LabeledRun, RunHistory};
 use crate::symptoms::{ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
+
+/// Identity of a scored variable, used to cache KDE fits.
+///
+/// The satisfactory sample of a variable is fixed for the lifetime of one
+/// [`DiagnosisContext`], so a fit survives for as long as the cache does. The key
+/// space is disjoint per module (CO scores elapsed times, CR record counts, DA
+/// component metrics), so a single cold batch run fits each variable exactly once
+/// either way — the cache pays off on *re-execution*: interactive sessions
+/// re-running modules, repeated diagnoses of one context, and DA workers folding
+/// fits back for later passes. All variants are `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreKey {
+    /// Elapsed running time of one operator (module CO).
+    OperatorElapsed(OperatorId),
+    /// Actual record count of one operator (module CR).
+    OperatorRows(OperatorId),
+    /// One (component, metric) series, by interned key (module DA).
+    Metric(MetricKey),
+}
+
+/// The per-diagnosis scoring cache: one KDE fit per [`ScoreKey`].
+///
+/// A cache is bound to the [`DiagnosisContext`] it was first used with:
+/// [`ScoreKey::Metric`] holds interned keys that are only meaningful relative to that
+/// context's `MetricStore`, and the cached samples come from that context's run
+/// history. Reusing a cache across *different* contexts (another store, a what-if
+/// clone of the testbed, a relabelled history) silently mixes up variables — create a
+/// fresh cache (or [`ScoringCache::clear`] this one) whenever the context changes.
+pub type DiagnosisCache = ScoringCache<ScoreKey>;
+
+/// Minimum number of satisfactory observations required before a variable is scored
+/// (the paper's KDE needs a handful of samples to be meaningful).
+const MIN_SATISFACTORY_SAMPLES: usize = 3;
+
+/// Component-set size below which parallel DA is not worth the thread spawns.
+#[cfg(feature = "parallel")]
+const PARALLEL_DA_THRESHOLD: usize = 16;
+
+/// One DA worker's output: per-component (metric scores, flagged) results plus the
+/// worker's thread-local fit cache (absorbed into the shared cache after the join).
+#[cfg(feature = "parallel")]
+type DaChunkOutcome = (Vec<(Vec<ComponentMetricScore>, bool)>, DiagnosisCache);
+
+/// Scores the mean of `unsatisfactory` against a fitted KDE. Empty sets score 0.0 —
+/// "no evidence" never reads as an anomaly.
+fn score_against(kde: &diads_stats::Kde, unsatisfactory: &[f64], two_sided: bool) -> f64 {
+    let score = if two_sided {
+        kde.two_sided_score_mean(unsatisfactory)
+    } else {
+        kde.anomaly_score_mean(unsatisfactory)
+    };
+    score.unwrap_or(0.0)
+}
+
+/// Scores `unsat` against the cached (or freshly fitted) KDE of `key`.
+///
+/// Returns `None` when the variable is not scoreable — fewer than
+/// [`MIN_SATISFACTORY_SAMPLES`] satisfactory observations (or an unfittable sample).
+/// This is the single scoring code path for every module: CO and CR map `None` to a
+/// 0.0 score, DA skips the variable entirely (the pre-cache behaviour of each).
+fn cached_score(
+    cache: &mut DiagnosisCache,
+    key: ScoreKey,
+    satisfactory: impl FnOnce() -> Vec<f64>,
+    unsatisfactory: &[f64],
+    two_sided: bool,
+) -> Option<f64> {
+    let kde = cache.fit_or_insert_with(key, || {
+        let sample = satisfactory();
+        (sample.len() >= MIN_SATISFACTORY_SAMPLES).then_some(sample)
+    })?;
+    Some(score_against(kde, unsatisfactory, two_sided))
+}
 
 /// Tunables of the workflow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,12 +158,7 @@ impl<'a> DiagnosisContext<'a> {
     /// The window in which configuration changes are considered "recent": from the
     /// start of the last satisfactory run to the end of the last unsatisfactory run.
     pub fn change_window(&self) -> TimeRange {
-        let start = self
-            .history
-            .satisfactory()
-            .last()
-            .map(|r| r.record.start)
-            .unwrap_or(Timestamp::ZERO);
+        let start = self.history.satisfactory().last().map(|r| r.record.start).unwrap_or(Timestamp::ZERO);
         let end = self
             .history
             .unsatisfactory()
@@ -268,16 +336,20 @@ impl DiagnosisWorkflow {
             for event in ctx.events.configuration_changes_in(window) {
                 if matches!(
                     event.kind,
-                    EventKind::IndexDropped
-                        | EventKind::IndexCreated
-                        | EventKind::ConfigParameterChanged
+                    EventKind::IndexDropped | EventKind::IndexCreated | EventKind::ConfigParameterChanged
                 ) {
-                    change_causes.push(PlanChangeCause { kind: event.kind.clone(), description: event.detail.clone() });
+                    change_causes.push(PlanChangeCause {
+                        kind: event.kind.clone(),
+                        description: event.detail.clone(),
+                    });
                 }
             }
             for event in ctx.events.in_range(window) {
                 if event.kind == EventKind::DataPropertiesChanged {
-                    change_causes.push(PlanChangeCause { kind: event.kind.clone(), description: event.detail.clone() });
+                    change_causes.push(PlanChangeCause {
+                        kind: event.kind.clone(),
+                        description: event.detail.clone(),
+                    });
                 }
             }
         }
@@ -288,14 +360,30 @@ impl DiagnosisWorkflow {
 
     /// Module CO: KDE anomaly scores over operator running times.
     pub fn correlated_operators(&self, ctx: &DiagnosisContext<'_>) -> CorrelatedOperatorsResult {
+        self.correlated_operators_cached(ctx, &mut DiagnosisCache::new())
+    }
+
+    /// Module CO with a shared scoring cache (fits are reused across modules and
+    /// interactive re-executions).
+    pub fn correlated_operators_cached(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cache: &mut DiagnosisCache,
+    ) -> CorrelatedOperatorsResult {
         let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
         let mut scores = BTreeMap::new();
         let mut correlated = Vec::new();
         for op in ctx.apg.plan.operators() {
-            let sat: Vec<f64> = samples(&satisfactory, |r| r.operator(op.id).map(|o| o.elapsed_secs));
             let unsat: Vec<f64> = samples(&unsatisfactory, |r| r.operator(op.id).map(|o| o.elapsed_secs));
-            let score = anomaly_score(&sat, &unsat);
+            let score = cached_score(
+                cache,
+                ScoreKey::OperatorElapsed(op.id),
+                || samples(&satisfactory, |r| r.operator(op.id).map(|o| o.elapsed_secs)),
+                &unsat,
+                false,
+            )
+            .unwrap_or(0.0);
             scores.insert(op.id, score);
             if score >= self.config.anomaly_threshold {
                 correlated.push(op.id);
@@ -309,48 +397,231 @@ impl DiagnosisWorkflow {
     /// Module DA: anomaly scores for the performance metrics of components on the
     /// correlated operators' dependency paths (or of every component when pruning is
     /// disabled — the ablation the paper's §1.1 argues against).
+    ///
+    /// With the `parallel` feature enabled, large component sets are scored on a
+    /// scoped thread pool; the merge order is deterministic and the result identical
+    /// to the sequential path.
     pub fn dependency_analysis(
         &self,
         ctx: &DiagnosisContext<'_>,
         cos: &CorrelatedOperatorsResult,
     ) -> DependencyAnalysisResult {
-        let components: Vec<ComponentId> = if self.config.prune_by_dependency_paths {
+        self.dependency_analysis_cached(ctx, cos, &mut DiagnosisCache::new())
+    }
+
+    /// The component set DA scores, in deterministic order.
+    fn dependency_components(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+    ) -> Vec<ComponentId> {
+        if self.config.prune_by_dependency_paths {
             ctx.apg
                 .components_on_paths(&cos.correlated)
                 .into_iter()
                 .filter(|c| c.kind != ComponentKind::PlanOperator)
                 .collect()
         } else {
-            ctx.store
-                .components()
-                .into_iter()
-                .filter(|c| c.kind != ComponentKind::PlanOperator)
-                .collect()
-        };
+            ctx.store.components().into_iter().filter(|c| c.kind != ComponentKind::PlanOperator).collect()
+        }
+    }
+
+    /// Module DA with a shared scoring cache. Dispatches to the thread pool when the
+    /// `parallel` feature is enabled, the machine has more than one core, and the
+    /// component set is large enough to amortise the spawns.
+    pub fn dependency_analysis_cached(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
+        let components = self.dependency_components(ctx, cos);
+        // A disabled cache is a refit-baseline request: it must stay on the
+        // sequential per-call-refit path, not on pooled workers with live caches.
+        #[cfg(feature = "parallel")]
+        if cache.is_enabled()
+            && components.len() >= PARALLEL_DA_THRESHOLD
+            && std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1
+        {
+            return self.dependency_analysis_on_pool(ctx, &components, 0, cache);
+        }
+        self.score_components_sequential(ctx, components, cache)
+    }
+
+    /// Module DA, forced sequential (the baseline the parallel path is benchmarked
+    /// against; always produces the same result).
+    pub fn dependency_analysis_sequential(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
+        let components = self.dependency_components(ctx, cos);
+        self.score_components_sequential(ctx, components, cache)
+    }
+
+    fn score_components_sequential(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        components: Vec<ComponentId>,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
         let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
         let mut metric_scores = Vec::new();
         let mut correlated_components = Vec::new();
         for component in components {
-            let mut component_flagged = false;
-            for metric in ctx.store.metrics_of(&component) {
-                let sat = per_run_metric_means(ctx.store, &component, &metric, &satisfactory);
-                let unsat = per_run_metric_means(ctx.store, &component, &metric, &unsatisfactory);
-                if sat.len() < 3 || unsat.is_empty() {
-                    continue;
-                }
-                let score = if metric.higher_is_worse() {
-                    anomaly_score(&sat, &unsat)
-                } else {
-                    two_sided_score(&sat, &unsat)
-                };
-                if score >= self.config.anomaly_threshold {
-                    component_flagged = true;
-                }
-                metric_scores.push(ComponentMetricScore { component: component.clone(), metric, anomaly_score: score });
-            }
-            if component_flagged {
+            let (scores, flagged) =
+                self.score_component(ctx, &component, &satisfactory, &unsatisfactory, None, cache);
+            metric_scores.extend(scores);
+            if flagged {
                 correlated_components.push(component);
+            }
+        }
+        DependencyAnalysisResult { metric_scores, correlated_components }
+    }
+
+    /// Scores every metric of one component. Zero-copy: the component's series are
+    /// walked by interned key (a contiguous range scan), per-run means are computed
+    /// straight off borrowed slices, and the satisfactory sample is materialised only
+    /// when no cache layer has a fit for it yet.
+    ///
+    /// `shared` is an optional read-only warm layer (the caller's cross-module cache
+    /// during a parallel pass); fits found there are used directly, misses fall
+    /// through to the writable `cache`.
+    fn score_component(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        component: &ComponentId,
+        satisfactory: &[&LabeledRun],
+        unsatisfactory: &[&LabeledRun],
+        shared: Option<&DiagnosisCache>,
+        cache: &mut DiagnosisCache,
+    ) -> (Vec<ComponentMetricScore>, bool) {
+        let store = ctx.store;
+        let Some(sym) = store.interner().component_sym(component) else {
+            // Component never reported a metric: nothing to score.
+            return (Vec::new(), false);
+        };
+        let mut out = Vec::new();
+        let mut flagged = false;
+        for key in store.keys_of(sym) {
+            let unsat = per_run_metric_means_by_key(store, key, unsatisfactory);
+            if unsat.is_empty() {
+                continue;
+            }
+            let metric = store.resolve(key).1;
+            let two_sided = !metric.higher_is_worse();
+            let score = match shared.and_then(|s| s.probe(&ScoreKey::Metric(key))) {
+                // Warm fit: score directly.
+                Some(Some(kde)) => Some(score_against(kde, &unsat, two_sided)),
+                // Warm negative entry: known unscoreable, skip without re-deriving.
+                Some(None) => None,
+                // Unknown to the warm layer: fit (or negatively cache) locally.
+                None => cached_score(
+                    cache,
+                    ScoreKey::Metric(key),
+                    || per_run_metric_means_by_key(store, key, satisfactory),
+                    &unsat,
+                    two_sided,
+                ),
+            };
+            let Some(score) = score else {
+                // Fewer than MIN_SATISFACTORY_SAMPLES satisfactory observations: the
+                // variable is not scoreable (the pre-refactor loop `continue`d here).
+                continue;
+            };
+            if score >= self.config.anomaly_threshold {
+                flagged = true;
+            }
+            out.push(ComponentMetricScore {
+                component: component.clone(),
+                metric: metric.clone(),
+                anomaly_score: score,
+            });
+        }
+        (out, flagged)
+    }
+
+    /// Module DA on a scoped thread pool: components are split into contiguous chunks,
+    /// each chunk is scored by one worker with a thread-local cache, and the chunk
+    /// results are concatenated in order — the merge is deterministic and the scores
+    /// are bit-identical to the sequential path.
+    ///
+    /// `threads == 0` uses the machine's available parallelism.
+    #[cfg(feature = "parallel")]
+    pub fn dependency_analysis_parallel(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+        threads: usize,
+    ) -> DependencyAnalysisResult {
+        let components = self.dependency_components(ctx, cos);
+        self.dependency_analysis_on_pool(ctx, &components, threads, &mut DiagnosisCache::new())
+    }
+
+    #[cfg(feature = "parallel")]
+    fn dependency_analysis_on_pool(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        components: &[ComponentId],
+        threads: usize,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.clamp(1, components.len().max(1));
+        let satisfactory = ctx.satisfactory_runs();
+        let unsatisfactory = ctx.unsatisfactory_runs();
+        let chunk_len = components.len().div_ceil(threads);
+        let chunks: Vec<&[ComponentId]> = components.chunks(chunk_len.max(1)).collect();
+        let shared = &*cache;
+        let per_chunk: Vec<DaChunkOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let satisfactory = &satisfactory;
+                    let unsatisfactory = &unsatisfactory;
+                    scope.spawn(move || {
+                        let mut local = DiagnosisCache::new();
+                        let results = chunk
+                            .iter()
+                            .map(|c| {
+                                self.score_component(
+                                    ctx,
+                                    c,
+                                    satisfactory,
+                                    unsatisfactory,
+                                    Some(shared),
+                                    &mut local,
+                                )
+                            })
+                            .collect::<Vec<_>>();
+                        (results, local)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("DA worker panicked")).collect()
+        });
+        let mut per_chunk_results = Vec::with_capacity(per_chunk.len());
+        for (results, local) in per_chunk {
+            // Fold every worker's fits back into the shared cache so later modules and
+            // warm re-executions reuse them.
+            cache.absorb(local);
+            per_chunk_results.push(results);
+        }
+        let per_chunk = per_chunk_results;
+        let mut metric_scores = Vec::new();
+        let mut correlated_components = Vec::new();
+        for (chunk, results) in chunks.iter().zip(per_chunk) {
+            for (component, (scores, flagged)) in chunk.iter().zip(results) {
+                metric_scores.extend(scores);
+                if flagged {
+                    correlated_components.push(component.clone());
+                }
             }
         }
         DependencyAnalysisResult { metric_scores, correlated_components }
@@ -363,6 +634,16 @@ impl DiagnosisWorkflow {
         &self,
         ctx: &DiagnosisContext<'_>,
         cos: &CorrelatedOperatorsResult,
+    ) -> RecordCountResult {
+        self.record_counts_cached(ctx, cos, &mut DiagnosisCache::new())
+    }
+
+    /// Module CR with a shared scoring cache.
+    pub fn record_counts_cached(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cos: &CorrelatedOperatorsResult,
+        cache: &mut DiagnosisCache,
     ) -> RecordCountResult {
         let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
@@ -383,7 +664,11 @@ impl DiagnosisWorkflow {
             } else {
                 0.0
             };
-            let score = if relative_change < 0.02 { 0.0 } else { two_sided_score(&sat, &unsat) };
+            let score = if relative_change < 0.02 {
+                0.0
+            } else {
+                cached_score(cache, ScoreKey::OperatorRows(op), || sat, &unsat, true).unwrap_or(0.0)
+            };
             scores.insert(op, score);
             if score >= self.config.record_count_threshold {
                 changed.push(op);
@@ -421,12 +706,15 @@ impl DiagnosisWorkflow {
         if pd.same_plan {
             symptoms.push(Symptom::simple(SymptomKind::PlanUnchanged, "same plan used in both periods", 1.0));
         } else {
-            symptoms.push(Symptom::simple(SymptomKind::PlanChanged, "different plans in the two periods", 1.0));
+            symptoms.push(Symptom::simple(
+                SymptomKind::PlanChanged,
+                "different plans in the two periods",
+                1.0,
+            ));
         }
 
         // Storage components with anomalous metrics.
-        let storage_kinds =
-            [ComponentKind::StorageVolume, ComponentKind::StoragePool, ComponentKind::Disk];
+        let storage_kinds = [ComponentKind::StorageVolume, ComponentKind::StoragePool, ComponentKind::Disk];
         let mut anomalous_storage: Vec<(ComponentId, f64)> = Vec::new();
         for component in &da.correlated_components {
             if storage_kinds.contains(&component.kind) {
@@ -455,10 +743,7 @@ impl DiagnosisWorkflow {
             .iter()
             .copied()
             .filter(|op| {
-                ctx.apg
-                    .inner_path(*op)
-                    .iter()
-                    .any(|c| anomalous_storage.iter().any(|(a, _)| a == c))
+                ctx.apg.inner_path(*op).iter().any(|c| anomalous_storage.iter().any(|(a, _)| a == c))
             })
             .collect();
         if !contended_ops.is_empty() {
@@ -514,44 +799,79 @@ impl DiagnosisWorkflow {
                 }
                 EventKind::ZoningChanged | EventKind::LunMappingChanged => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::ZoningOrMappingChanged, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::ZoningOrMappingChanged,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::DataPropertiesChanged => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::DataPropertiesChangedEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::DataPropertiesChangedEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::LockContention => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::LockContentionEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::LockContentionEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::IndexDropped => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::IndexDroppedEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::IndexDroppedEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::ConfigParameterChanged => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::ConfigParameterChangedEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::ConfigParameterChangedEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::RaidRebuildStarted => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::RaidRebuildEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::RaidRebuildEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 EventKind::DiskFailure => {
                     symptoms.push(
-                        Symptom::about(SymptomKind::DiskFailureEvent, event.component.clone(), event.detail.clone(), 1.0)
-                            .at(event.time),
+                        Symptom::about(
+                            SymptomKind::DiskFailureEvent,
+                            event.component.clone(),
+                            event.detail.clone(),
+                            1.0,
+                        )
+                        .at(event.time),
                     );
                 }
                 _ => {}
@@ -567,11 +887,7 @@ impl DiagnosisWorkflow {
             }
             let shares = relevant_volumes.iter().any(|v| {
                 v == &workload.volume
-                    || ctx
-                        .topology
-                        .volumes_sharing_disks(v)
-                        .iter()
-                        .any(|s| s == &workload.volume)
+                    || ctx.topology.volumes_sharing_disks(v).iter().any(|s| s == &workload.volume)
             });
             if shares {
                 symptoms.push(Symptom::about(
@@ -614,7 +930,11 @@ impl DiagnosisWorkflow {
         let hit_sat = db_metric_samples(&satisfactory, &MetricName::BufferHitRatio);
         let hit_unsat = db_metric_samples(&unsatisfactory, &MetricName::BufferHitRatio);
         if !hit_sat.is_empty() && !hit_unsat.is_empty() && mean(&hit_unsat) < 0.7 * mean(&hit_sat) {
-            symptoms.push(Symptom::simple(SymptomKind::BufferHitRatioDropped, "buffer hit ratio dropped by >30%", 0.8));
+            symptoms.push(Symptom::simple(
+                SymptomKind::BufferHitRatioDropped,
+                "buffer hit ratio dropped by >30%",
+                0.8,
+            ));
         }
         let cpu_unsat = per_run_metric_means(
             ctx.store,
@@ -663,7 +983,9 @@ impl DiagnosisWorkflow {
                 continue;
             }
             let (ops, extra): (Vec<OperatorId>, f64) = match cause.cause_id.as_str() {
-                "san-misconfiguration-contention" | "external-workload-contention" | "raid-rebuild"
+                "san-misconfiguration-contention"
+                | "external-workload-contention"
+                | "raid-rebuild"
                 | "disk-failure" => {
                     // comp(R): the storage components implicated by the cause's subject
                     // (its pool and sibling volumes); op(R): correlated operators whose
@@ -691,9 +1013,12 @@ impl DiagnosisWorkflow {
                     // proportional to the record-count growth.
                     let mut extra = 0.0;
                     for &op in &ops {
-                        let sat_rows = mean(&samples(&satisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
-                        let unsat_rows = mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
-                        let unsat_self = mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.self_secs)));
+                        let sat_rows =
+                            mean(&samples(&satisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
+                        let unsat_rows =
+                            mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.actual_rows)));
+                        let unsat_self =
+                            mean(&samples(&unsatisfactory, |r| r.operator(op).map(|o| o.self_secs)));
                         if sat_rows > 0.0 && unsat_rows > sat_rows {
                             let growth_share = 1.0 - sat_rows / unsat_rows;
                             extra += (unsat_self * growth_share).min(extra_of(op, &|o| o.self_secs));
@@ -744,12 +1069,24 @@ impl DiagnosisWorkflow {
     // ----- Batch mode -----
 
     /// Runs the whole workflow in batch mode (Figure 2) and assembles the report.
+    ///
+    /// One [`DiagnosisCache`] is shared across all modules, so every variable's
+    /// satisfactory history is fitted at most once per diagnosis.
     pub fn run(&self, ctx: &DiagnosisContext<'_>) -> DiagnosisReport {
+        self.run_with_cache(ctx, &mut DiagnosisCache::new())
+    }
+
+    /// Runs the whole workflow with a caller-supplied cache. Callers that diagnose the
+    /// **same context** repeatedly (interactive sessions, benchmarks) keep the fits
+    /// warm across runs; pass [`DiagnosisCache::disabled`] to measure the
+    /// per-call-refit baseline. The cache must not be reused across different
+    /// contexts — see [`DiagnosisCache`].
+    pub fn run_with_cache(&self, ctx: &DiagnosisContext<'_>, cache: &mut DiagnosisCache) -> DiagnosisReport {
         let pd = self.plan_diffing(ctx);
         let (cos, da, cr) = if pd.same_plan {
-            let cos = self.correlated_operators(ctx);
-            let da = self.dependency_analysis(ctx, &cos);
-            let cr = self.record_counts(ctx, &cos);
+            let cos = self.correlated_operators_cached(ctx, cache);
+            let da = self.dependency_analysis_cached(ctx, &cos, cache);
+            let cr = self.record_counts_cached(ctx, &cos, cache);
             (cos, da, cr)
         } else {
             (
@@ -817,6 +1154,9 @@ impl DiagnosisWorkflow {
 pub struct WorkflowSession<'a> {
     workflow: DiagnosisWorkflow,
     ctx: DiagnosisContext<'a>,
+    /// KDE fits shared across modules and re-executions. The cached samples depend
+    /// only on the (immutable) context, so edits to module results never stale it.
+    cache: DiagnosisCache,
     /// Result of module PD, once executed.
     pub pd: Option<PlanDiffResult>,
     /// Result of module CO, once executed.
@@ -834,7 +1174,17 @@ pub struct WorkflowSession<'a> {
 impl<'a> WorkflowSession<'a> {
     /// Starts a session.
     pub fn new(workflow: DiagnosisWorkflow, ctx: DiagnosisContext<'a>) -> Self {
-        WorkflowSession { workflow, ctx, pd: None, cos: None, da: None, cr: None, sd: None, ia: None }
+        WorkflowSession {
+            workflow,
+            ctx,
+            cache: DiagnosisCache::new(),
+            pd: None,
+            cos: None,
+            da: None,
+            cr: None,
+            sd: None,
+            ia: None,
+        }
     }
 
     /// Names of the modules that have been executed so far, in workflow order.
@@ -867,9 +1217,10 @@ impl<'a> WorkflowSession<'a> {
         self.pd.as_ref().expect("just set")
     }
 
-    /// Executes (or re-executes) module CO.
+    /// Executes (or re-executes) module CO. Re-executions reuse the session's cached
+    /// KDE fits.
     pub fn run_correlated_operators(&mut self) -> &CorrelatedOperatorsResult {
-        self.cos = Some(self.workflow.correlated_operators(&self.ctx));
+        self.cos = Some(self.workflow.correlated_operators_cached(&self.ctx, &mut self.cache));
         self.cos.as_ref().expect("just set")
     }
 
@@ -890,8 +1241,9 @@ impl<'a> WorkflowSession<'a> {
         if self.cos.is_none() {
             self.run_correlated_operators();
         }
-        let cos = self.cos.as_ref().expect("ensured above");
-        self.da = Some(self.workflow.dependency_analysis(&self.ctx, cos));
+        let cos = self.cos.take().expect("ensured above");
+        self.da = Some(self.workflow.dependency_analysis_cached(&self.ctx, &cos, &mut self.cache));
+        self.cos = Some(cos);
         self.da.as_ref().expect("just set")
     }
 
@@ -900,8 +1252,9 @@ impl<'a> WorkflowSession<'a> {
         if self.cos.is_none() {
             self.run_correlated_operators();
         }
-        let cos = self.cos.as_ref().expect("ensured above");
-        self.cr = Some(self.workflow.record_counts(&self.ctx, cos));
+        let cos = self.cos.take().expect("ensured above");
+        self.cr = Some(self.workflow.record_counts_cached(&self.ctx, &cos, &mut self.cache));
+        self.cos = Some(cos);
         self.cr.as_ref().expect("just set")
     }
 
@@ -976,48 +1329,37 @@ fn db_metric_samples(runs: &[&LabeledRun], metric: &MetricName) -> Vec<f64> {
         .collect()
 }
 
+/// The padded monitoring window of one run (coarse 5-minute samples overlapping the
+/// run's edges are included).
+fn run_window(run: &LabeledRun) -> TimeRange {
+    TimeRange::new(
+        run.record.start.minus(Duration::from_mins(5)),
+        run.record.end.plus(Duration::from_mins(5)),
+    )
+}
+
 fn per_run_metric_means(
     store: &MetricStore,
     component: &ComponentId,
     metric: &MetricName,
     runs: &[&LabeledRun],
 ) -> Vec<f64> {
-    runs.iter()
-        .filter_map(|r| {
-            let window = TimeRange::new(
-                r.record.start.minus(Duration::from_mins(5)),
-                r.record.end.plus(Duration::from_mins(5)),
-            );
-            store.mean_in(component, metric, window)
-        })
-        .collect()
+    // Resolve to an interned key once; the per-run lookups are then integer-keyed.
+    match store.key_of(component, metric) {
+        Some(key) => per_run_metric_means_by_key(store, key, runs),
+        None => Vec::new(),
+    }
 }
 
+fn per_run_metric_means_by_key(store: &MetricStore, key: MetricKey, runs: &[&LabeledRun]) -> Vec<f64> {
+    runs.iter().filter_map(|r| store.mean_in_by_key(key, run_window(r))).collect()
+}
+
+/// Mean with the workflow's "no evidence reads as zero" convention. The underlying
+/// single code path (and its empty-sample policy) is [`diads_stats::summary::mean`] —
+/// the same one [`diads_stats::Kde::anomaly_score_mean`] scores sets through.
 fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.iter().sum::<f64>() / values.len() as f64
-}
-
-fn anomaly_score(satisfactory: &[f64], unsatisfactory: &[f64]) -> f64 {
-    if satisfactory.len() < 3 || unsatisfactory.is_empty() {
-        return 0.0;
-    }
-    match Kde::fit(satisfactory) {
-        Ok(kde) => kde.anomaly_score(mean(unsatisfactory)),
-        Err(_) => 0.0,
-    }
-}
-
-fn two_sided_score(satisfactory: &[f64], unsatisfactory: &[f64]) -> f64 {
-    if satisfactory.len() < 3 || unsatisfactory.is_empty() {
-        return 0.0;
-    }
-    match Kde::fit(satisfactory) {
-        Ok(kde) => kde.two_sided_score(mean(unsatisfactory)),
-        Err(_) => 0.0,
-    }
+    diads_stats::summary::mean(values).unwrap_or(0.0)
 }
 
 fn related_storage_components(
@@ -1026,12 +1368,8 @@ fn related_storage_components(
     da: &DependencyAnalysisResult,
 ) -> Vec<ComponentId> {
     let storage_kinds = [ComponentKind::StorageVolume, ComponentKind::StoragePool, ComponentKind::Disk];
-    let anomalous: Vec<ComponentId> = da
-        .correlated_components
-        .iter()
-        .filter(|c| storage_kinds.contains(&c.kind))
-        .cloned()
-        .collect();
+    let anomalous: Vec<ComponentId> =
+        da.correlated_components.iter().filter(|c| storage_kinds.contains(&c.kind)).cloned().collect();
     let Some(subject) = subject else { return anomalous };
     // Resolve the subject to a pool, then return that pool, its volumes and disks.
     let pool_name = match subject.kind {
@@ -1072,14 +1410,51 @@ mod tests {
         assert!(cfg.prune_by_dependency_paths);
     }
 
+    fn score(satisfactory: &[f64], unsatisfactory: &[f64], two_sided: bool) -> f64 {
+        let mut cache = DiagnosisCache::new();
+        cached_score(
+            &mut cache,
+            ScoreKey::OperatorElapsed(OperatorId(1)),
+            || satisfactory.to_vec(),
+            unsatisfactory,
+            two_sided,
+        )
+        .unwrap_or(0.0)
+    }
+
     #[test]
     fn anomaly_score_helpers_handle_small_samples() {
-        assert_eq!(anomaly_score(&[1.0, 2.0], &[10.0]), 0.0);
-        assert_eq!(anomaly_score(&[1.0, 2.0, 3.0, 2.5], &[]), 0.0);
-        assert!(anomaly_score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[5.0]) > 0.95);
-        assert!(two_sided_score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[1.0]) < 0.5);
-        assert!(two_sided_score(&[10.0, 10.5, 9.5, 10.2, 9.8], &[2.0]) > 0.9);
+        assert_eq!(score(&[1.0, 2.0], &[10.0], false), 0.0);
+        assert_eq!(score(&[1.0, 2.0, 3.0, 2.5], &[], false), 0.0);
+        assert!(score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[5.0], false) > 0.95);
+        assert!(score(&[1.0, 1.1, 0.9, 1.05, 0.95], &[1.0], true) < 0.5);
+        assert!(score(&[10.0, 10.5, 9.5, 10.2, 9.8], &[2.0], true) > 0.9);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn cached_score_fits_each_variable_once() {
+        let mut cache = DiagnosisCache::new();
+        let sat = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let mut fits = 0;
+        for _ in 0..4 {
+            let s = cached_score(
+                &mut cache,
+                ScoreKey::OperatorElapsed(OperatorId(7)),
+                || {
+                    fits += 1;
+                    sat.to_vec()
+                },
+                &[5.0],
+                false,
+            );
+            assert_eq!(fits, 1, "fit exactly once");
+            assert!(s.unwrap_or(0.0) > 0.95);
+        }
+        assert_eq!(fits, 1);
+        // A different variable gets its own fit.
+        cached_score(&mut cache, ScoreKey::OperatorRows(OperatorId(7)), || sat.to_vec(), &[1.0], true);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -54,7 +54,13 @@ impl BufferCache {
     }
 
     /// Physical pages read for a scan that touches `pages_touched` pages of `table`.
-    pub fn physical_reads(&self, catalog: &Catalog, table: &str, competing_tables: &[String], pages_touched: f64) -> f64 {
+    pub fn physical_reads(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        competing_tables: &[String],
+        pages_touched: f64,
+    ) -> f64 {
         let hit = self.hit_ratio(catalog, table, competing_tables);
         (pages_touched * (1.0 - hit)).max(0.0)
     }
@@ -67,13 +73,15 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_tablespace(Tablespace { name: "ts".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
-        for (name, rows, width) in [
-            ("nation", 25_u64, 120_u32),
-            ("lineitem", 60_000_000, 140),
-            ("part", 2_000_000, 156),
-        ] {
+        c.add_tablespace(Tablespace {
+            name: "ts".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
+        for (name, rows, width) in
+            [("nation", 25_u64, 120_u32), ("lineitem", 60_000_000, 140), ("part", 2_000_000, 156)]
+        {
             c.add_table(Table {
                 name: name.into(),
                 tablespace: "ts".into(),

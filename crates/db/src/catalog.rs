@@ -220,12 +220,7 @@ impl Catalog {
     pub fn tables_on_volume(&self, volume: &str) -> Vec<String> {
         self.tables
             .values()
-            .filter(|t| {
-                self.tablespaces
-                    .get(&t.tablespace)
-                    .map(|ts| ts.volume == volume)
-                    .unwrap_or(false)
-            })
+            .filter(|t| self.tablespaces.get(&t.tablespace).map(|ts| ts.volume == volume).unwrap_or(false))
             .map(|t| t.name.clone())
             .collect()
     }
@@ -235,11 +230,7 @@ impl Catalog {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             rows: self.tables.values().map(|t| (t.name.clone(), t.row_count)).collect(),
-            selectivity: self
-                .tables
-                .values()
-                .map(|t| (t.name.clone(), t.predicate_selectivity))
-                .collect(),
+            selectivity: self.tables.values().map(|t| (t.name.clone(), t.predicate_selectivity)).collect(),
         }
     }
 
@@ -295,8 +286,13 @@ mod tests {
             clustering: 0.9,
         })
         .unwrap();
-        c.add_index(Index { name: "orders_pk".into(), table: "orders".into(), column: "o_orderkey".into(), unique: true })
-            .unwrap();
+        c.add_index(Index {
+            name: "orders_pk".into(),
+            table: "orders".into(),
+            column: "o_orderkey".into(),
+            unique: true,
+        })
+        .unwrap();
         c
     }
 
@@ -315,11 +311,20 @@ mod tests {
             Err(DbError::UnknownObject(_))
         ));
         assert!(matches!(
-            c.add_index(Index { name: "x".into(), table: "missing".into(), column: "c".into(), unique: false }),
+            c.add_index(Index {
+                name: "x".into(),
+                table: "missing".into(),
+                column: "c".into(),
+                unique: false
+            }),
             Err(DbError::UnknownObject(_))
         ));
         assert!(matches!(
-            c.add_tablespace(Tablespace { name: "ts_a".into(), volume: "V9".into(), storage: StorageKind::SystemManaged }),
+            c.add_tablespace(Tablespace {
+                name: "ts_a".into(),
+                volume: "V9".into(),
+                storage: StorageKind::SystemManaged
+            }),
             Err(DbError::DuplicateObject(_))
         ));
         assert!(matches!(

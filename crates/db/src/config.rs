@@ -139,7 +139,9 @@ mod tests {
         let b = DbConfig::default().with_random_page_cost(10.0).with_work_mem_kb(128);
         let d = a.diff(&b);
         assert_eq!(d.len(), 2);
-        assert!(d.iter().any(|(name, old, new)| name == "random_page_cost" && old.starts_with("4") && new.starts_with("10")));
+        assert!(d.iter().any(|(name, old, new)| name == "random_page_cost"
+            && old.starts_with("4")
+            && new.starts_with("10")));
         assert!(d.iter().any(|(name, _, new)| name == "work_mem_kb" && new == "128"));
         assert!(a.diff(&a).is_empty());
     }

@@ -67,10 +67,8 @@ impl CostModel {
             }
             OperatorKind::IndexScan => {
                 let table = node.table.as_deref().unwrap_or("");
-                let (pages, clustering) = catalog
-                    .table(table)
-                    .map(|t| (t.pages() as f64, t.clustering))
-                    .unwrap_or((1.0, 0.5));
+                let (pages, clustering) =
+                    catalog.table(table).map(|t| (t.pages() as f64, t.clustering)).unwrap_or((1.0, 0.5));
                 // Heap pages fetched: selective scans touch ~one page per row when the
                 // table is unclustered, fewer when clustered; never more than the table.
                 let rows_fetched = out_rows.max(1.0);
@@ -83,11 +81,12 @@ impl CostModel {
                     cpu: rows_fetched * (cfg.cpu_index_tuple_cost + cfg.cpu_tuple_cost),
                 }
             }
-            OperatorKind::Hash => Cost { io: self.spill_io(in_rows), cpu: in_rows * cfg.cpu_operator_cost * 2.0 },
-            OperatorKind::HashJoin => Cost {
-                io: 0.0,
-                cpu: in_rows * cfg.cpu_operator_cost + out_rows * cfg.cpu_tuple_cost,
-            },
+            OperatorKind::Hash => {
+                Cost { io: self.spill_io(in_rows), cpu: in_rows * cfg.cpu_operator_cost * 2.0 }
+            }
+            OperatorKind::HashJoin => {
+                Cost { io: 0.0, cpu: in_rows * cfg.cpu_operator_cost + out_rows * cfg.cpu_tuple_cost }
+            }
             OperatorKind::NestedLoop => {
                 // The inner side is re-evaluated per outer row; charge quadratic CPU.
                 let outer = node.children.first().map(|c| c.output_rows(stats)).unwrap_or(0.0);
@@ -98,19 +97,17 @@ impl CostModel {
                         + out_rows * cfg.cpu_tuple_cost,
                 }
             }
-            OperatorKind::MergeJoin => Cost {
-                io: 0.0,
-                cpu: in_rows * cfg.cpu_operator_cost * 1.5 + out_rows * cfg.cpu_tuple_cost,
-            },
+            OperatorKind::MergeJoin => {
+                Cost { io: 0.0, cpu: in_rows * cfg.cpu_operator_cost * 1.5 + out_rows * cfg.cpu_tuple_cost }
+            }
             OperatorKind::Sort => {
                 let n = in_rows.max(2.0);
-                Cost {
-                    io: self.spill_io(in_rows),
-                    cpu: n * n.log2() * cfg.cpu_operator_cost,
-                }
+                Cost { io: self.spill_io(in_rows), cpu: n * n.log2() * cfg.cpu_operator_cost }
             }
             OperatorKind::Aggregate => Cost { io: 0.0, cpu: in_rows * cfg.cpu_operator_cost * 2.0 },
-            OperatorKind::Materialize => Cost { io: self.spill_io(in_rows), cpu: in_rows * cfg.cpu_tuple_cost * 0.5 },
+            OperatorKind::Materialize => {
+                Cost { io: self.spill_io(in_rows), cpu: in_rows * cfg.cpu_tuple_cost * 0.5 }
+            }
             OperatorKind::Limit => Cost { io: 0.0, cpu: out_rows * cfg.cpu_tuple_cost * 0.1 },
             OperatorKind::SubPlanFilter => {
                 // The subquery child is charged per distinct outer group; keep linear.
@@ -139,11 +136,13 @@ impl CostModel {
     }
 
     /// Per-operator cost breakdown of a plan, in operator order.
-    pub fn per_operator_costs(&self, plan: &Plan, catalog: &Catalog, stats: &dyn StatsProvider) -> Vec<(crate::plan::OperatorId, Cost)> {
-        plan.operators()
-            .iter()
-            .map(|node| (node.id, self.operator_cost(node, catalog, stats)))
-            .collect()
+    pub fn per_operator_costs(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        stats: &dyn StatsProvider,
+    ) -> Vec<(crate::plan::OperatorId, Cost)> {
+        plan.operators().iter().map(|node| (node.id, self.operator_cost(node, catalog, stats))).collect()
     }
 }
 
@@ -154,8 +153,12 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_tablespace(Tablespace { name: "ts".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
+        c.add_tablespace(Tablespace {
+            name: "ts".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
         c.add_table(Table {
             name: "part".into(),
             tablespace: "ts".into(),
@@ -239,7 +242,11 @@ mod tests {
         let plan = Plan::new(
             "p",
             "q",
-            PlanNode::hash_join(0.5, PlanNode::seq_scan("part", 0.1), PlanNode::hash(PlanNode::seq_scan("nation", 1.0))),
+            PlanNode::hash_join(
+                0.5,
+                PlanNode::seq_scan("part", 0.1),
+                PlanNode::hash(PlanNode::seq_scan("nation", 1.0)),
+            ),
         );
         let per_op = model.per_operator_costs(&plan, &cat, &cat);
         assert_eq!(per_op.len(), plan.operator_count());

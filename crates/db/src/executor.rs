@@ -14,7 +14,7 @@
 //! analysis uses to attribute the slowdown to root causes.
 
 use diads_monitor::{
-    ComponentId, ComponentKind, Duration, MetricName, MetricStore, TimeRange, Timestamp,
+    ComponentId, ComponentKind, Duration, MetricKey, MetricName, MetricStore, TimeRange, Timestamp,
 };
 use diads_san::workload::IoProfile;
 use diads_san::{SanSimulator, VolumeLoad};
@@ -100,23 +100,28 @@ impl QueryRunRecord {
     pub fn record_metrics(&self, store: &mut MetricStore, db_instance: &str, db_server: &str) {
         let at = self.end;
         for op in &self.operators {
-            let comp = ComponentId::operator(op.operator.name());
-            store.record(comp.clone(), MetricName::OperatorElapsedTime, at, op.elapsed_secs);
-            store.record(comp.clone(), MetricName::OperatorSelfTime, at, op.self_secs);
-            store.record(comp.clone(), MetricName::OperatorRecordCount, at, op.actual_rows);
-            store.record(comp, MetricName::OperatorEstimatedRecords, at, op.estimated_rows);
+            // One interning per operator; the four per-metric records are symbol-keyed.
+            let comp = store.intern_component(&ComponentId::operator(op.operator.name()));
+            let mut emit = |metric: &MetricName, value: f64| {
+                let key = MetricKey::new(comp, store.intern_metric(metric));
+                store.record_key(key, at, value);
+            };
+            emit(&MetricName::OperatorElapsedTime, op.elapsed_secs);
+            emit(&MetricName::OperatorSelfTime, op.self_secs);
+            emit(&MetricName::OperatorRecordCount, op.actual_rows);
+            emit(&MetricName::OperatorEstimatedRecords, op.estimated_rows);
         }
         let instance = ComponentId::new(ComponentKind::DatabaseInstance, db_instance);
         for (metric, value) in &self.db_metrics {
-            store.record(instance.clone(), metric.clone(), at, *value);
+            store.record(&instance, metric, at, *value);
         }
-        store.record(instance, MetricName::PlanElapsedTime, at, self.elapsed_secs);
+        store.record(&instance, &MetricName::PlanElapsedTime, at, self.elapsed_secs);
         // Server CPU while the query ran: the CPU share of the elapsed time.
         let cpu_secs: f64 = self.operators.iter().map(|o| o.cpu_secs).sum();
         let cpu_pct = (cpu_secs / self.elapsed_secs.max(1e-9) * 100.0).min(100.0);
         let server = ComponentId::server(db_server);
-        store.record(server.clone(), MetricName::CpuUsagePercent, at, cpu_pct);
-        store.record(server, MetricName::PhysicalMemoryPercent, at, 55.0);
+        store.record(&server, &MetricName::CpuUsagePercent, at, cpu_pct);
+        store.record(&server, &MetricName::PhysicalMemoryPercent, at, 55.0);
     }
 }
 
@@ -158,7 +163,12 @@ impl Executor {
     ///
     /// # Errors
     /// Fails if a leaf operator references a table with no tablespace→volume mapping.
-    pub fn execute(&self, plan: &Plan, env: &ExecutionEnvironment<'_>, start: Timestamp) -> Result<QueryRunRecord> {
+    pub fn execute(
+        &self,
+        plan: &Plan,
+        env: &ExecutionEnvironment<'_>,
+        start: Timestamp,
+    ) -> Result<QueryRunRecord> {
         let competing: Vec<String> = plan.tables();
 
         // Pass 1: nominal execution at base latency to size the query's own I/O load.
@@ -343,7 +353,13 @@ impl Executor {
                 let seq_fraction = if total_pages > 0.0 { seq_pages / total_pages } else { 0.0 };
                 VolumeLoad::new(
                     volume,
-                    IoProfile { read_iops, write_iops, read_kb: 8.0, write_kb: 8.0, sequential_fraction: seq_fraction },
+                    IoProfile {
+                        read_iops,
+                        write_iops,
+                        read_kb: 8.0,
+                        write_kb: 8.0,
+                        sequential_fraction: seq_fraction,
+                    },
                     window,
                 )
             })
@@ -362,11 +378,8 @@ impl Executor {
         let touched = physical + hits;
         let seq_scans = operators.iter().filter(|o| o.kind == OperatorKind::SeqScan).count() as f64;
         let index_scans = operators.iter().filter(|o| o.kind == OperatorKind::IndexScan).count() as f64;
-        let random_ios: f64 = operators
-            .iter()
-            .filter(|o| o.kind == OperatorKind::IndexScan)
-            .map(|o| o.physical_reads)
-            .sum();
+        let random_ios: f64 =
+            operators.iter().filter(|o| o.kind == OperatorKind::IndexScan).map(|o| o.physical_reads).sum();
         let lock_wait: f64 = operators.iter().map(|o| o.lock_wait_secs).sum();
         vec![
             (MetricName::BlocksRead, physical),
@@ -388,16 +401,24 @@ impl Executor {
 mod tests {
     use super::*;
     use crate::catalog::{Index, StorageKind, Table, Tablespace};
+    use crate::locks::LockContentionWindow;
     use diads_san::topology::paper_testbed;
     use diads_san::workload::{ExternalWorkload, IoProfile};
-    use crate::locks::LockContentionWindow;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_tablespace(Tablespace { name: "ts_v1".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
-        c.add_tablespace(Tablespace { name: "ts_v2".into(), volume: "V2".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
+        c.add_tablespace(Tablespace {
+            name: "ts_v1".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
+        c.add_tablespace(Tablespace {
+            name: "ts_v2".into(),
+            volume: "V2".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
         c.add_table(Table {
             name: "partsupp".into(),
             tablespace: "ts_v1".into(),
@@ -416,8 +437,13 @@ mod tests {
             clustering: 0.9,
         })
         .unwrap();
-        c.add_index(Index { name: "part_pkey".into(), table: "part".into(), column: "p_partkey".into(), unique: true })
-            .unwrap();
+        c.add_index(Index {
+            name: "part_pkey".into(),
+            table: "part".into(),
+            column: "p_partkey".into(),
+            unique: true,
+        })
+        .unwrap();
         c
     }
 
@@ -494,7 +520,12 @@ mod tests {
             .unwrap();
         let slow = run(&contended, &cat, &LockManager::new(), Timestamp::new(10_000));
 
-        assert!(slow.elapsed_secs > baseline.elapsed_secs * 1.5, "{} vs {}", slow.elapsed_secs, baseline.elapsed_secs);
+        assert!(
+            slow.elapsed_secs > baseline.elapsed_secs * 1.5,
+            "{} vs {}",
+            slow.elapsed_secs,
+            baseline.elapsed_secs
+        );
         let b_v1 = baseline.operators.iter().find(|o| o.volume.as_deref() == Some("V1")).unwrap();
         let s_v1 = slow.operators.iter().find(|o| o.volume.as_deref() == Some("V1")).unwrap();
         assert!(s_v1.self_secs > b_v1.self_secs * 1.5);
@@ -543,8 +574,12 @@ mod tests {
     fn missing_volume_mapping_is_an_error() {
         let san = SanSimulator::new(paper_testbed());
         let mut cat = Catalog::new();
-        cat.add_tablespace(Tablespace { name: "ts".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
+        cat.add_tablespace(Tablespace {
+            name: "ts".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
         // A catalog whose table points at a tablespace we then cannot resolve: build a
         // plan over a table that simply is not in the catalog.
         let orphan_plan = Plan::new("orphan", "q", PlanNode::seq_scan("ghost", 0.5));
@@ -579,7 +614,7 @@ mod tests {
         assert!(store.series(&instance, &MetricName::BufferHitRatio).is_some());
         let server = ComponentId::server("db-server");
         let cpu = store.series(&server, &MetricName::CpuUsagePercent).unwrap().latest().unwrap().value;
-        assert!(cpu >= 0.0 && cpu <= 100.0);
+        assert!((0.0..=100.0).contains(&cpu));
     }
 
     #[test]

@@ -106,8 +106,12 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_tablespace(Tablespace { name: "ts".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
+        c.add_tablespace(Tablespace {
+            name: "ts".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
         c.add_table(Table {
             name: "part".into(),
             tablespace: "ts".into(),
@@ -117,8 +121,13 @@ mod tests {
             clustering: 0.9,
         })
         .unwrap();
-        c.add_index(Index { name: "part_pkey".into(), table: "part".into(), column: "p_partkey".into(), unique: true })
-            .unwrap();
+        c.add_index(Index {
+            name: "part_pkey".into(),
+            table: "part".into(),
+            column: "p_partkey".into(),
+            unique: true,
+        })
+        .unwrap();
         c
     }
 
@@ -191,7 +200,11 @@ mod tests {
         let hash_plan = Plan::new(
             "hj",
             "q",
-            PlanNode::hash_join(0.5, PlanNode::seq_scan("part", 0.1), PlanNode::hash(PlanNode::seq_scan("part", 0.1))),
+            PlanNode::hash_join(
+                0.5,
+                PlanNode::seq_scan("part", 0.1),
+                PlanNode::hash(PlanNode::seq_scan("part", 0.1)),
+            ),
         );
         let opt_no_hash = Optimizer::new(DbConfig { enable_hashjoin: false, ..DbConfig::default() });
         assert!(!opt_no_hash.is_feasible(&hash_plan, &cat));

@@ -63,7 +63,10 @@ impl OperatorKind {
 
     /// Whether the operator must consume its entire input before producing output.
     pub fn is_blocking(self) -> bool {
-        matches!(self, OperatorKind::Hash | OperatorKind::Sort | OperatorKind::Aggregate | OperatorKind::Materialize)
+        matches!(
+            self,
+            OperatorKind::Hash | OperatorKind::Sort | OperatorKind::Aggregate | OperatorKind::Materialize
+        )
     }
 
     /// Display label used in plan renderings.
@@ -209,12 +212,12 @@ impl PlanNode {
                 stats.row_count(table) as f64 * self.selectivity.clamp(0.0, 1.0)
             }
             _ => {
-                let input = self
-                    .children
-                    .iter()
-                    .map(|c| c.output_rows(stats))
-                    .fold(0.0_f64, f64::max);
-                (input * self.selectivity.clamp(0.0, 1.0)).max(if self.children.is_empty() { 0.0 } else { 1.0 })
+                let input = self.children.iter().map(|c| c.output_rows(stats)).fold(0.0_f64, f64::max);
+                (input * self.selectivity.clamp(0.0, 1.0)).max(if self.children.is_empty() {
+                    0.0
+                } else {
+                    1.0
+                })
             }
         }
     }
@@ -223,9 +226,7 @@ impl PlanNode {
     /// for leaves) — the driver of its CPU cost.
     pub fn input_rows(&self, stats: &dyn StatsProvider) -> f64 {
         match self.kind {
-            OperatorKind::SeqScan => {
-                stats.row_count(self.table.as_deref().unwrap_or("")) as f64
-            }
+            OperatorKind::SeqScan => stats.row_count(self.table.as_deref().unwrap_or("")) as f64,
             OperatorKind::IndexScan => self.output_rows(stats).max(1.0),
             _ => self.children.iter().map(|c| c.output_rows(stats)).sum(),
         }
@@ -385,8 +386,12 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_tablespace(Tablespace { name: "ts".into(), volume: "V1".into(), storage: StorageKind::SystemManaged })
-            .unwrap();
+        c.add_tablespace(Tablespace {
+            name: "ts".into(),
+            volume: "V1".into(),
+            storage: StorageKind::SystemManaged,
+        })
+        .unwrap();
         for (name, rows) in [("part", 200_000_u64), ("supplier", 10_000)] {
             c.add_table(Table {
                 name: name.into(),

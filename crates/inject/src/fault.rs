@@ -173,11 +173,7 @@ impl Injector {
                 if let Err(e) = san.topology_mut().create_volume(t, new_volume.clone(), pool, 100) {
                     return format!("san-misconfiguration failed: {e}");
                 }
-                let subsystem = san
-                    .topology()
-                    .pool(pool)
-                    .map(|p| p.subsystem.clone())
-                    .unwrap_or_default();
+                let subsystem = san.topology().pool(pool).map(|p| p.subsystem.clone()).unwrap_or_default();
                 san.topology_mut().add_zone(
                     t,
                     Zone::new(
@@ -307,7 +303,14 @@ mod tests {
     }
 
     fn apply(bed: &mut Bed, fault: &Fault) -> String {
-        Injector::new().apply(fault, &mut bed.san, &mut bed.catalog, &mut bed.locks, &mut bed.config, &mut bed.events)
+        Injector::new().apply(
+            fault,
+            &mut bed.san,
+            &mut bed.catalog,
+            &mut bed.locks,
+            &mut bed.config,
+            &mut bed.events,
+        )
     }
 
     #[test]
@@ -375,13 +378,25 @@ mod tests {
     #[test]
     fn database_side_faults_record_events() {
         let mut b = bed();
-        apply(&mut b, &Fault::BulkDml { table: "partsupp".into(), row_factor: 2.0, new_selectivity: 0.3, at: Timestamp::new(7) });
+        apply(
+            &mut b,
+            &Fault::BulkDml {
+                table: "partsupp".into(),
+                row_factor: 2.0,
+                new_selectivity: 0.3,
+                at: Timestamp::new(7),
+            },
+        );
         assert_eq!(b.catalog.table("partsupp").unwrap().row_count, 1_600_000);
         assert_eq!(b.events.of_kind(&EventKind::DataPropertiesChanged).len(), 1);
 
         apply(
             &mut b,
-            &Fault::TableLockContention { table: "partsupp".into(), window: window(10, 100), wait_secs_per_scan: 30.0 },
+            &Fault::TableLockContention {
+                table: "partsupp".into(),
+                window: window(10, 100),
+                wait_secs_per_scan: 30.0,
+            },
         );
         assert_eq!(b.locks.windows().len(), 1);
         assert_eq!(b.events.of_kind(&EventKind::LockContention).len(), 1);
@@ -405,7 +420,15 @@ mod tests {
         // Failed database faults are reported.
         let msg = apply(&mut b, &Fault::IndexDrop { index: "missing".into(), at: Timestamp::new(40) });
         assert!(msg.contains("failed"));
-        let msg = apply(&mut b, &Fault::BulkDml { table: "missing".into(), row_factor: 1.0, new_selectivity: 0.1, at: Timestamp::new(41) });
+        let msg = apply(
+            &mut b,
+            &Fault::BulkDml {
+                table: "missing".into(),
+                row_factor: 1.0,
+                new_selectivity: 0.1,
+                at: Timestamp::new(41),
+            },
+        );
         assert!(msg.contains("failed"));
     }
 

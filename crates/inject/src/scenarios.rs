@@ -158,8 +158,9 @@ pub fn scenario_1(timeline: ScenarioTimeline) -> Scenario {
                       issuing I/O against it. The report query slows down because its partsupp scans share \
                       V1's disks with the interloper."
             .into(),
-        critical_modules: "Identified symptoms pinpoint the correct volume; SD maps symptoms to the correct root cause"
-            .into(),
+        critical_modules:
+            "Identified symptoms pinpoint the correct volume; SD maps symptoms to the correct root cause"
+                .into(),
         timeline,
         scale_factor: 10.0,
         faults: vec![TimedFault::new(Fault::SanMisconfiguration {
@@ -194,7 +195,12 @@ pub fn scenario_1b(timeline: ScenarioTimeline) -> Scenario {
         volume: "V2".into(),
         workload_server: "app-server".into(),
         profile: IoProfile::batch_write(150.0),
-        pattern: BurstPattern::Bursty { period_secs: 1_800, burst_secs: 900, multiplier: 1.0, idle_fraction: 0.0 },
+        pattern: BurstPattern::Bursty {
+            period_secs: 1_800,
+            burst_secs: 900,
+            multiplier: 1.0,
+            idle_fraction: 0.0,
+        },
         window: timeline.fault_window(),
     }));
     s.expected.rejected_causes.push(cause_ids::EXTERNAL_WORKLOAD_CONTENTION.into());
@@ -277,9 +283,10 @@ pub fn scenario_4(timeline: ScenarioTimeline) -> Scenario {
     Scenario {
         id: "scenario-4".into(),
         name: "Concurrent DB (change in data properties) and SAN (misconfiguration) problems".into(),
-        description: "The scenario-1 misconfiguration and a scenario-3-style bulk DML happen in the same maintenance \
+        description:
+            "The scenario-1 misconfiguration and a scenario-3-style bulk DML happen in the same maintenance \
                       window. Both contribute to the slowdown; impact analysis must rank them."
-            .into(),
+                .into(),
         critical_modules: "Both problems identified; IA correctly ranks them".into(),
         timeline,
         scale_factor: 10.0,
@@ -300,7 +307,10 @@ pub fn scenario_4(timeline: ScenarioTimeline) -> Scenario {
         ],
         noise: NoiseModel::Gaussian { sigma: 0.05 },
         expected: ExpectedOutcome {
-            primary_causes: vec![cause_ids::SAN_MISCONFIGURATION.into(), cause_ids::DATA_PROPERTY_CHANGE.into()],
+            primary_causes: vec![
+                cause_ids::SAN_MISCONFIGURATION.into(),
+                cause_ids::DATA_PROPERTY_CHANGE.into(),
+            ],
             rejected_causes: vec![cause_ids::TABLE_LOCK_CONTENTION.into()],
         },
     }
@@ -342,9 +352,10 @@ pub fn index_drop_scenario(timeline: ScenarioTimeline) -> Scenario {
     Scenario {
         id: "scenario-index-drop".into(),
         name: "Plan change caused by dropping the part index".into(),
-        description: "A migration script drops part_type_size_idx; the optimizer switches to the sequential-scan \
+        description:
+            "A migration script drops part_type_size_idx; the optimizer switches to the sequential-scan \
                       plan for part, and the report slows down."
-            .into(),
+                .into(),
         critical_modules: "PD detects the plan change and attributes it to the dropped index".into(),
         timeline,
         scale_factor: 10.0,
@@ -365,9 +376,10 @@ pub fn config_change_scenario(timeline: ScenarioTimeline) -> Scenario {
     Scenario {
         id: "scenario-config-change".into(),
         name: "Plan change caused by a configuration-parameter change".into(),
-        description: "random_page_cost is raised from 4 to 80, pricing the index plan out; the optimizer switches \
+        description:
+            "random_page_cost is raised from 4 to 80, pricing the index plan out; the optimizer switches \
                       to sequential scans and the report slows down."
-            .into(),
+                .into(),
         critical_modules: "PD detects the plan change and attributes it to the parameter change".into(),
         timeline,
         scale_factor: 10.0,

@@ -137,7 +137,10 @@ pub fn metrics_for_component(kind: ComponentKind) -> Vec<MetricName> {
             MetricName::OperatorEstimatedRecords,
         ],
         ComponentKind::Server => server_metrics(),
-        ComponentKind::Hba | ComponentKind::HbaPort | ComponentKind::SwitchPort | ComponentKind::SubsystemPort => {
+        ComponentKind::Hba
+        | ComponentKind::HbaPort
+        | ComponentKind::SwitchPort
+        | ComponentKind::SubsystemPort => {
             vec![
                 MetricName::BytesTransmitted,
                 MetricName::BytesReceived,

@@ -177,10 +177,7 @@ impl EventStore {
     /// Configuration-change events that occurred within a time range — the inputs to
     /// module PD's plan-change analysis and module SD's configuration symptoms.
     pub fn configuration_changes_in(&self, range: TimeRange) -> Vec<&Event> {
-        self.events
-            .iter()
-            .filter(|e| range.contains(e.time) && e.kind.is_configuration_change())
-            .collect()
+        self.events.iter().filter(|e| range.contains(e.time) && e.kind.is_configuration_change()).collect()
     }
 
     /// Merges another event store into this one.

@@ -252,10 +252,7 @@ mod tests {
         assert_eq!(ComponentId::pool("P2").kind, ComponentKind::StoragePool);
         assert_eq!(ComponentId::server("dbhost").layer(), Layer::Server);
         assert_eq!(ComponentId::tablespace("ts_part").kind, ComponentKind::Tablespace);
-        assert_eq!(
-            ComponentId::external_workload("batch-etl").kind,
-            ComponentKind::ExternalWorkload
-        );
+        assert_eq!(ComponentId::external_workload("batch-etl").kind, ComponentKind::ExternalWorkload);
     }
 
     #[test]

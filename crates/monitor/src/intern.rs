@@ -1,0 +1,149 @@
+//! Symbol interning for monitored identities.
+//!
+//! The scoring hot path of the diagnosis workflow performs millions of
+//! (component, metric) series lookups. With string-based [`ComponentId`]s as map keys,
+//! every lookup used to clone two `String`s just to *build* the probe key. Interning
+//! gives every distinct component and metric a dense `u32` symbol: keys become `Copy`,
+//! comparisons become integer compares, and lookups allocate nothing.
+//!
+//! The interner is owned by the [`crate::store::MetricStore`]; symbols are only
+//! meaningful relative to the store that issued them.
+
+use std::collections::HashMap;
+
+use crate::ids::ComponentId;
+use crate::metric::MetricName;
+
+/// Interned identity of a [`ComponentId`]. `Copy`, 4 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentSym(pub(crate) u32);
+
+/// Interned identity of a [`MetricName`]. `Copy`, 4 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricSym(pub(crate) u32);
+
+impl MetricSym {
+    /// Range bounds for per-component key scans.
+    pub(crate) const MIN: MetricSym = MetricSym(0);
+    pub(crate) const MAX: MetricSym = MetricSym(u32::MAX);
+}
+
+/// Bidirectional map between rich identities and their dense symbols.
+///
+/// Interning clones the identity exactly once (on first sight); every later lookup is
+/// a borrowed hash probe with zero allocations.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    components: Vec<ComponentId>,
+    component_syms: HashMap<ComponentId, ComponentSym>,
+    metrics: Vec<MetricName>,
+    metric_syms: HashMap<MetricName, MetricSym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The symbol for a component, interning it on first sight.
+    pub fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
+        if let Some(&sym) = self.component_syms.get(component) {
+            return sym;
+        }
+        let sym = ComponentSym(u32::try_from(self.components.len()).expect("< 2^32 components"));
+        self.components.push(component.clone());
+        self.component_syms.insert(component.clone(), sym);
+        sym
+    }
+
+    /// The symbol for a metric, interning it on first sight.
+    pub fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
+        if let Some(&sym) = self.metric_syms.get(metric) {
+            return sym;
+        }
+        let sym = MetricSym(u32::try_from(self.metrics.len()).expect("< 2^32 metrics"));
+        self.metrics.push(metric.clone());
+        self.metric_syms.insert(metric.clone(), sym);
+        sym
+    }
+
+    /// The symbol of an already-interned component (no allocation, no mutation).
+    pub fn component_sym(&self, component: &ComponentId) -> Option<ComponentSym> {
+        self.component_syms.get(component).copied()
+    }
+
+    /// The symbol of an already-interned metric (no allocation, no mutation).
+    pub fn metric_sym(&self, metric: &MetricName) -> Option<MetricSym> {
+        self.metric_syms.get(metric).copied()
+    }
+
+    /// Resolves a component symbol back to its identity.
+    ///
+    /// # Panics
+    /// Panics if the symbol was issued by a different interner.
+    pub fn component(&self, sym: ComponentSym) -> &ComponentId {
+        &self.components[sym.0 as usize]
+    }
+
+    /// Resolves a metric symbol back to its name.
+    ///
+    /// # Panics
+    /// Panics if the symbol was issued by a different interner.
+    pub fn metric(&self, sym: MetricSym) -> &MetricName {
+        &self.metrics[sym.0 as usize]
+    }
+
+    /// Number of distinct components interned.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of distinct metrics interned.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves_back() {
+        let mut i = Interner::new();
+        let v1 = ComponentId::volume("V1");
+        let a = i.intern_component(&v1);
+        let b = i.intern_component(&v1);
+        assert_eq!(a, b);
+        assert_eq!(i.component(a), &v1);
+        assert_eq!(i.component_count(), 1);
+
+        let m = i.intern_metric(&MetricName::WriteIo);
+        assert_eq!(i.metric_sym(&MetricName::WriteIo), Some(m));
+        assert_eq!(i.metric(m), &MetricName::WriteIo);
+        assert_eq!(i.metric_sym(&MetricName::ReadIo), None);
+    }
+
+    #[test]
+    fn distinct_identities_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern_component(&ComponentId::volume("V1"));
+        let b = i.intern_component(&ComponentId::volume("V2"));
+        let c = i.intern_component(&ComponentId::disk("V1"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.component_count(), 3);
+        // Custom metrics intern by value.
+        let m1 = i.intern_metric(&MetricName::Custom("q".into()));
+        let m2 = i.intern_metric(&MetricName::Custom("q".into()));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn borrowed_lookup_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.component_sym(&ComponentId::volume("V1")).is_none());
+        assert_eq!(i.component_count(), 0);
+    }
+}

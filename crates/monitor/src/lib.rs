@@ -28,8 +28,10 @@
 pub mod catalog;
 pub mod event;
 pub mod ids;
+pub mod intern;
 pub mod metric;
 pub mod noise;
+pub mod rng;
 pub mod sampler;
 pub mod series;
 pub mod store;
@@ -37,6 +39,7 @@ pub mod time;
 
 pub use event::{Event, EventKind, EventStore};
 pub use ids::{ComponentId, ComponentKind, Layer};
+pub use intern::{ComponentSym, Interner, MetricSym};
 pub use metric::{MetricKey, MetricName};
 pub use sampler::IntervalSampler;
 pub use series::{DataPoint, TimeSeries};
@@ -50,8 +53,9 @@ mod tests {
     #[test]
     fn public_types_are_reexported() {
         let c = ComponentId::new(ComponentKind::StorageVolume, "V1");
-        let key = MetricKey::new(c, MetricName::WriteIo);
-        assert_eq!(key.metric, MetricName::WriteIo);
+        let mut store = MetricStore::new();
+        let key = store.intern(&c, &MetricName::WriteIo);
+        assert_eq!(store.resolve(key).1, &MetricName::WriteIo);
         let range = TimeRange::new(Timestamp::new(0), Timestamp::new(10));
         assert_eq!(range.duration(), Duration::from_secs(10));
     }

@@ -6,7 +6,8 @@
 //! metric with the component it was measured on, which is the key of the time-series
 //! store.
 
-use crate::ids::{ComponentId, Layer};
+use crate::ids::Layer;
+use crate::intern::{ComponentSym, MetricSym};
 
 /// A performance metric name, following Figure 4 of the paper.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -130,81 +131,111 @@ impl MetricName {
     pub fn layer(&self) -> Layer {
         use MetricName::*;
         match self {
-            OperatorElapsedTime | OperatorSelfTime | OperatorRecordCount | OperatorEstimatedRecords
-            | PlanElapsedTime | LocksHeld | LockWaitTime | SpaceUsage | BlocksRead | BufferHits
-            | BufferHitRatio | IndexScans | IndexReads | IndexFetches | SequentialScans | RandomIos => {
-                Layer::Database
-            }
-            CpuUsagePercent | CpuUsageMhz | Handles | Threads | Processes | HeapMemoryKb
-            | PhysicalMemoryPercent | KernelMemoryKb | SwappedMemoryKb | ReservedMemoryKb => Layer::Server,
-            BytesTransmitted | BytesReceived | PacketsTransmitted | PacketsReceived | LipCount
-            | NosCount | ErrorFrames | DumpedFrames | LinkFailures | CrcErrors | AddressErrors => {
-                Layer::Network
-            }
-            BytesRead | BytesWritten | ContaminatingWrites | ReadIo | WriteIo | ReadTime | WriteTime
-            | ReadResponseTimeMs | WriteResponseTimeMs | SequentialReadHits | SequentialReadRequests
-            | SequentialWriteRequests | TotalIos | Utilization => Layer::Storage,
+            OperatorElapsedTime
+            | OperatorSelfTime
+            | OperatorRecordCount
+            | OperatorEstimatedRecords
+            | PlanElapsedTime
+            | LocksHeld
+            | LockWaitTime
+            | SpaceUsage
+            | BlocksRead
+            | BufferHits
+            | BufferHitRatio
+            | IndexScans
+            | IndexReads
+            | IndexFetches
+            | SequentialScans
+            | RandomIos => Layer::Database,
+            CpuUsagePercent
+            | CpuUsageMhz
+            | Handles
+            | Threads
+            | Processes
+            | HeapMemoryKb
+            | PhysicalMemoryPercent
+            | KernelMemoryKb
+            | SwappedMemoryKb
+            | ReservedMemoryKb => Layer::Server,
+            BytesTransmitted | BytesReceived | PacketsTransmitted | PacketsReceived | LipCount | NosCount
+            | ErrorFrames | DumpedFrames | LinkFailures | CrcErrors | AddressErrors => Layer::Network,
+            BytesRead
+            | BytesWritten
+            | ContaminatingWrites
+            | ReadIo
+            | WriteIo
+            | ReadTime
+            | WriteTime
+            | ReadResponseTimeMs
+            | WriteResponseTimeMs
+            | SequentialReadHits
+            | SequentialReadRequests
+            | SequentialWriteRequests
+            | TotalIos
+            | Utilization => Layer::Storage,
             Custom(_) => Layer::Workload,
         }
     }
 
     /// Canonical short name used in rendered tables (matches the paper's spelling where
     /// the paper names the metric, e.g. `writeIO` and `writeTime` in Table 2).
-    pub fn short_name(&self) -> String {
+    ///
+    /// Returns a borrowed string so rendering never allocates.
+    pub fn short_name(&self) -> &str {
         use MetricName::*;
         match self {
-            OperatorElapsedTime => "opElapsedTime".into(),
-            OperatorSelfTime => "opSelfTime".into(),
-            OperatorRecordCount => "opRecordCount".into(),
-            OperatorEstimatedRecords => "opEstimatedRecords".into(),
-            PlanElapsedTime => "planElapsedTime".into(),
-            LocksHeld => "locksHeld".into(),
-            LockWaitTime => "lockWaitTime".into(),
-            SpaceUsage => "spaceUsage".into(),
-            BlocksRead => "blocksRead".into(),
-            BufferHits => "bufferHits".into(),
-            BufferHitRatio => "bufferHitRatio".into(),
-            IndexScans => "indexScans".into(),
-            IndexReads => "indexReads".into(),
-            IndexFetches => "indexFetches".into(),
-            SequentialScans => "sequentialScans".into(),
-            RandomIos => "randomIOs".into(),
-            CpuUsagePercent => "cpuUsagePct".into(),
-            CpuUsageMhz => "cpuUsageMhz".into(),
-            Handles => "handles".into(),
-            Threads => "threads".into(),
-            Processes => "processes".into(),
-            HeapMemoryKb => "heapMemoryKB".into(),
-            PhysicalMemoryPercent => "physMemoryPct".into(),
-            KernelMemoryKb => "kernelMemoryKB".into(),
-            SwappedMemoryKb => "swappedMemoryKB".into(),
-            ReservedMemoryKb => "reservedMemoryKB".into(),
-            BytesTransmitted => "bytesTx".into(),
-            BytesReceived => "bytesRx".into(),
-            PacketsTransmitted => "packetsTx".into(),
-            PacketsReceived => "packetsRx".into(),
-            LipCount => "lipCount".into(),
-            NosCount => "nosCount".into(),
-            ErrorFrames => "errorFrames".into(),
-            DumpedFrames => "dumpedFrames".into(),
-            LinkFailures => "linkFailures".into(),
-            CrcErrors => "crcErrors".into(),
-            AddressErrors => "addressErrors".into(),
-            BytesRead => "bytesRead".into(),
-            BytesWritten => "bytesWritten".into(),
-            ContaminatingWrites => "contaminatingWrites".into(),
-            ReadIo => "readIO".into(),
-            WriteIo => "writeIO".into(),
-            ReadTime => "readTime".into(),
-            WriteTime => "writeTime".into(),
-            ReadResponseTimeMs => "readRespMs".into(),
-            WriteResponseTimeMs => "writeRespMs".into(),
-            SequentialReadHits => "seqReadHits".into(),
-            SequentialReadRequests => "seqReadReqs".into(),
-            SequentialWriteRequests => "seqWriteReqs".into(),
-            TotalIos => "totalIOs".into(),
-            Utilization => "utilization".into(),
-            Custom(name) => name.clone(),
+            OperatorElapsedTime => "opElapsedTime",
+            OperatorSelfTime => "opSelfTime",
+            OperatorRecordCount => "opRecordCount",
+            OperatorEstimatedRecords => "opEstimatedRecords",
+            PlanElapsedTime => "planElapsedTime",
+            LocksHeld => "locksHeld",
+            LockWaitTime => "lockWaitTime",
+            SpaceUsage => "spaceUsage",
+            BlocksRead => "blocksRead",
+            BufferHits => "bufferHits",
+            BufferHitRatio => "bufferHitRatio",
+            IndexScans => "indexScans",
+            IndexReads => "indexReads",
+            IndexFetches => "indexFetches",
+            SequentialScans => "sequentialScans",
+            RandomIos => "randomIOs",
+            CpuUsagePercent => "cpuUsagePct",
+            CpuUsageMhz => "cpuUsageMhz",
+            Handles => "handles",
+            Threads => "threads",
+            Processes => "processes",
+            HeapMemoryKb => "heapMemoryKB",
+            PhysicalMemoryPercent => "physMemoryPct",
+            KernelMemoryKb => "kernelMemoryKB",
+            SwappedMemoryKb => "swappedMemoryKB",
+            ReservedMemoryKb => "reservedMemoryKB",
+            BytesTransmitted => "bytesTx",
+            BytesReceived => "bytesRx",
+            PacketsTransmitted => "packetsTx",
+            PacketsReceived => "packetsRx",
+            LipCount => "lipCount",
+            NosCount => "nosCount",
+            ErrorFrames => "errorFrames",
+            DumpedFrames => "dumpedFrames",
+            LinkFailures => "linkFailures",
+            CrcErrors => "crcErrors",
+            AddressErrors => "addressErrors",
+            BytesRead => "bytesRead",
+            BytesWritten => "bytesWritten",
+            ContaminatingWrites => "contaminatingWrites",
+            ReadIo => "readIO",
+            WriteIo => "writeIO",
+            ReadTime => "readTime",
+            WriteTime => "writeTime",
+            ReadResponseTimeMs => "readRespMs",
+            WriteResponseTimeMs => "writeRespMs",
+            SequentialReadHits => "seqReadHits",
+            SequentialReadRequests => "seqReadReqs",
+            SequentialWriteRequests => "seqWriteReqs",
+            TotalIos => "totalIOs",
+            Utilization => "utilization",
+            Custom(name) => name,
         }
     }
 
@@ -224,36 +255,39 @@ impl MetricName {
 
 impl std::fmt::Display for MetricName {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.short_name())
+        f.write_str(self.short_name())
     }
 }
 
-/// A (component, metric) pair — the key of the time-series store.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// An interned (component, metric) pair — the key of the time-series store.
+///
+/// This is a pair of dense `u32` symbols issued by the owning
+/// [`crate::store::MetricStore`]'s interner: `Copy`, 8 bytes, integer-comparable. Use
+/// [`crate::store::MetricStore::intern`] to create one and
+/// [`crate::store::MetricStore::resolve`] to get the rich identities back. Keys are
+/// only meaningful relative to the store that issued them.
+///
+/// The ordering (component first, then metric) groups a component's series
+/// contiguously, which is what makes per-component range scans possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricKey {
-    /// The component the metric was measured on.
-    pub component: ComponentId,
-    /// The metric name.
-    pub metric: MetricName,
+    /// The interned component the metric was measured on.
+    pub component: ComponentSym,
+    /// The interned metric name.
+    pub metric: MetricSym,
 }
 
 impl MetricKey {
-    /// Creates a metric key.
-    pub fn new(component: ComponentId, metric: MetricName) -> Self {
+    /// Creates a metric key from interned symbols.
+    pub fn new(component: ComponentSym, metric: MetricSym) -> Self {
         MetricKey { component, metric }
-    }
-}
-
-impl std::fmt::Display for MetricKey {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}", self.component, self.metric)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::ComponentKind;
+    use crate::ids::{ComponentId, ComponentKind};
 
     #[test]
     fn metric_layers() {
@@ -279,12 +313,14 @@ mod tests {
     }
 
     #[test]
-    fn metric_key_display() {
-        let key = MetricKey::new(
-            ComponentId::new(ComponentKind::StorageVolume, "V1"),
-            MetricName::WriteIo,
-        );
-        assert_eq!(key.to_string(), "volume:V1/writeIO");
+    fn metric_keys_are_copy_and_ordered_component_first() {
+        let mut store = crate::store::MetricStore::new();
+        let a = store.intern(&ComponentId::new(ComponentKind::StorageVolume, "V1"), &MetricName::WriteIo);
+        let b = a; // Copy — no clone needed
+        assert_eq!(a, b);
+        let c = store.intern(&ComponentId::new(ComponentKind::StorageVolume, "V2"), &MetricName::ReadIo);
+        assert!(a < c, "keys group by component before metric");
+        assert_eq!(store.display_key(a), "volume:V1/writeIO");
     }
 
     #[test]

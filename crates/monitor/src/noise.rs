@@ -6,8 +6,7 @@
 //! Table 1 relies on noise producing *spurious symptoms*. The noise models here are
 //! applied by the collector when it flushes interval averages into the metric store.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// A measurement-noise model applied to each flushed sample.
 #[derive(Debug, Clone)]
@@ -45,13 +44,13 @@ impl NoiseModel {
 #[derive(Debug, Clone)]
 pub struct NoiseGenerator {
     model: NoiseModel,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl NoiseGenerator {
     /// Creates a generator with a fixed seed (deterministic across runs).
     pub fn new(model: NoiseModel, seed: u64) -> Self {
-        NoiseGenerator { model, rng: StdRng::seed_from_u64(seed) }
+        NoiseGenerator { model, rng: SplitMix64::new(seed) }
     }
 
     /// Applies noise to a raw value; never returns a negative number, since every
@@ -66,7 +65,7 @@ impl NoiseGenerator {
             NoiseModel::GaussianWithSpikes { sigma, spike_prob, spike_factor } => {
                 let z = self.sample_standard_normal();
                 let mut v = value * (1.0 + sigma * z);
-                if self.rng.gen::<f64>() < spike_prob {
+                if self.rng.next_f64() < spike_prob {
                     v *= spike_factor;
                 }
                 v.max(0.0)
@@ -76,9 +75,7 @@ impl NoiseGenerator {
 
     /// Standard normal via Box–Muller (avoids pulling in a distributions crate).
     fn sample_standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        self.rng.next_normal(0.0, 1.0)
     }
 }
 

@@ -1,0 +1,80 @@
+//! A small, seedable PRNG shared by the simulation layers.
+//!
+//! The `rand` crate is deliberately not a dependency: the simulators only need
+//! deterministic, seedable jitter, and splitmix64 is more than adequate for that.
+
+/// A splitmix64 pseudo-random generator. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A normally distributed sample via Box–Muller.
+    pub fn next_normal(&mut self, mean: f64, sd: f64) -> f64 {
+        let u1 = self.next_f64().max(f64::EPSILON);
+        let u2 = self.next_f64();
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_centred() {
+        let mut g = SplitMix64::new(42);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut g = SplitMix64::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next_normal(100.0, 8.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        assert!((mean - 100.0).abs() < 0.5, "mean = {mean}");
+        assert!((var.sqrt() - 8.0).abs() < 0.5, "sd = {}", var.sqrt());
+    }
+}

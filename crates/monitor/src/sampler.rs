@@ -41,6 +41,9 @@ impl IntervalSampler {
 
     /// Feeds one raw observation; if the observation falls into a new interval for this
     /// key, the previous interval is flushed into `store` first.
+    ///
+    /// Keys are interned symbols (`Copy`), so steady-state observation performs no
+    /// allocation at all.
     pub fn observe(&mut self, store: &mut MetricStore, key: MetricKey, time: Timestamp, value: f64) {
         let bucket = self.bucket_start(time);
         match self.open.get_mut(&key) {
@@ -51,8 +54,8 @@ impl IntervalSampler {
             Some(entry) => {
                 let (start, sum, count) = *entry;
                 let avg = self.noise.perturb(sum / count as f64);
-                store.record_key(key.clone(), Timestamp::new(start), avg);
-                *self.open.get_mut(&key).expect("just read") = (bucket, value, 1);
+                store.record_key(key, Timestamp::new(start), avg);
+                *entry = (bucket, value, 1);
             }
             None => {
                 self.open.insert(key, (bucket, value, 1));
@@ -84,19 +87,20 @@ mod tests {
     use crate::metric::MetricName;
     use crate::time::TimeRange;
 
-    fn key() -> MetricKey {
-        MetricKey::new(ComponentId::volume("V1"), MetricName::WriteIo)
+    fn key(store: &mut MetricStore) -> MetricKey {
+        store.intern(&ComponentId::volume("V1"), &MetricName::WriteIo)
     }
 
     #[test]
     fn averages_within_interval() {
         let mut sampler = IntervalSampler::new(Duration::from_mins(5), NoiseModel::None, 1);
         let mut store = MetricStore::new();
+        let key = key(&mut store);
         // 300 one-second observations of value 10, then one observation in the next interval.
         for t in 0..300 {
-            sampler.observe(&mut store, key(), Timestamp::new(t), 10.0);
+            sampler.observe(&mut store, key, Timestamp::new(t), 10.0);
         }
-        sampler.observe(&mut store, key(), Timestamp::new(300), 50.0);
+        sampler.observe(&mut store, key, Timestamp::new(300), 50.0);
         // The first interval has been flushed with its average.
         let series = store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap();
         assert_eq!(series.len(), 1);
@@ -113,10 +117,11 @@ mod tests {
     fn bursts_are_averaged_away() {
         let mut sampler = IntervalSampler::new(Duration::from_mins(5), NoiseModel::None, 1);
         let mut store = MetricStore::new();
+        let key = key(&mut store);
         // Idle interval with a single 30-second burst of 100 IOPS.
         for t in 0..300 {
             let v = if (100..130).contains(&t) { 100.0 } else { 1.0 };
-            sampler.observe(&mut store, key(), Timestamp::new(t), v);
+            sampler.observe(&mut store, key, Timestamp::new(t), v);
         }
         sampler.flush(&mut store);
         let avg = store
@@ -136,9 +141,10 @@ mod tests {
     fn separate_keys_do_not_interfere() {
         let mut sampler = IntervalSampler::new(Duration::from_secs(60), NoiseModel::None, 1);
         let mut store = MetricStore::new();
-        let other = MetricKey::new(ComponentId::volume("V2"), MetricName::WriteIo);
-        sampler.observe(&mut store, key(), Timestamp::new(0), 5.0);
-        sampler.observe(&mut store, other.clone(), Timestamp::new(0), 50.0);
+        let key = key(&mut store);
+        let other = store.intern(&ComponentId::volume("V2"), &MetricName::WriteIo);
+        sampler.observe(&mut store, key, Timestamp::new(0), 5.0);
+        sampler.observe(&mut store, other, Timestamp::new(0), 50.0);
         sampler.flush(&mut store);
         assert_eq!(
             store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap().points()[0].value,
@@ -156,8 +162,9 @@ mod tests {
             let mut sampler =
                 IntervalSampler::new(Duration::from_secs(60), NoiseModel::Gaussian { sigma: 0.1 }, seed);
             let mut store = MetricStore::new();
+            let key = key(&mut store);
             for t in 0..60 {
-                sampler.observe(&mut store, key(), Timestamp::new(t), 100.0);
+                sampler.observe(&mut store, key, Timestamp::new(t), 100.0);
             }
             sampler.flush(&mut store);
             store.series(&ComponentId::volume("V1"), &MetricName::WriteIo).unwrap().points()[0].value

@@ -80,8 +80,16 @@ impl TimeSeries {
     }
 
     /// Values (without timestamps) within a range.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should use [`TimeSeries::range`] or
+    /// [`TimeSeries::iter_in`], which borrow.
     pub fn values_in(&self, range: TimeRange) -> Vec<f64> {
         self.range(range).iter().map(|p| p.value).collect()
+    }
+
+    /// Iterates over the values within a range without allocating.
+    pub fn iter_in(&self, range: TimeRange) -> impl Iterator<Item = f64> + '_ {
+        self.range(range).iter().map(|p| p.value)
     }
 
     /// Mean of the values within a range, if the range contains any points.

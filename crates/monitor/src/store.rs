@@ -1,19 +1,29 @@
 //! The central metric store — the reproduction's stand-in for the TPC/DB2 monitoring
 //! database the paper's deployment records everything into (Figure 5).
+//!
+//! The store owns a symbol [`Interner`]: series are keyed by interned
+//! [`MetricKey`]s (two `u32`s, `Copy`), so the scoring hot path of the diagnosis
+//! workflow performs **zero string clones and zero allocations** per lookup. Rich
+//! identities are cloned exactly once, when a series is first recorded.
 
 use std::collections::BTreeMap;
 
 use crate::ids::{ComponentId, ComponentKind};
+use crate::intern::{ComponentSym, Interner, MetricSym};
 use crate::metric::{MetricKey, MetricName};
-use crate::series::TimeSeries;
+use crate::series::{DataPoint, TimeSeries};
 use crate::time::{TimeRange, Timestamp};
 
-/// An in-memory store of metric time series keyed by (component, metric).
+/// An in-memory store of metric time series keyed by interned (component, metric)
+/// symbols.
 ///
-/// A `BTreeMap` keeps iteration deterministic, which matters for reproducible
-/// experiment output.
+/// A `BTreeMap` over the dense keys keeps iteration deterministic (symbol order =
+/// first-recorded order, which is deterministic for a deterministic simulation) and
+/// groups each component's series contiguously, so per-component scans are range
+/// queries instead of full traversals.
 #[derive(Debug, Clone, Default)]
 pub struct MetricStore {
+    interner: Interner,
     series: BTreeMap<MetricKey, TimeSeries>,
 }
 
@@ -23,25 +33,90 @@ impl MetricStore {
         Self::default()
     }
 
-    /// Records one observation.
-    pub fn record(&mut self, component: ComponentId, metric: MetricName, time: Timestamp, value: f64) {
-        self.series
-            .entry(MetricKey::new(component, metric))
-            .or_default()
-            .push(time, value);
+    // ----- Interning -----
+
+    /// The store's interner (for resolving symbols issued by this store).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
-    /// Records one observation by key.
+    /// Interns a (component, metric) pair into a `Copy` key. Allocates only the first
+    /// time an identity is seen.
+    pub fn intern(&mut self, component: &ComponentId, metric: &MetricName) -> MetricKey {
+        MetricKey::new(self.interner.intern_component(component), self.interner.intern_metric(metric))
+    }
+
+    /// Interns a component on its own (e.g. to hoist the symbol out of a loop that
+    /// emits many metrics for the same component).
+    pub fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
+        self.interner.intern_component(component)
+    }
+
+    /// Interns a metric name on its own.
+    pub fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
+        self.interner.intern_metric(metric)
+    }
+
+    /// The key for an already-recorded (component, metric) pair, without mutating the
+    /// interner. Zero clones, zero allocations.
+    pub fn key_of(&self, component: &ComponentId, metric: &MetricName) -> Option<MetricKey> {
+        Some(MetricKey::new(self.interner.component_sym(component)?, self.interner.metric_sym(metric)?))
+    }
+
+    /// Resolves a key back to its rich identities.
+    ///
+    /// # Panics
+    /// Panics if the key was issued by a different store.
+    pub fn resolve(&self, key: MetricKey) -> (&ComponentId, &MetricName) {
+        (self.interner.component(key.component), self.interner.metric(key.metric))
+    }
+
+    /// Renders a key as `component/metric` (the old `MetricKey` display format).
+    pub fn display_key(&self, key: MetricKey) -> String {
+        let (component, metric) = self.resolve(key);
+        format!("{component}/{metric}")
+    }
+
+    // ----- Recording -----
+
+    /// Records one observation.
+    pub fn record(&mut self, component: &ComponentId, metric: &MetricName, time: Timestamp, value: f64) {
+        let key = self.intern(component, metric);
+        self.series.entry(key).or_default().push(time, value);
+    }
+
+    /// Records one observation by interned key (the zero-allocation fast path).
     pub fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
         self.series.entry(key).or_default().push(time, value);
     }
 
+    // ----- Lookups (hot path: no clones, no allocations) -----
+
     /// The series for a (component, metric) pair, if any observation was ever recorded.
     pub fn series(&self, component: &ComponentId, metric: &MetricName) -> Option<&TimeSeries> {
-        self.series.get(&MetricKey::new(component.clone(), metric.clone()))
+        self.series_by_key(self.key_of(component, metric)?)
+    }
+
+    /// The series for an interned key.
+    pub fn series_by_key(&self, key: MetricKey) -> Option<&TimeSeries> {
+        self.series.get(&key)
+    }
+
+    /// Points of a metric within a time range, as a borrowed slice (empty if the
+    /// series does not exist). This is the zero-copy replacement for [`Self::values_in`].
+    pub fn points_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> &[DataPoint] {
+        self.series(component, metric).map(|s| s.range(range)).unwrap_or(&[])
+    }
+
+    /// Points of a metric within a time range by interned key, as a borrowed slice.
+    pub fn points_in_by_key(&self, key: MetricKey, range: TimeRange) -> &[DataPoint] {
+        self.series_by_key(key).map(|s| s.range(range)).unwrap_or(&[])
     }
 
     /// Values of a metric within a time range (empty if the series does not exist).
+    ///
+    /// Allocates a fresh `Vec`; scoring loops should prefer [`Self::points_in`] /
+    /// [`Self::points_in_by_key`] or the aggregate accessors, which do not.
     pub fn values_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> Vec<f64> {
         self.series(component, metric).map(|s| s.values_in(range)).unwrap_or_default()
     }
@@ -51,37 +126,66 @@ impl MetricStore {
         self.series(component, metric).and_then(|s| s.mean_in(range))
     }
 
+    /// Mean of a metric within a time range by interned key.
+    pub fn mean_in_by_key(&self, key: MetricKey, range: TimeRange) -> Option<f64> {
+        self.series_by_key(key).and_then(|s| s.mean_in(range))
+    }
+
     /// Sum of a metric within a time range (0.0 if absent).
     pub fn sum_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> f64 {
         self.series(component, metric).map(|s| s.sum_in(range)).unwrap_or(0.0)
     }
 
-    /// All metric names ever recorded for a component, in deterministic order.
-    pub fn metrics_of(&self, component: &ComponentId) -> Vec<MetricName> {
-        self.series
-            .keys()
-            .filter(|k| &k.component == component)
-            .map(|k| k.metric.clone())
-            .collect()
+    // ----- Enumeration (cold path: resolves and sorts for stable public order) -----
+
+    /// Every series key of one component, in metric-symbol order. Zero allocations:
+    /// this is a range scan over the contiguous key block of the component.
+    pub fn keys_of(&self, component: ComponentSym) -> impl Iterator<Item = MetricKey> + '_ {
+        let lo = MetricKey::new(component, MetricSym::MIN);
+        let hi = MetricKey::new(component, MetricSym::MAX);
+        self.series.range(lo..=hi).map(|(k, _)| *k)
     }
 
-    /// All components of a given kind that have at least one recorded metric.
+    /// All metric names ever recorded for a component, sorted by name order.
+    pub fn metrics_of(&self, component: &ComponentId) -> Vec<MetricName> {
+        let Some(sym) = self.interner.component_sym(component) else { return Vec::new() };
+        let mut out: Vec<MetricName> =
+            self.keys_of(sym).map(|k| self.interner.metric(k.metric).clone()).collect();
+        out.sort();
+        out
+    }
+
+    /// All components of a given kind that have at least one recorded metric, sorted.
     pub fn components_of_kind(&self, kind: ComponentKind) -> Vec<ComponentId> {
         let mut out: Vec<ComponentId> = self
-            .series
-            .keys()
-            .filter(|k| k.component.kind == kind)
-            .map(|k| k.component.clone())
+            .component_syms()
+            .map(|s| self.interner.component(s))
+            .filter(|c| c.kind == kind)
+            .cloned()
             .collect();
-        out.dedup();
+        out.sort();
         out
     }
 
-    /// All distinct components with any recorded metric.
+    /// All distinct components with any recorded metric, sorted.
     pub fn components(&self) -> Vec<ComponentId> {
-        let mut out: Vec<ComponentId> = self.series.keys().map(|k| k.component.clone()).collect();
-        out.dedup();
+        let mut out: Vec<ComponentId> =
+            self.component_syms().map(|s| self.interner.component(s).clone()).collect();
+        out.sort();
         out
+    }
+
+    /// All distinct component symbols with any recorded series, in symbol order.
+    pub fn component_syms(&self) -> impl Iterator<Item = ComponentSym> + '_ {
+        let mut last: Option<ComponentSym> = None;
+        self.series.keys().filter_map(move |k| {
+            if last == Some(k.component) {
+                None
+            } else {
+                last = Some(k.component);
+                Some(k.component)
+            }
+        })
     }
 
     /// Number of distinct (component, metric) series.
@@ -95,19 +199,32 @@ impl MetricStore {
     }
 
     /// Merges another store into this one (used when assembling a testbed from the SAN
-    /// and database collectors).
+    /// and database collectors). Symbols are re-interned, so the stores do not need to
+    /// share an interner.
     pub fn merge(&mut self, other: &MetricStore) {
         for (key, series) in &other.series {
-            let entry = self.series.entry(key.clone()).or_default();
+            let (component, metric) = other.resolve(*key);
+            let own = self.intern(component, metric);
+            let entry = self.series.entry(own).or_default();
             for p in series.points() {
                 entry.push(p.time, p.value);
             }
         }
     }
 
-    /// Iterates over every (key, series) pair in deterministic order.
-    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &TimeSeries)> {
-        self.series.iter()
+    /// Iterates over every (key, series) pair in key (symbol) order — deterministic
+    /// for a deterministic record order. Use [`Self::resolve`] on the keys for rich
+    /// identities, or [`Self::iter_sorted`] for name-sorted iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricKey, &TimeSeries)> {
+        self.series.iter().map(|(k, s)| (*k, s))
+    }
+
+    /// Iterates in (component, metric) *name* order — the old rich-key iteration
+    /// order. Allocates a sort index, so keep it out of hot loops.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (MetricKey, &TimeSeries)> {
+        let mut keys: Vec<MetricKey> = self.series.keys().copied().collect();
+        keys.sort_by(|a, b| self.resolve(*a).cmp(&self.resolve(*b)));
+        keys.into_iter().map(|k| (k, &self.series[&k]))
     }
 }
 
@@ -123,7 +240,7 @@ mod tests {
     fn record_and_query() {
         let mut store = MetricStore::new();
         for t in 0..10 {
-            store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(t * 60), t as f64);
+            store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(t * 60), t as f64);
         }
         let r = TimeRange::new(Timestamp::new(0), Timestamp::new(300));
         assert_eq!(store.values_in(&volume("V1"), &MetricName::WriteIo, r), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
@@ -133,15 +250,39 @@ mod tests {
         assert!(store.values_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
         assert_eq!(store.mean_in(&volume("V1"), &MetricName::ReadIo, r), None);
         assert_eq!(store.sum_in(&volume("V9"), &MetricName::ReadIo, r), 0.0);
+        // Zero-copy range access returns the same values as a borrowed slice.
+        let points = store.points_in(&volume("V1"), &MetricName::WriteIo, r);
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[2].value, 2.0);
+        assert!(store.points_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
+    }
+
+    #[test]
+    fn interned_keys_round_trip() {
+        let mut store = MetricStore::new();
+        store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+        let key = store.key_of(&volume("V1"), &MetricName::WriteIo).expect("recorded");
+        assert_eq!(store.series_by_key(key).unwrap().len(), 1);
+        let (c, m) = store.resolve(key);
+        assert_eq!(c, &volume("V1"));
+        assert_eq!(m, &MetricName::WriteIo);
+        assert_eq!(store.display_key(key), "volume:V1/writeIO");
+        // Unrecorded identities have no key and cause no interning.
+        assert!(store.key_of(&volume("V9"), &MetricName::WriteIo).is_none());
+        assert!(store.key_of(&volume("V1"), &MetricName::ReadIo).is_none());
+        assert_eq!(
+            store.mean_in_by_key(key, TimeRange::new(Timestamp::new(0), Timestamp::new(10))),
+            Some(1.0)
+        );
     }
 
     #[test]
     fn metrics_of_and_components() {
         let mut store = MetricStore::new();
-        store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
-        store.record(volume("V1"), MetricName::WriteTime, Timestamp::new(0), 1.0);
-        store.record(volume("V2"), MetricName::WriteIo, Timestamp::new(0), 1.0);
-        store.record(ComponentId::disk("d1"), MetricName::Utilization, Timestamp::new(0), 0.3);
+        store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+        store.record(&volume("V1"), &MetricName::WriteTime, Timestamp::new(0), 1.0);
+        store.record(&volume("V2"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+        store.record(&ComponentId::disk("d1"), &MetricName::Utilization, Timestamp::new(0), 0.3);
 
         assert_eq!(store.metrics_of(&volume("V1")).len(), 2);
         assert_eq!(store.components_of_kind(ComponentKind::StorageVolume).len(), 2);
@@ -149,28 +290,41 @@ mod tests {
         assert_eq!(store.components().len(), 3);
         assert_eq!(store.series_count(), 4);
         assert_eq!(store.point_count(), 4);
+        // keys_of covers exactly the component's series.
+        let sym = store.interner().component_sym(&volume("V1")).unwrap();
+        assert_eq!(store.keys_of(sym).count(), 2);
     }
 
     #[test]
-    fn merge_combines_points() {
+    fn merge_combines_points_across_interners() {
         let mut a = MetricStore::new();
-        a.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
+        a.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
         let mut b = MetricStore::new();
-        b.record(volume("V1"), MetricName::WriteIo, Timestamp::new(60), 2.0);
-        b.record(volume("V2"), MetricName::ReadIo, Timestamp::new(0), 3.0);
+        // Interned in a different order on purpose: symbols must not be assumed shared.
+        b.record(&volume("V2"), &MetricName::ReadIo, Timestamp::new(0), 3.0);
+        b.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(60), 2.0);
         a.merge(&b);
         assert_eq!(a.series_count(), 2);
         assert_eq!(a.series(&volume("V1"), &MetricName::WriteIo).unwrap().len(), 2);
+        assert_eq!(a.series(&volume("V2"), &MetricName::ReadIo).unwrap().len(), 1);
     }
 
     #[test]
     fn iteration_is_deterministic() {
-        let mut store = MetricStore::new();
-        store.record(volume("V2"), MetricName::WriteIo, Timestamp::new(0), 1.0);
-        store.record(volume("V1"), MetricName::WriteIo, Timestamp::new(0), 1.0);
-        let keys: Vec<String> = store.iter().map(|(k, _)| k.to_string()).collect();
-        let mut sorted = keys.clone();
-        sorted.sort();
-        assert_eq!(keys, sorted);
+        let build = || {
+            let mut store = MetricStore::new();
+            store.record(&volume("V2"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+            store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+            store
+        };
+        let (a, b) = (build(), build());
+        let ka: Vec<String> = a.iter().map(|(k, _)| a.display_key(k)).collect();
+        let kb: Vec<String> = b.iter().map(|(k, _)| b.display_key(k)).collect();
+        assert_eq!(ka, kb, "same record order must give same iteration order");
+        // Name-sorted iteration matches the old rich-key BTreeMap order.
+        let sorted: Vec<String> = a.iter_sorted().map(|(k, _)| a.display_key(k)).collect();
+        let mut expect = ka.clone();
+        expect.sort();
+        assert_eq!(sorted, expect);
     }
 }

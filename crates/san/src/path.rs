@@ -48,11 +48,7 @@ pub fn inner_path(topology: &SanTopology, server: &str, volume: &str) -> Vec<Com
 /// The SAN components on the outer dependency path of `volume`: the other volumes that
 /// share its physical disks and the external workloads that target those volumes (or
 /// the volume itself).
-pub fn outer_path(
-    topology: &SanTopology,
-    workloads: &[ExternalWorkload],
-    volume: &str,
-) -> Vec<ComponentId> {
+pub fn outer_path(topology: &SanTopology, workloads: &[ExternalWorkload], volume: &str) -> Vec<ComponentId> {
     let mut path = Vec::new();
     let sharing = topology.volumes_sharing_disks(volume);
     for v in &sharing {
@@ -94,9 +90,7 @@ mod tests {
         // disks 5-10.
         let t = paper_testbed();
         let path = inner_path(&t, "db-server", "V2");
-        let has = |kind: ComponentKind, name: &str| {
-            path.iter().any(|c| c.kind == kind && c.name == name)
-        };
+        let has = |kind: ComponentKind, name: &str| path.iter().any(|c| c.kind == kind && c.name == name);
         assert!(has(ComponentKind::Server, "db-server"));
         assert!(has(ComponentKind::Hba, "db-server-hba0"));
         assert!(has(ComponentKind::FcSwitch, "fc-switch-edge"));

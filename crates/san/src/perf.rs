@@ -221,7 +221,12 @@ impl SanSimulator {
         else {
             return 0.0;
         };
-        let live_disks = pool.disks.iter().filter(|d| self.topology.disk(d).map(|x| !x.failed).unwrap_or(false)).count().max(1) as f64;
+        let live_disks = pool
+            .disks
+            .iter()
+            .filter(|d| self.topology.disk(d).map(|x| !x.failed).unwrap_or(false))
+            .count()
+            .max(1) as f64;
         let mut busy_ms_per_sec = 0.0;
         for v in self.topology.volumes_in_pool(&pool.name) {
             let load = self.offered_volume_load(&v.name, t, extra);
@@ -316,9 +321,10 @@ impl SanSimulator {
             let bytes_written = load.write_iops * load.write_kb * 1024.0 * step_f;
             let read_time_s = reads * resp.read_ms / 1000.0;
             let write_time_s = writes * resp.write_ms / 1000.0;
-            let comp = ComponentId::volume(&name);
+            let comp = store.intern_component(&ComponentId::volume(&name));
             let mut emit = |metric: MetricName, value: f64| {
-                sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                let key = MetricKey::new(comp, store.intern_metric(&metric));
+                sampler.observe(store, key, t, value);
             };
             emit(MetricName::ReadIo, reads);
             emit(MetricName::WriteIo, writes);
@@ -354,7 +360,7 @@ impl SanSimulator {
         // Pools and their disks (back-end view).
         for pool_name in self.topology.pool_names() {
             let acc = pool_acc.get(&pool_name).copied().unwrap_or([0.0; 6]);
-            let comp = ComponentId::pool(&pool_name);
+            let comp = store.intern_component(&ComponentId::pool(&pool_name));
             let pool_util = {
                 let pool = self.topology.pool(&pool_name).expect("pool exists");
                 let live: Vec<&str> = pool
@@ -370,7 +376,8 @@ impl SanSimulator {
                 }
             };
             let mut emit = |metric: MetricName, value: f64| {
-                sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                let key = MetricKey::new(comp, store.intern_metric(&metric));
+                sampler.observe(store, key, t, value);
             };
             emit(MetricName::ReadIo, acc[0]);
             emit(MetricName::WriteIo, acc[1]);
@@ -390,10 +397,11 @@ impl SanSimulator {
                 .collect();
             let n = live_disks.len().max(1) as f64;
             for disk in &live_disks {
-                let comp = ComponentId::disk(*disk);
+                let comp = store.intern_component(&ComponentId::disk(*disk));
                 let util = self.disk_utilization(disk, t, extra);
                 let mut emit = |metric: MetricName, value: f64| {
-                    sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                    let key = MetricKey::new(comp, store.intern_metric(&metric));
+                    sampler.observe(store, key, t, value);
                 };
                 emit(MetricName::ReadIo, acc[0] / n);
                 emit(MetricName::WriteIo, acc[1] / n);
@@ -408,9 +416,10 @@ impl SanSimulator {
 
         // Subsystems: aggregate of every pool.
         for sub in self.topology.subsystem_names() {
-            let comp = ComponentId::new(ComponentKind::StorageSubsystem, &sub);
+            let comp = store.intern_component(&ComponentId::new(ComponentKind::StorageSubsystem, &sub));
             let mut emit = |metric: MetricName, value: f64| {
-                sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                let key = MetricKey::new(comp, store.intern_metric(&metric));
+                sampler.observe(store, key, t, value);
             };
             emit(MetricName::TotalIos, total_ios);
             emit(MetricName::BytesRead, total_bytes * 0.5);
@@ -420,9 +429,10 @@ impl SanSimulator {
         // Fabric: split bytes evenly across switches; errors stay at zero.
         let n_switches = self.topology.switch_names().len().max(1) as f64;
         for sw in self.topology.switch_names() {
-            let comp = ComponentId::new(ComponentKind::FcSwitch, &sw);
+            let comp = store.intern_component(&ComponentId::new(ComponentKind::FcSwitch, &sw));
             let mut emit = |metric: MetricName, value: f64| {
-                sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                let key = MetricKey::new(comp, store.intern_metric(&metric));
+                sampler.observe(store, key, t, value);
             };
             emit(MetricName::BytesTransmitted, total_bytes / n_switches / 2.0);
             emit(MetricName::BytesReceived, total_bytes / n_switches / 2.0);
@@ -444,9 +454,10 @@ impl SanSimulator {
                 bytes += (load.read_iops * load.read_kb + load.write_iops * load.write_kb) * 1024.0 * step_f;
                 ios += load.total_iops() * step_f;
             }
-            let comp = ComponentId::new(ComponentKind::Hba, &hba_name);
+            let comp = store.intern_component(&ComponentId::new(ComponentKind::Hba, &hba_name));
             let mut emit = |metric: MetricName, value: f64| {
-                sampler.observe(store, MetricKey::new(comp.clone(), metric), t, value);
+                let key = MetricKey::new(comp, store.intern_metric(&metric));
+                sampler.observe(store, key, t, value);
             };
             emit(MetricName::BytesTransmitted, bytes / 2.0);
             emit(MetricName::BytesReceived, bytes / 2.0);
@@ -477,13 +488,7 @@ fn combine(a: IoProfile, b: IoProfile) -> IoProfile {
         a.write_kb
     };
     let seq = (a.total_iops() * a.sequential_fraction + b.total_iops() * b.sequential_fraction) / total;
-    IoProfile {
-        read_iops: total_read,
-        write_iops: total_write,
-        read_kb,
-        write_kb,
-        sequential_fraction: seq,
-    }
+    IoProfile { read_iops: total_read, write_iops: total_write, read_kb, write_kb, sequential_fraction: seq }
 }
 
 #[cfg(test)]
@@ -639,7 +644,11 @@ mod tests {
             )
             .is_some());
         assert!(store
-            .mean_in(&ComponentId::new(ComponentKind::Hba, "app-server-hba0"), &MetricName::BytesReceived, full)
+            .mean_in(
+                &ComponentId::new(ComponentKind::Hba, "app-server-hba0"),
+                &MetricName::BytesReceived,
+                full
+            )
             .is_some());
         // Roughly one point per 5-minute interval for a 1-hour window.
         let series = store.series(&ComponentId::volume("V3"), &MetricName::WriteIo).unwrap();
@@ -653,7 +662,13 @@ mod tests {
             "writer",
             "app-server",
             "V3",
-            IoProfile { read_iops: 0.0, write_iops: 100.0, read_kb: 8.0, write_kb: 8.0, sequential_fraction: 0.0 },
+            IoProfile {
+                read_iops: 0.0,
+                write_iops: 100.0,
+                read_kb: 8.0,
+                write_kb: 8.0,
+                sequential_fraction: 0.0,
+            },
             window(0, 600),
         ))
         .unwrap();
@@ -664,13 +679,29 @@ mod tests {
         let full = window(0, 600);
         let front = store.mean_in(&ComponentId::volume("V3"), &MetricName::WriteIo, full).unwrap();
         let back = store.mean_in(&ComponentId::pool("P2"), &MetricName::WriteIo, full).unwrap();
-        assert!((back / front - 4.0).abs() < 0.2, "RAID-5 small-write amplification ≈ 4x, got {}", back / front);
+        assert!(
+            (back / front - 4.0).abs() < 0.2,
+            "RAID-5 small-write amplification ≈ 4x, got {}",
+            back / front
+        );
     }
 
     #[test]
     fn combine_blends_profiles() {
-        let a = IoProfile { read_iops: 100.0, write_iops: 0.0, read_kb: 8.0, write_kb: 8.0, sequential_fraction: 0.0 };
-        let b = IoProfile { read_iops: 100.0, write_iops: 100.0, read_kb: 64.0, write_kb: 64.0, sequential_fraction: 1.0 };
+        let a = IoProfile {
+            read_iops: 100.0,
+            write_iops: 0.0,
+            read_kb: 8.0,
+            write_kb: 8.0,
+            sequential_fraction: 0.0,
+        };
+        let b = IoProfile {
+            read_iops: 100.0,
+            write_iops: 100.0,
+            read_kb: 64.0,
+            write_kb: 64.0,
+            sequential_fraction: 1.0,
+        };
         let c = combine(a, b);
         assert_eq!(c.read_iops, 200.0);
         assert_eq!(c.write_iops, 100.0);

@@ -259,7 +259,8 @@ impl SanTopology {
         if !self.pools.contains_key(pool) {
             return Err(SanError::UnknownComponent(pool.to_string()));
         }
-        self.volumes.insert(name.clone(), StorageVolume { name: name.clone(), pool: pool.to_string(), capacity_gb });
+        self.volumes
+            .insert(name.clone(), StorageVolume { name: name.clone(), pool: pool.to_string(), capacity_gb });
         self.events.record(Event::new(
             time,
             ComponentId::volume(name.clone()),
@@ -372,7 +373,14 @@ impl TopologyBuilder {
     }
 
     /// Adds a server.
-    pub fn server(mut self, name: &str, os: &str, cpu_cores: u32, cpu_mhz_per_core: f64, memory_mb: u64) -> Self {
+    pub fn server(
+        mut self,
+        name: &str,
+        os: &str,
+        cpu_cores: u32,
+        cpu_mhz_per_core: f64,
+        memory_mb: u64,
+    ) -> Self {
         self.topology.servers.insert(
             name.to_string(),
             Server {
@@ -400,10 +408,9 @@ impl TopologyBuilder {
 
     /// Adds an FC switch.
     pub fn switch(mut self, name: &str, ports: u32, bandwidth_mb_per_sec: f64) -> Self {
-        self.topology.switches.insert(
-            name.to_string(),
-            FcSwitch { name: name.to_string(), ports, bandwidth_mb_per_sec },
-        );
+        self.topology
+            .switches
+            .insert(name.to_string(), FcSwitch { name: name.to_string(), ports, bandwidth_mb_per_sec });
         self
     }
 
@@ -417,7 +424,15 @@ impl TopologyBuilder {
     }
 
     /// Adds `count` identical disks named `{prefix}-NN` to a subsystem and returns their names.
-    pub fn disks(mut self, prefix: &str, count: usize, subsystem: &str, capacity_gb: u64, max_random_iops: f64, max_seq_mb_per_sec: f64) -> Self {
+    pub fn disks(
+        mut self,
+        prefix: &str,
+        count: usize,
+        subsystem: &str,
+        capacity_gb: u64,
+        max_random_iops: f64,
+        max_seq_mb_per_sec: f64,
+    ) -> Self {
         for i in 1..=count {
             let name = format!("{prefix}-{i:02}");
             self.topology.disks.insert(
@@ -569,10 +584,8 @@ mod tests {
             .build();
         assert!(matches!(bad_pool, Err(SanError::UnknownComponent(_))));
 
-        let empty_pool = TopologyBuilder::new()
-            .subsystem("S", "model", 1)
-            .pool("P1", "S", RaidLevel::Raid0, &[])
-            .build();
+        let empty_pool =
+            TopologyBuilder::new().subsystem("S", "model", 1).pool("P1", "S", RaidLevel::Raid0, &[]).build();
         assert!(matches!(empty_pool, Err(SanError::EmptySet(_))));
 
         let bad_volume = TopologyBuilder::new()
@@ -609,7 +622,10 @@ mod tests {
     fn zoning_and_lun_mutations_emit_events() {
         let mut t = paper_testbed();
         t.create_volume(Timestamp::new(10), "Vprime", "P1", 50).unwrap();
-        t.add_zone(Timestamp::new(11), Zone::new("etl-zone", vec!["app-server".into()], vec!["DS6000".into()]));
+        t.add_zone(
+            Timestamp::new(11),
+            Zone::new("etl-zone", vec!["app-server".into()], vec!["DS6000".into()]),
+        );
         t.map_lun(Timestamp::new(12), "Vprime", "app-server").unwrap();
         assert!(t.zoning.can_access("app-server", "DS6000", "Vprime"));
         assert_eq!(t.events().of_kind(&EventKind::ZoningChanged).len(), 1);

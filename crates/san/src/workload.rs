@@ -35,7 +35,13 @@ impl IoProfile {
 
     /// A sequential batch/ETL-style profile (large transfers, mostly writes).
     pub fn batch_write(write_iops: f64) -> Self {
-        IoProfile { read_iops: write_iops * 0.1, write_iops, read_kb: 64.0, write_kb: 64.0, sequential_fraction: 0.7 }
+        IoProfile {
+            read_iops: write_iops * 0.1,
+            write_iops,
+            read_kb: 64.0,
+            write_kb: 64.0,
+            sequential_fraction: 0.7,
+        }
     }
 
     /// Total operations per second.
@@ -188,7 +194,8 @@ mod tests {
 
     #[test]
     fn bursty_pattern_cycles() {
-        let p = BurstPattern::Bursty { period_secs: 100, burst_secs: 20, multiplier: 5.0, idle_fraction: 0.0 };
+        let p =
+            BurstPattern::Bursty { period_secs: 100, burst_secs: 20, multiplier: 5.0, idle_fraction: 0.0 };
         let start = Timestamp::new(1000);
         assert_eq!(p.intensity_at(Timestamp::new(1000), start), 5.0);
         assert_eq!(p.intensity_at(Timestamp::new(1019), start), 5.0);
@@ -199,10 +206,10 @@ mod tests {
 
     #[test]
     fn bursty_average_load_is_duty_cycle() {
-        let p = BurstPattern::Bursty { period_secs: 100, burst_secs: 25, multiplier: 4.0, idle_fraction: 0.0 };
+        let p =
+            BurstPattern::Bursty { period_secs: 100, burst_secs: 25, multiplier: 4.0, idle_fraction: 0.0 };
         let start = Timestamp::new(0);
-        let avg: f64 =
-            (0..1000).map(|t| p.intensity_at(Timestamp::new(t), start)).sum::<f64>() / 1000.0;
+        let avg: f64 = (0..1000).map(|t| p.intensity_at(Timestamp::new(t), start)).sum::<f64>() / 1000.0;
         assert!((avg - 1.0).abs() < 0.05, "25% duty at 4x ≈ 1x average, got {avg}");
     }
 

@@ -83,11 +83,7 @@ impl LunMapping {
 
     /// All volumes a server is mapped to.
     pub fn volumes_for(&self, server: &str) -> Vec<String> {
-        self.map
-            .iter()
-            .filter(|(_, servers)| servers.contains(server))
-            .map(|(v, _)| v.clone())
-            .collect()
+        self.map.iter().filter(|(_, servers)| servers.contains(server)).map(|(v, _)| v.clone()).collect()
     }
 }
 

@@ -192,10 +192,7 @@ mod tests {
         let one_class = vec![(vec![1.0], RunLabel::Satisfactory)];
         assert!(GaussianNaiveBayes::fit(&one_class).is_err());
         // Inconsistent row lengths.
-        let ragged = vec![
-            (vec![1.0, 2.0], RunLabel::Satisfactory),
-            (vec![1.0], RunLabel::Unsatisfactory),
-        ];
+        let ragged = vec![(vec![1.0, 2.0], RunLabel::Satisfactory), (vec![1.0], RunLabel::Unsatisfactory)];
         assert!(GaussianNaiveBayes::fit(&ragged).is_err());
         // Empty feature vectors.
         let empty_features = vec![(vec![], RunLabel::Satisfactory)];
@@ -221,10 +218,8 @@ mod tests {
     fn small_unsatisfactory_class_is_usable_but_weak() {
         // Only two unsatisfactory examples: the model still fits (variance smoothing),
         // illustrating the data-hunger the paper's observation is about.
-        let mut rows = training_data()
-            .into_iter()
-            .filter(|(_, l)| *l == RunLabel::Satisfactory)
-            .collect::<Vec<_>>();
+        let mut rows =
+            training_data().into_iter().filter(|(_, l)| *l == RunLabel::Satisfactory).collect::<Vec<_>>();
         rows.push((vec![20.0, 5.0], RunLabel::Unsatisfactory));
         rows.push((vec![20.4, 5.1], RunLabel::Unsatisfactory));
         let model = GaussianNaiveBayes::fit(&rows).unwrap();

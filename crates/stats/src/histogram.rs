@@ -27,7 +27,7 @@ impl EquiWidthHistogram {
         if buckets == 0 {
             return Err(StatsError::InvalidParameter("bucket count must be positive"));
         }
-        if !(min < max) || !min.is_finite() || !max.is_finite() {
+        if min >= max || !min.is_finite() || !max.is_finite() {
             return Err(StatsError::InvalidParameter("histogram range must be finite and non-empty"));
         }
         Ok(EquiWidthHistogram { min, max, counts: vec![0; buckets], total: 0, below: 0, above: 0 })

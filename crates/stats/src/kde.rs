@@ -12,12 +12,13 @@ use crate::summary::Summary;
 use crate::{ensure_finite, Result, StatsError};
 
 /// Bandwidth-selection strategy for the Gaussian kernel.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Bandwidth {
     /// Silverman's rule of thumb: `0.9 * min(sd, IQR/1.34) * n^(-1/5)`.
     ///
     /// This is the default; it is robust for the small (few tens of samples)
     /// unimodal samples the diagnosis workflow works with.
+    #[default]
     Silverman,
     /// Scott's rule: `1.06 * sd * n^(-1/5)`.
     Scott,
@@ -25,18 +26,23 @@ pub enum Bandwidth {
     Fixed(f64),
 }
 
-impl Default for Bandwidth {
-    fn default() -> Self {
-        Bandwidth::Silverman
-    }
-}
-
 /// A one-dimensional Gaussian kernel density estimate.
+///
+/// The sample is kept **sorted** after fitting: evaluation exploits the ordering to
+/// skip kernels that are many bandwidths away from the query point, so CDF queries in
+/// the tails are O(log n) instead of O(n). This matters because the diagnosis
+/// workflow's anomaly scores are mostly tail queries (that is what makes them
+/// anomalies).
 #[derive(Debug, Clone)]
 pub struct Kde {
+    /// Sorted ascending.
     samples: Vec<f64>,
     bandwidth: f64,
 }
+
+/// Number of bandwidths beyond which a Gaussian kernel's contribution is treated as
+/// fully converged (Φ(±9) differs from 1/0 by ~1e-19, far below f64 summation noise).
+const KERNEL_CUTOFF_BANDWIDTHS: f64 = 9.0;
 
 /// Minimum bandwidth used when the sample is (nearly) degenerate.
 ///
@@ -79,7 +85,9 @@ impl Kde {
             Bandwidth::Scott => scott_bandwidth(samples),
         };
         let h = h.max(bandwidth_floor(samples));
-        Ok(Kde { samples: samples.to_vec(), bandwidth: h })
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Ok(Kde { samples: sorted, bandwidth: h })
     }
 
     /// The bandwidth actually used by this estimate.
@@ -98,25 +106,60 @@ impl Kde {
         self.samples.is_empty()
     }
 
-    /// The underlying sample.
+    /// The underlying sample, sorted ascending.
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Indices of the samples whose kernels contribute non-negligibly at `x`.
+    ///
+    /// Samples below the window contribute a converged CDF term of 1 and a PDF term
+    /// of 0; samples above it contribute 0 to both.
+    fn active_window(&self, x: f64) -> (usize, usize) {
+        let cut = KERNEL_CUTOFF_BANDWIDTHS * self.bandwidth;
+        let lo = self.samples.partition_point(|&s| s < x - cut);
+        let hi = self.samples.partition_point(|&s| s <= x + cut);
+        (lo, hi)
     }
 
     /// Estimated probability density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
         let n = self.samples.len() as f64;
-        self.samples.iter().map(|&s| normal_pdf(x, s, self.bandwidth)).sum::<f64>() / n
+        let (lo, hi) = self.active_window(x);
+        self.samples[lo..hi].iter().map(|&s| normal_pdf(x, s, self.bandwidth)).sum::<f64>() / n
     }
 
     /// Estimated cumulative distribution `P(S <= x)`.
     ///
     /// For a Gaussian kernel this has the closed form
-    /// `(1/n) Σ Φ((x − s_i) / h)`, so no numerical integration is needed.
+    /// `(1/n) Σ Φ((x − s_i) / h)`, so no numerical integration is needed. Because the
+    /// sample is sorted, kernels that have fully converged at `x` (everything more
+    /// than [`KERNEL_CUTOFF_BANDWIDTHS`] bandwidths away) are counted without
+    /// evaluating `Φ`: tail queries cost O(log n).
     pub fn cdf(&self, x: f64) -> f64 {
         let n = self.samples.len() as f64;
-        let c = self.samples.iter().map(|&s| normal_cdf(x, s, self.bandwidth)).sum::<f64>() / n;
-        c.clamp(0.0, 1.0)
+        let (lo, hi) = self.active_window(x);
+        let converged = lo as f64; // samples far below x: Φ ≈ 1
+        let active: f64 = self.samples[lo..hi].iter().map(|&s| normal_cdf(x, s, self.bandwidth)).sum();
+        ((converged + active) / n).clamp(0.0, 1.0)
+    }
+
+    /// Batch evaluation of the anomaly score for many observations.
+    ///
+    /// Scoring `k` observations against one fit is the workflow's common case (every
+    /// unsatisfactory run is scored against the same satisfactory history); this
+    /// amortises the fit and keeps the per-observation cost at one sorted-window scan.
+    pub fn score_many(&self, observations: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(observations.len());
+        self.score_many_into(observations, &mut out);
+        out
+    }
+
+    /// Like [`Kde::score_many`], but reuses a caller-owned output buffer so repeated
+    /// batch scoring performs zero allocations.
+    pub fn score_many_into(&self, observations: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(observations.iter().map(|&u| self.cdf(u)));
     }
 
     /// The DIADS anomaly score of an observation `u`: `prob(S <= u)`.
@@ -136,12 +179,17 @@ impl Kde {
     /// # Errors
     /// Returns an error if `observations` is empty or non-finite.
     pub fn anomaly_score_mean(&self, observations: &[f64]) -> Result<f64> {
-        if observations.is_empty() {
-            return Err(StatsError::EmptySample);
-        }
-        ensure_finite(observations)?;
-        let m = observations.iter().sum::<f64>() / observations.len() as f64;
-        Ok(self.anomaly_score(m))
+        Ok(self.anomaly_score(crate::summary::mean(observations)?))
+    }
+
+    /// Two-sided score of a *set* of observations, scored by their mean — the
+    /// symmetric counterpart of [`Kde::anomaly_score_mean`], sharing its empty-sample
+    /// policy.
+    ///
+    /// # Errors
+    /// Returns an error if `observations` is empty or non-finite.
+    pub fn two_sided_score_mean(&self, observations: &[f64]) -> Result<f64> {
+        Ok(self.two_sided_score(crate::summary::mean(observations)?))
     }
 
     /// Two-sided "unusualness" score: `2 * |prob(S <= u) - 0.5|`.
@@ -159,10 +207,7 @@ impl Kde {
 /// either is zero, and to a relative floor when the sample is degenerate.
 pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
     let n = samples.len() as f64;
-    let sd = Summary::from_sample(samples)
-        .ok()
-        .and_then(|s| s.std_dev())
-        .unwrap_or(0.0);
+    let sd = Summary::from_sample(samples).ok().and_then(|s| s.std_dev()).unwrap_or(0.0);
     let iqr = crate::summary::iqr(samples).unwrap_or(0.0) / 1.34;
     let spread = match (sd > 0.0, iqr > 0.0) {
         (true, true) => sd.min(iqr),
@@ -180,10 +225,7 @@ pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
 /// Scott's rule bandwidth: `1.06 * sd * n^(-1/5)`.
 pub fn scott_bandwidth(samples: &[f64]) -> f64 {
     let n = samples.len() as f64;
-    let sd = Summary::from_sample(samples)
-        .ok()
-        .and_then(|s| s.std_dev())
-        .unwrap_or(0.0);
+    let sd = Summary::from_sample(samples).ok().and_then(|s| s.std_dev()).unwrap_or(0.0);
     if sd <= 0.0 {
         bandwidth_floor(samples)
     } else {
@@ -198,8 +240,7 @@ mod tests {
     fn sample_normal_like() -> Vec<f64> {
         // A deterministic, roughly bell-shaped sample centred on 100.
         vec![
-            92.0, 95.0, 96.5, 98.0, 99.0, 99.5, 100.0, 100.2, 100.8, 101.5, 102.0, 103.0, 104.5,
-            106.0, 108.0,
+            92.0, 95.0, 96.5, 98.0, 99.0, 99.5, 100.0, 100.2, 100.8, 101.5, 102.0, 103.0, 104.5, 106.0, 108.0,
         ]
     }
 

@@ -28,6 +28,7 @@
 
 pub mod anomaly;
 pub mod bayes;
+pub mod cache;
 pub mod correlation;
 pub mod dist;
 pub mod histogram;
@@ -37,6 +38,7 @@ pub mod summary;
 
 pub use anomaly::{AnomalyDetector, KdeDetector, MadDetector, PercentileDetector, ZScoreDetector};
 pub use bayes::GaussianNaiveBayes;
+pub use cache::ScoringCache;
 pub use correlation::{pearson, spearman};
 pub use kde::{Bandwidth, Kde};
 pub use summary::Summary;

@@ -54,13 +54,15 @@ pub fn mad_outlier_mask(sample: &[f64], threshold: f64) -> Result<Vec<bool>> {
     let spread = mad(sample)?;
     Ok(sample
         .iter()
-        .map(|&v| {
-            if spread > 0.0 {
-                (v - m).abs() > threshold * spread
-            } else {
-                (v - m).abs() > f64::EPSILON
-            }
-        })
+        .map(
+            |&v| {
+                if spread > 0.0 {
+                    (v - m).abs() > threshold * spread
+                } else {
+                    (v - m).abs() > f64::EPSILON
+                }
+            },
+        )
         .collect())
 }
 

@@ -1,48 +1,111 @@
 //! Property-based tests for the statistics layer invariants the diagnosis workflow
 //! relies on: anomaly scores are probabilities, CDFs are monotone, correlations are
 //! bounded and symmetric, histograms conserve mass.
+//!
+//! `proptest` is not vendored in this environment, so the properties are driven by a
+//! deterministic splitmix64 case generator: every property is checked over a few
+//! hundred pseudo-random cases with a fixed seed, which keeps failures reproducible.
 
+use diads_monitor::rng::SplitMix64;
 use diads_stats::histogram::{EquiDepthHistogram, EquiWidthHistogram};
 use diads_stats::kde::Kde;
 use diads_stats::summary::{median, quantile, Summary};
 use diads_stats::{pearson, spearman, AnomalyDetector, KdeDetector, MadDetector, ZScoreDetector};
-use proptest::prelude::*;
 
-fn finite_sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e6..1.0e6_f64, min_len..60)
+/// Deterministic case generator over the workspace's shared splitmix64 PRNG.
+struct Gen {
+    rng: SplitMix64,
 }
 
-fn positive_sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0..1.0e6_f64, min_len..60)
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { rng: SplitMix64::new(seed) }
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() as usize) % (hi - lo)
+    }
+
+    fn sample(&mut self, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let n = self.usize_in(min_len, max_len);
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn kde_anomaly_score_is_a_probability(sample in finite_sample(1), u in -2.0e6..2.0e6_f64) {
+const CASES: usize = 200;
+
+fn finite_sample(g: &mut Gen, min_len: usize) -> Vec<f64> {
+    g.sample(min_len, 60, -1.0e6, 1.0e6)
+}
+
+fn positive_sample(g: &mut Gen, min_len: usize) -> Vec<f64> {
+    g.sample(min_len, 60, 0.0, 1.0e6)
+}
+
+#[test]
+fn kde_anomaly_score_is_a_probability() {
+    let mut g = Gen::new(1);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 1);
+        let u = g.f64_in(-2.0e6, 2.0e6);
         let kde = Kde::fit(&sample).unwrap();
         let score = kde.anomaly_score(u);
-        prop_assert!((0.0..=1.0).contains(&score));
+        assert!((0.0..=1.0).contains(&score), "score = {score}");
     }
+}
 
-    #[test]
-    fn kde_cdf_is_monotone(sample in finite_sample(2), a in -2.0e6..2.0e6_f64, b in -2.0e6..2.0e6_f64) {
+#[test]
+fn kde_cdf_is_monotone() {
+    let mut g = Gen::new(2);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 2);
+        let a = g.f64_in(-2.0e6, 2.0e6);
+        let b = g.f64_in(-2.0e6, 2.0e6);
         let kde = Kde::fit(&sample).unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(kde.cdf(lo) <= kde.cdf(hi) + 1e-9);
+        assert!(kde.cdf(lo) <= kde.cdf(hi) + 1e-9);
     }
+}
 
-    #[test]
-    fn kde_extremes_score_extreme(sample in finite_sample(3)) {
+#[test]
+fn kde_extremes_score_extreme() {
+    let mut g = Gen::new(3);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 3);
         let kde = Kde::fit(&sample).unwrap();
         let max = sample.iter().cloned().fold(f64::MIN, f64::max);
         let min = sample.iter().cloned().fold(f64::MAX, f64::min);
         let spread = (max - min).max(max.abs()).max(1.0);
-        prop_assert!(kde.anomaly_score(max + 10.0 * spread) > 0.9);
-        prop_assert!(kde.anomaly_score(min - 10.0 * spread) < 0.1);
+        assert!(kde.anomaly_score(max + 10.0 * spread) > 0.9);
+        assert!(kde.anomaly_score(min - 10.0 * spread) < 0.1);
     }
+}
 
-    #[test]
-    fn detectors_are_monotone_in_the_observation(sample in positive_sample(3), x in 0.0..1.0e6_f64, delta in 0.0..1.0e6_f64) {
+#[test]
+fn kde_score_many_matches_per_call_scores() {
+    let mut g = Gen::new(17);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 1);
+        let xs: Vec<f64> = (0..8).map(|_| g.f64_in(-2.0e6, 2.0e6)).collect();
+        let kde = Kde::fit(&sample).unwrap();
+        let batch = kde.score_many(&xs);
+        for (x, s) in xs.iter().zip(&batch) {
+            assert!((kde.anomaly_score(*x) - s).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn detectors_are_monotone_in_the_observation() {
+    let mut g = Gen::new(4);
+    for _ in 0..CASES {
+        let sample = positive_sample(&mut g, 3);
+        let x = g.f64_in(0.0, 1.0e6);
+        let delta = g.f64_in(0.0, 1.0e6);
         let mut kde = KdeDetector::new();
         let mut z = ZScoreDetector::new();
         let mut m = MadDetector::new();
@@ -50,92 +113,122 @@ proptest! {
         z.fit(&sample).unwrap();
         m.fit(&sample).unwrap();
         for d in [&kde as &dyn AnomalyDetector, &z, &m] {
-            prop_assert!(d.score(x) <= d.score(x + delta) + 1e-9, "{} not monotone", d.name());
+            assert!(d.score(x) <= d.score(x + delta) + 1e-9, "{} not monotone", d.name());
         }
     }
+}
 
-    #[test]
-    fn pearson_is_bounded_and_symmetric(
-        pairs in prop::collection::vec((-1.0e4..1.0e4_f64, -1.0e4..1.0e4_f64), 2..40)
-    ) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn pearson_is_bounded_and_symmetric() {
+    let mut g = Gen::new(5);
+    for _ in 0..CASES {
+        let n = g.usize_in(2, 40);
+        let x: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e4, 1.0e4)).collect();
+        let y: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e4, 1.0e4)).collect();
         let rxy = pearson(&x, &y).unwrap();
         let ryx = pearson(&y, &x).unwrap();
-        prop_assert!((-1.0..=1.0).contains(&rxy));
-        prop_assert!((rxy - ryx).abs() < 1e-9);
+        assert!((-1.0..=1.0).contains(&rxy));
+        assert!((rxy - ryx).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn pearson_is_scale_invariant(
-        pairs in prop::collection::vec((-1.0e3..1.0e3_f64, -1.0e3..1.0e3_f64), 3..30),
-        scale in 0.1..100.0_f64,
-        shift in -100.0..100.0_f64,
-    ) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn pearson_is_scale_invariant() {
+    let mut g = Gen::new(6);
+    for _ in 0..CASES {
+        let n = g.usize_in(3, 30);
+        let x: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e3, 1.0e3)).collect();
+        let y: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e3, 1.0e3)).collect();
+        let scale = g.f64_in(0.1, 100.0);
+        let shift = g.f64_in(-100.0, 100.0);
         let y2: Vec<f64> = y.iter().map(|v| v * scale + shift).collect();
         let r1 = pearson(&x, &y).unwrap();
         let r2 = pearson(&x, &y2).unwrap();
         // Positive scaling preserves the coefficient (up to numerical error), unless
         // variance collapsed to the zero-variance special case.
         if r1.abs() > 1e-6 && r2 != 0.0 {
-            prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+            assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
         }
     }
+}
 
-    #[test]
-    fn spearman_is_bounded(
-        pairs in prop::collection::vec((-1.0e4..1.0e4_f64, -1.0e4..1.0e4_f64), 2..40)
-    ) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn spearman_is_bounded() {
+    let mut g = Gen::new(7);
+    for _ in 0..CASES {
+        let n = g.usize_in(2, 40);
+        let x: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e4, 1.0e4)).collect();
+        let y: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0e4, 1.0e4)).collect();
         let r = spearman(&x, &y).unwrap();
-        prop_assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&r));
     }
+}
 
-    #[test]
-    fn summary_mean_is_within_min_max(sample in finite_sample(1)) {
+#[test]
+fn summary_mean_is_within_min_max() {
+    let mut g = Gen::new(8);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 1);
         let s = Summary::from_sample(&sample).unwrap();
         let mean = s.mean().unwrap();
-        prop_assert!(mean >= s.min().unwrap() - 1e-9);
-        prop_assert!(mean <= s.max().unwrap() + 1e-9);
+        assert!(mean >= s.min().unwrap() - 1e-9);
+        assert!(mean <= s.max().unwrap() + 1e-9);
         if let Some(var) = s.variance() {
-            prop_assert!(var >= -1e-9);
+            assert!(var >= -1e-9);
         }
     }
+}
 
-    #[test]
-    fn quantiles_are_monotone_in_q(sample in finite_sample(1), q1 in 0.0..1.0_f64, q2 in 0.0..1.0_f64) {
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let mut g = Gen::new(9);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 1);
+        let q1 = g.f64_in(0.0, 1.0);
+        let q2 = g.f64_in(0.0, 1.0);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(quantile(&sample, lo).unwrap() <= quantile(&sample, hi).unwrap() + 1e-9);
+        assert!(quantile(&sample, lo).unwrap() <= quantile(&sample, hi).unwrap() + 1e-9);
     }
+}
 
-    #[test]
-    fn median_is_between_min_and_max(sample in finite_sample(1)) {
+#[test]
+fn median_is_between_min_and_max() {
+    let mut g = Gen::new(10);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 1);
         let m = median(&sample).unwrap();
         let min = sample.iter().cloned().fold(f64::MAX, f64::min);
         let max = sample.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+        assert!(m >= min - 1e-9 && m <= max + 1e-9);
     }
+}
 
-    #[test]
-    fn equi_width_histogram_conserves_mass(sample in prop::collection::vec(-50.0..150.0_f64, 1..200)) {
+#[test]
+fn equi_width_histogram_conserves_mass() {
+    let mut g = Gen::new(11);
+    for _ in 0..CASES {
+        let sample = g.sample(1, 200, -50.0, 150.0);
         let mut h = EquiWidthHistogram::new(0.0, 100.0, 10).unwrap();
         for &v in &sample {
             h.add(v);
         }
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), sample.len() as u64);
-        prop_assert_eq!(h.total(), sample.len() as u64);
+        assert_eq!(binned + h.underflow() + h.overflow(), sample.len() as u64);
+        assert_eq!(h.total(), sample.len() as u64);
     }
+}
 
-    #[test]
-    fn equi_depth_selectivity_is_monotone(sample in finite_sample(2), a in -1.0e6..1.0e6_f64, b in -1.0e6..1.0e6_f64) {
+#[test]
+fn equi_depth_selectivity_is_monotone() {
+    let mut g = Gen::new(12);
+    for _ in 0..CASES {
+        let sample = finite_sample(&mut g, 2);
+        let a = g.f64_in(-1.0e6, 1.0e6);
+        let b = g.f64_in(-1.0e6, 1.0e6);
         let h = EquiDepthHistogram::build(&sample, 8).unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(h.selectivity_le(lo) <= h.selectivity_le(hi) + 1e-9);
+        assert!(h.selectivity_le(lo) <= h.selectivity_le(hi) + 1e-9);
         let sel = h.selectivity_range(lo, hi);
-        prop_assert!((0.0..=1.0).contains(&sel));
+        assert!((0.0..=1.0).contains(&sel));
     }
 }

@@ -27,7 +27,8 @@ mod tests {
         let catalog = tpch_catalog(1.0, &TpchLayout::paper_default());
         let candidates = q2_plan_candidates(&catalog);
         assert!(!candidates.is_empty());
-        let schedule = periodic_schedule(diads_monitor::Timestamp::new(0), diads_monitor::Duration::from_hours(2), 3);
+        let schedule =
+            periodic_schedule(diads_monitor::Timestamp::new(0), diads_monitor::Duration::from_hours(2), 3);
         assert_eq!(schedule.len(), 3);
     }
 }

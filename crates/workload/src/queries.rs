@@ -75,10 +75,7 @@ pub fn q2_paper_plan(catalog: &Catalog) -> Plan {
             PlanNode::seq_scan("region", 0.2),
         ),
     );
-    let root = PlanNode::limit(
-        0.25,
-        PlanNode::sort(PlanNode::subplan_filter(0.01, main_block, subquery)),
-    );
+    let root = PlanNode::limit(0.25, PlanNode::sort(PlanNode::subplan_filter(0.01, main_block, subquery)));
     Plan::new("q2-figure1", "TPC-H Q2", root)
 }
 
@@ -255,12 +252,8 @@ mod tests {
         // the other seven leaves read V2-resident tables.
         let cat = catalog();
         let plan = q2_paper_plan(&cat);
-        let partsupp_leaves: Vec<u32> = plan
-            .leaves()
-            .iter()
-            .filter(|n| n.table.as_deref() == Some("partsupp"))
-            .map(|n| n.id.0)
-            .collect();
+        let partsupp_leaves: Vec<u32> =
+            plan.leaves().iter().filter(|n| n.table.as_deref() == Some("partsupp")).map(|n| n.id.0).collect();
         assert_eq!(partsupp_leaves, vec![8, 22]);
         let v2_leaves = plan
             .leaves()

@@ -68,11 +68,8 @@ pub fn tpch_catalog(scale_factor: f64, layout: &TpchLayout) -> Catalog {
         .expect("fresh catalog");
 
     for &(name, rows, width, selectivity, clustering) in BASE_TABLES {
-        let scaled_rows = if name == "region" || name == "nation" {
-            rows
-        } else {
-            ((rows as f64) * sf).round() as u64
-        };
+        let scaled_rows =
+            if name == "region" || name == "nation" { rows } else { ((rows as f64) * sf).round() as u64 };
         let tablespace = if name == "partsupp" { "ts_partsupp" } else { "ts_main" };
         catalog
             .add_table(Table {

@@ -32,7 +32,10 @@ fn main() {
 
     // Figure 6: the APG with volume V1's metrics during the first unsatisfactory run.
     let window = outcome.history.unsatisfactory()[0].record.window();
-    println!("{}", apg_visualization_screen(&apg, &outcome.testbed.store, &ComponentId::volume("V1"), window));
+    println!(
+        "{}",
+        apg_visualization_screen(&apg, &outcome.testbed.store, &ComponentId::volume("V1"), window)
+    );
 
     // Figure 7: step through the workflow interactively.
     let mut session = WorkflowSession::new(DiagnosisWorkflow::new(), ctx);

@@ -34,7 +34,10 @@ fn main() {
     println!("== Module CO == (threshold 0.8)");
     for (op, score) in &cos.scores {
         if *score >= 0.5 {
-            println!("  {op}: {score:.3}{}", if cos.correlated.contains(op) { "  <-- correlated" } else { "" });
+            println!(
+                "  {op}: {score:.3}{}",
+                if cos.correlated.contains(op) { "  <-- correlated" } else { "" }
+            );
         }
     }
 
@@ -50,7 +53,10 @@ fn main() {
             println!("  {component} {metric}: {score:.3}");
         }
     }
-    println!("  correlated components: {:?}", da.correlated_components.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!(
+        "  correlated components: {:?}",
+        da.correlated_components.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+    );
 
     let cr = workflow.record_counts(&ctx, &cos);
     println!("\n== Module CR ==\nrecord-count changes: {:?}", cr.changed);
@@ -61,7 +67,12 @@ fn main() {
         println!("  symptom: {:?} — {}", symptom.kind, symptom.detail);
     }
     for cause in sd.causes.iter().take(4) {
-        println!("  cause: [{:<6}] {:>5.1}%  {}", cause.confidence.label(), cause.confidence_score, cause.cause_id);
+        println!(
+            "  cause: [{:<6}] {:>5.1}%  {}",
+            cause.confidence.label(),
+            cause.confidence_score,
+            cause.cause_id
+        );
     }
 
     let ia = workflow.impact_analysis(&ctx, &cos, &da, &cr, &sd);

@@ -47,9 +47,9 @@ fn annotations_slice_monitoring_data_to_the_operator_window() {
     let annotation = apg.annotate(&outcome.testbed.store, run, o8);
     assert!(!annotation.is_empty());
     // The annotation covers V1's storage metrics during the operator's window.
-    assert!(annotation
-        .iter()
-        .any(|(c, m, values)| c == &ComponentId::volume("V1") && *m == MetricName::ReadIo && !values.is_empty()));
+    assert!(annotation.iter().any(|(c, m, values)| c == &ComponentId::volume("V1")
+        && *m == MetricName::ReadIo
+        && !values.is_empty()));
     // Unknown operators annotate to nothing.
     assert!(apg.annotate(&outcome.testbed.store, run, diads::db::OperatorId(99)).is_empty());
 }

@@ -1,0 +1,66 @@
+//! Golden regression tests for the diagnosis engine.
+//!
+//! These pin the *exact* top-ranked root cause and its confidence level for the first
+//! three Table-1 scenarios. They were captured on the pre-refactor scoring engine and
+//! must keep passing unchanged: any zero-copy / caching / parallelism work in the hot
+//! path has to be behavior-preserving, and this is the tripwire that proves it.
+
+use diads::core::{ConfidenceLevel, Testbed};
+use diads::inject::scenarios::{scenario_1, scenario_2, scenario_3, Scenario, ScenarioTimeline};
+
+struct Golden {
+    scenario: Scenario,
+    top_cause: &'static str,
+    confidence: ConfidenceLevel,
+}
+
+fn check(golden: Golden) {
+    let outcome = Testbed::run_scenario(&golden.scenario);
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    let top = report
+        .primary_cause()
+        .unwrap_or_else(|| panic!("{}: no cause was ranked\n{}", golden.scenario.id, report.render()));
+    assert_eq!(
+        top.cause_id,
+        golden.top_cause,
+        "{}: top-ranked cause drifted\n{}",
+        golden.scenario.id,
+        report.render()
+    );
+    assert_eq!(
+        top.confidence,
+        golden.confidence,
+        "{}: confidence level of {} drifted (score {:.3})\n{}",
+        golden.scenario.id,
+        top.cause_id,
+        top.confidence_score,
+        report.render()
+    );
+}
+
+#[test]
+fn golden_scenario_1_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_1(ScenarioTimeline::short()),
+        top_cause: "san-misconfiguration-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_scenario_2_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_2(ScenarioTimeline::short()),
+        top_cause: "external-workload-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_scenario_3_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_3(ScenarioTimeline::short()),
+        top_cause: "data-property-change",
+        confidence: ConfidenceLevel::High,
+    });
+}

@@ -3,8 +3,8 @@
 
 use diads::core::{ConfidenceLevel, Testbed};
 use diads::inject::scenarios::{
-    cause_ids, config_change_scenario, index_drop_scenario, scenario_1, scenario_1b, scenario_2,
-    scenario_3, scenario_4, scenario_5, Scenario, ScenarioTimeline,
+    cause_ids, config_change_scenario, index_drop_scenario, scenario_1, scenario_1b, scenario_2, scenario_3,
+    scenario_4, scenario_5, Scenario, ScenarioTimeline,
 };
 
 fn diagnose(scenario: &Scenario) -> (diads::core::ScenarioOutcome, diads::core::DiagnosisReport) {
@@ -143,7 +143,10 @@ fn plan_change_scenarios_are_explained_by_module_pd() {
     assert!(report.plan_change_causes.iter().any(|c| c.contains("part_type_size_idx")));
     let top = report.causes.iter().find(|c| c.cause_id == cause_ids::INDEX_DROPPED).unwrap();
     assert_eq!(top.confidence, ConfidenceLevel::High);
-    assert!(outcome.history.unsatisfactory_plan_fingerprints() != outcome.history.satisfactory_plan_fingerprints());
+    assert!(
+        outcome.history.unsatisfactory_plan_fingerprints()
+            != outcome.history.satisfactory_plan_fingerprints()
+    );
 
     let cfg = config_change_scenario(ScenarioTimeline::short());
     let (_, report) = diagnose(&cfg);

@@ -54,10 +54,9 @@ fn scenario_1_module_by_module_drilldown() {
 
     // DA: V1-side storage components are correlated; V2's volume is not.
     let da = workflow.dependency_analysis(&ctx, &cos);
-    let v1_side = da
-        .correlated_components
-        .iter()
-        .any(|c| c.name == "V1" || c.name == "P1" || ["ds-01", "ds-02", "ds-03", "ds-04"].contains(&c.name.as_str()));
+    let v1_side = da.correlated_components.iter().any(|c| {
+        c.name == "V1" || c.name == "P1" || ["ds-01", "ds-02", "ds-03", "ds-04"].contains(&c.name.as_str())
+    });
     assert!(v1_side, "correlated components: {:?}", da.correlated_components);
     // V2's pool never looks contended (an occasional V2 front-end metric may cross the
     // threshold through noise — the paper's false-positive case — but the physical
@@ -170,7 +169,9 @@ fn whatif_predicts_that_removing_the_interloper_helps() {
 
     // Removing the interfering workload should speed the query back up.
     let workload_name = outcome.testbed.san.workloads()[0].name.clone();
-    let fix = evaluate(&outcome.testbed, &ProposedChange::RemoveExternalWorkload { workload: workload_name }, at).unwrap();
+    let fix =
+        evaluate(&outcome.testbed, &ProposedChange::RemoveExternalWorkload { workload: workload_name }, at)
+            .unwrap();
     assert!(fix.improvement() > 0.2, "improvement = {}", fix.improvement());
 
     // Moving partsupp off the contended pool also helps.
@@ -183,7 +184,9 @@ fn whatif_predicts_that_removing_the_interloper_helps() {
     assert!(migrate.improvement() > 0.1, "improvement = {}", migrate.improvement());
 
     // Dropping the part index is predicted to hurt, not help.
-    let drop = evaluate(&outcome.testbed, &ProposedChange::DropIndex { index: "part_type_size_idx".into() }, at).unwrap();
+    let drop =
+        evaluate(&outcome.testbed, &ProposedChange::DropIndex { index: "part_type_size_idx".into() }, at)
+            .unwrap();
     assert!(drop.improvement() < 0.05);
 
     // Unknown targets are reported as errors.
