@@ -11,6 +11,11 @@
 //!   multi-core host) the scoped-thread-pool path.
 //! * **End-to-end diagnosis** — full scenario-1 batch diagnosis wall time, refit
 //!   baseline vs. the cached engine.
+//! * **Store recording** — direct `record_key` vs. the lock-per-shard writer,
+//!   single-threaded (lock overhead) and threaded (scaling on multi-core hosts).
+//! * **Scenario matrix** — the batch engine's hot path: simulate + diagnose a
+//!   matrix of injected-fault scenarios, sequential loop vs. concurrent engine,
+//!   plus warm re-diagnosis through the testbed-level cache.
 //!
 //! Run with `cargo run --release -p diads-bench --bin bench_diads`.
 
@@ -18,7 +23,8 @@ use diads_bench::hotpath;
 use diads_bench::microbench::{Criterion, Record};
 use diads_core::workflow::DiagnosisCache;
 use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
-use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
+use diads_inject::scenarios::{scenario_1, scenario_3, scenario_5, ScenarioTimeline};
+use diads_monitor::{ComponentId, MetricKey, MetricName, MetricStore, Timestamp};
 use diads_stats::ScoringCache;
 use std::hint::black_box;
 
@@ -107,6 +113,103 @@ fn main() {
         group.finish();
     }
 
+    // ----- Store recording: direct vs. the lock-per-shard writer -----
+    const RECORD_COMPONENTS: usize = 64;
+    const RECORD_POINTS_PER_KEY: usize = 200;
+    let intern_matrix = |store: &mut MetricStore| -> Vec<MetricKey> {
+        (0..RECORD_COMPONENTS)
+            .map(|i| store.intern(&ComponentId::volume(format!("V{i:02}")), &MetricName::WriteIo))
+            .collect()
+    };
+    {
+        let mut group = c.benchmark_group("store");
+        group.sample_size(15);
+        group.bench_function("record_direct", |b| {
+            b.iter(|| {
+                let mut store = MetricStore::new();
+                let keys = intern_matrix(&mut store);
+                for t in 0..RECORD_POINTS_PER_KEY as u64 {
+                    for &key in &keys {
+                        store.record_key(key, Timestamp::new(t * 60), t as f64);
+                    }
+                }
+                black_box(store.point_count())
+            })
+        });
+        group.bench_function("record_sharded_1thread", |b| {
+            // Same stream through the writer on one thread: isolates the per-record
+            // uncontended lock cost.
+            b.iter(|| {
+                let mut store = MetricStore::new();
+                let keys = intern_matrix(&mut store);
+                {
+                    let writer = store.sharded_writer();
+                    for t in 0..RECORD_POINTS_PER_KEY as u64 {
+                        for &key in &keys {
+                            writer.record_key(key, Timestamp::new(t * 60), t as f64);
+                        }
+                    }
+                }
+                black_box(store.point_count())
+            })
+        });
+        group.bench_function("record_sharded_threads", |b| {
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+            b.iter(|| {
+                let mut store = MetricStore::new();
+                let keys = intern_matrix(&mut store);
+                {
+                    let writer = store.sharded_writer();
+                    std::thread::scope(|scope| {
+                        for chunk in keys.chunks(RECORD_COMPONENTS.div_ceil(workers)) {
+                            let writer = &writer;
+                            scope.spawn(move || {
+                                for t in 0..RECORD_POINTS_PER_KEY as u64 {
+                                    for &key in chunk {
+                                        writer.record_key(key, Timestamp::new(t * 60), t as f64);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+                black_box(store.point_count())
+            })
+        });
+        group.finish();
+    }
+
+    // ----- Scenario matrix: the concurrent batch engine's hot path -----
+    // A mixed matrix (SAN contention, data-property change, lock contention) on the
+    // short timeline: one iteration simulates every scenario end to end and
+    // diagnoses each outcome.
+    let t = ScenarioTimeline::short();
+    let matrix = vec![scenario_1(t), scenario_3(t), scenario_5(t)];
+    {
+        let mut group = c.benchmark_group("scenario_matrix");
+        group.sample_size(5);
+        group.bench_function("sequential", |b| {
+            b.iter(|| {
+                let outcomes = Testbed::run_scenarios(black_box(&matrix));
+                black_box(outcomes.iter().map(|o| o.diagnose()).collect::<Vec<_>>())
+            })
+        });
+        #[cfg(feature = "parallel")]
+        group.bench_function("concurrent", |b| {
+            b.iter(|| {
+                let outcomes = Testbed::run_scenarios_concurrent(black_box(&matrix));
+                black_box(outcomes.iter().map(|o| o.diagnose()).collect::<Vec<_>>())
+            })
+        });
+        // Re-diagnosing completed outcomes hits the testbed-level cache slots — the
+        // batch caller's interactive follow-up path.
+        let outcomes = Testbed::run_scenarios(&matrix);
+        group.bench_function("rediagnose_warm", |b| {
+            b.iter(|| black_box(outcomes.iter().map(|o| o.diagnose()).collect::<Vec<_>>()))
+        });
+        group.finish();
+    }
+
     // ----- Assemble BENCH_diads.json -----
     let r = c.records();
     let kde_refit = median_of(r, "kde", "refit_per_score");
@@ -119,6 +222,12 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let parallel_enabled = cfg!(feature = "parallel");
     let da_parallel = if parallel_enabled { median_of(r, "da", "parallel") } else { f64::NAN };
+    let rec_direct = median_of(r, "store", "record_direct");
+    let rec_sharded = median_of(r, "store", "record_sharded_1thread");
+    let rec_threads = median_of(r, "store", "record_sharded_threads");
+    let matrix_seq = median_of(r, "scenario_matrix", "sequential");
+    let matrix_conc = if parallel_enabled { median_of(r, "scenario_matrix", "concurrent") } else { f64::NAN };
+    let matrix_warm = median_of(r, "scenario_matrix", "rediagnose_warm");
 
     let mut json = String::from("{\n  \"schema\": \"diads-bench-v1\",\n");
     json.push_str(&format!(
@@ -136,11 +245,21 @@ fn main() {
         if da_parallel.is_nan() { "null".to_string() } else { format!("{da_parallel:.1}") }
     ));
     json.push_str(&format!(
-        "  \"end_to_end\": {{\"scenario\": \"scenario-1 (short timeline)\", \"refit_baseline_ms\": {:.3}, \"cold_cache_ms\": {:.3}, \"warm_cache_ms\": {:.3}, \"warm_speedup\": {:.2}}}\n",
+        "  \"end_to_end\": {{\"scenario\": \"scenario-1 (short timeline)\", \"refit_baseline_ms\": {:.3}, \"cold_cache_ms\": {:.3}, \"warm_cache_ms\": {:.3}, \"warm_speedup\": {:.2}}},\n",
         e2e_refit / 1e6,
         e2e / 1e6,
         e2e_warm / 1e6,
         e2e_refit / e2e_warm
+    ));
+    json.push_str(&format!(
+        "  \"store_recording\": {{\"series\": {RECORD_COMPONENTS}, \"points_per_series\": {RECORD_POINTS_PER_KEY}, \"direct_ns\": {rec_direct:.1}, \"sharded_1thread_ns\": {rec_sharded:.1}, \"sharded_threads_ns\": {rec_threads:.1}}},\n",
+    ));
+    json.push_str(&format!(
+        "  \"scenario_matrix\": {{\"scenarios\": {}, \"timeline\": \"short\", \"sequential_ms\": {:.1}, \"concurrent_ms\": {}, \"rediagnose_warm_ms\": {:.3}}}\n",
+        matrix.len(),
+        matrix_seq / 1e6,
+        if matrix_conc.is_nan() { "null".to_string() } else { format!("{:.1}", matrix_conc / 1e6) },
+        matrix_warm / 1e6
     ));
     json.push_str("}\n");
 

@@ -67,7 +67,10 @@ impl RankedCause {
 }
 
 /// Outcome of the whole workflow for one slowdown investigation.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (including the f64 scores bit-for-bit via
+/// equality), which is what the concurrent-vs-sequential equivalence tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiagnosisReport {
     /// The investigated query.
     pub query: String,

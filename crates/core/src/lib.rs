@@ -40,4 +40,7 @@ pub use diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
 pub use runs::{LabeledRun, RunHistory};
 pub use symptoms::{Condition, RootCauseEntry, ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
 pub use testbed::{ScenarioOutcome, Testbed};
-pub use workflow::{DiagnosisContext, DiagnosisWorkflow, WorkflowConfig, WorkflowSession};
+pub use workflow::{
+    DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, SharedDiagnosisCache, WorkflowConfig,
+    WorkflowSession,
+};

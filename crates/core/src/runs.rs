@@ -129,6 +129,38 @@ impl RunHistory {
     pub fn first_unsatisfactory_start(&self) -> Option<Timestamp> {
         self.unsatisfactory().first().map(|r| r.record.start)
     }
+
+    /// A stable fingerprint of the history: the runs (order, timing, plan) and their
+    /// satisfaction labels.
+    ///
+    /// Two histories with the same fingerprint produce the same satisfactory and
+    /// unsatisfactory sample sets, so KDE fits cached under a fingerprint stay valid
+    /// for every later diagnosis of an identically-labelled history — this is the
+    /// first half of the (history fingerprint, variable) key of
+    /// [`crate::workflow::SharedDiagnosisCache`]. Relabelling any run changes the
+    /// fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the label-relevant fields; dependency-free and deterministic
+        // across runs and platforms.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= u64::from(b);
+                *hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        let mut hash = OFFSET;
+        mix(&mut hash, &self.runs.len().to_le_bytes());
+        for run in &self.runs {
+            mix(&mut hash, &run.index.to_le_bytes());
+            mix(&mut hash, &[u8::from(run.satisfactory)]);
+            mix(&mut hash, &run.record.start.as_secs().to_le_bytes());
+            mix(&mut hash, &run.record.elapsed_secs.to_bits().to_le_bytes());
+            mix(&mut hash, run.record.plan_fingerprint.as_bytes());
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +220,23 @@ mod tests {
         let empty = RunHistory::new(vec![]);
         assert!(empty.relative_slowdown().is_none());
         assert!(empty.mean_satisfactory_elapsed().is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_labels_and_runs() {
+        let mut h = history();
+        let a = h.fingerprint();
+        assert_eq!(a, history().fingerprint(), "fingerprint must be deterministic");
+        h.label_by_threshold(150.0);
+        let b = h.fingerprint();
+        assert_ne!(a, b, "relabelling must change the fingerprint");
+        h.label_by_threshold(150.0);
+        assert_eq!(h.fingerprint(), b, "identical labelling must give an identical fingerprint");
+        h.set_label(0, false);
+        assert_ne!(h.fingerprint(), b);
+        let mut shorter = history();
+        shorter.runs.pop();
+        assert_ne!(shorter.fingerprint(), a, "run set is part of the fingerprint");
     }
 
     #[test]

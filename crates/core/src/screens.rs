@@ -51,16 +51,16 @@ pub fn apg_visualization_screen(
         return out;
     }
     for metric in metrics {
-        let values = store.values_in(selected, &metric, window);
-        if values.is_empty() {
+        let points = store.points_in(selected, &metric, window);
+        if points.is_empty() {
             continue;
         }
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
-        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = points.iter().map(|p| p.value).sum::<f64>() / points.len() as f64;
+        let max = points.iter().map(|p| p.value).fold(f64::MIN, f64::max);
         out.push_str(&format!(
             "  {:<22} samples={:<4} mean={:<12.3} max={:.3}\n",
             metric.to_string(),
-            values.len(),
+            points.len(),
             mean,
             max
         ));

@@ -19,7 +19,9 @@ use diads_san::{SanPerfConfig, SanSimulator, VolumeLoad};
 use diads_workload::{q2_plan_candidates, tpch_catalog, ReportQuery, TpchLayout};
 
 use crate::apg::Apg;
+use crate::diagnosis::DiagnosisReport;
 use crate::runs::RunHistory;
+use crate::workflow::{DiagnosisContext, DiagnosisWorkflow, SharedDiagnosisCache};
 
 /// Name of the simulated database instance.
 pub const DB_INSTANCE: &str = "reports-db";
@@ -43,6 +45,10 @@ pub struct Testbed {
     pub store: MetricStore,
     /// The report query under diagnosis and its candidate plans.
     pub query: ReportQuery,
+    /// Cross-diagnosis KDE-fit cache, keyed by (history fingerprint, variable).
+    /// Batch callers that diagnose this testbed's outcomes repeatedly hit the warm
+    /// path the interactive session always had.
+    pub diagnosis_cache: SharedDiagnosisCache,
 }
 
 impl Testbed {
@@ -62,6 +68,7 @@ impl Testbed {
             db_events: EventStore::new(),
             store: MetricStore::new(),
             query: ReportQuery { name: "TPC-H Q2".into(), candidates },
+            diagnosis_cache: SharedDiagnosisCache::new(),
         }
     }
 
@@ -182,6 +189,38 @@ impl Testbed {
 
         ScenarioOutcome { scenario: scenario.clone(), testbed, history, fault_log }
     }
+
+    /// Runs a batch of scenarios sequentially, in input order — the reference loop
+    /// the concurrent engine is checked against.
+    pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        scenarios.iter().map(Testbed::run_scenario).collect()
+    }
+
+    /// Runs a batch of scenarios concurrently on a scoped thread pool and returns
+    /// their outcomes **in input order**.
+    ///
+    /// Each scenario simulates an independent testbed (its own SAN, catalog, sampler
+    /// seed and sharded metric store), so every outcome — and every report diagnosed
+    /// from it — is bit-identical to what the sequential [`Testbed::run_scenarios`]
+    /// loop produces; only the wall-clock changes. Uses one worker per available
+    /// core, capped at the batch size.
+    #[cfg(feature = "parallel")]
+    pub fn run_scenarios_concurrent(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(scenarios.len());
+        if threads <= 1 {
+            return Self::run_scenarios(scenarios);
+        }
+        let chunk_len = scenarios.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = scenarios
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(Testbed::run_scenario).collect::<Vec<_>>()))
+                .collect();
+            // Chunks are contiguous and joined in spawn order, so concatenation
+            // restores the input order deterministically.
+            handles.into_iter().flat_map(|h| h.join().expect("scenario worker panicked")).collect()
+        })
+    }
 }
 
 /// The result of running a scenario end to end.
@@ -216,6 +255,41 @@ impl ScenarioOutcome {
     /// Builds the APG for the diagnosed plan over the final testbed state.
     pub fn apg(&self) -> Apg {
         self.testbed.build_apg(&self.diagnosed_plan())
+    }
+
+    /// Diagnoses the outcome with the default workflow, through the testbed-level
+    /// [`SharedDiagnosisCache`].
+    ///
+    /// The first diagnosis of a labelling fits every variable once and warms the
+    /// slot keyed by the history's fingerprint; every later diagnosis of the same
+    /// labelling reuses the fits. The report is identical either way — the cache is
+    /// purely a latency optimisation.
+    pub fn diagnose(&self) -> DiagnosisReport {
+        let apg = self.apg();
+        let events = self.testbed.all_events();
+        let ctx = DiagnosisContext {
+            apg: &apg,
+            history: &self.history,
+            store: &self.testbed.store,
+            events: &events,
+            catalog: &self.testbed.catalog,
+            config: &self.testbed.config,
+            topology: self.testbed.san.topology(),
+            workloads: self.testbed.san.workloads(),
+        };
+        self.testbed.diagnosis_cache.with_slot(self.history.fingerprint(), |cache| {
+            DiagnosisWorkflow::new().run_with_cache(&ctx, cache)
+        })
+    }
+
+    /// Relabels the run history and explicitly invalidates the diagnosis-cache slots
+    /// involved: the abandoned labelling's slot (its fits no longer describe any
+    /// current labelling) and, defensively, the slot of the new fingerprint.
+    pub fn relabel(&mut self, relabel: impl FnOnce(&mut RunHistory)) {
+        let old = self.history.fingerprint();
+        relabel(&mut self.history);
+        self.testbed.diagnosis_cache.invalidate(old);
+        self.testbed.diagnosis_cache.invalidate(self.history.fingerprint());
     }
 }
 
@@ -256,5 +330,36 @@ mod tests {
         assert!(outcome.testbed.store.series_count() > 50);
         let apg = outcome.apg();
         assert_eq!(apg.plan.operator_count(), 25);
+    }
+
+    #[test]
+    fn diagnose_warms_the_testbed_cache_and_relabel_invalidates() {
+        let scenario = scenario_1(ScenarioTimeline::short());
+        let mut outcome = Testbed::run_scenario(&scenario);
+        let fingerprint = outcome.history.fingerprint();
+        assert!(!outcome.testbed.diagnosis_cache.is_warm(fingerprint));
+        let cold = outcome.diagnose();
+        assert!(outcome.testbed.diagnosis_cache.is_warm(fingerprint));
+        let warm = outcome.diagnose();
+        assert_eq!(cold, warm, "warm diagnosis must be identical to cold");
+        // Relabelling abandons the old slot and changes the fingerprint.
+        outcome.relabel(|h| h.label_by_threshold(f64::MAX));
+        assert!(!outcome.testbed.diagnosis_cache.is_warm(fingerprint));
+        assert_ne!(outcome.history.fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn run_scenarios_preserves_input_order() {
+        let t = ScenarioTimeline::short();
+        // Distinct scenarios, deliberately not in constructor order, so any
+        // reordering of the outcomes is caught by the per-index id checks.
+        let scenarios =
+            [diads_inject::scenarios::scenario_3(t), scenario_1(t), diads_inject::scenarios::scenario_5(t)];
+        let outcomes = Testbed::run_scenarios(&scenarios);
+        assert_eq!(outcomes.len(), 3);
+        for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+            assert_eq!(outcome.scenario.id, scenario.id);
+            assert_eq!(outcome.history.len(), t.total_runs());
+        }
     }
 }

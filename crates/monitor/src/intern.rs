@@ -22,10 +22,23 @@ pub struct ComponentSym(pub(crate) u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricSym(pub(crate) u32);
 
+impl ComponentSym {
+    /// The dense index of the symbol (0-based intern order) — the natural index into
+    /// per-component dense arrays (store shards, sampler slots).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl MetricSym {
     /// Range bounds for per-component key scans.
     pub(crate) const MIN: MetricSym = MetricSym(0);
     pub(crate) const MAX: MetricSym = MetricSym(u32::MAX);
+
+    /// The dense index of the symbol (0-based intern order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 /// Bidirectional map between rich identities and their dense symbols.

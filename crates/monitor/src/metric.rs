@@ -282,6 +282,13 @@ impl MetricKey {
     pub fn new(component: ComponentSym, metric: MetricSym) -> Self {
         MetricKey { component, metric }
     }
+
+    /// Rebuilds a key from dense symbol indices. Crate-internal: only meaningful for
+    /// indices obtained from `ComponentSym::index` / `MetricSym::index` of the same
+    /// store (used by dense tables that need the key back for recording).
+    pub(crate) fn from_indices(component: usize, metric: usize) -> Self {
+        MetricKey::new(ComponentSym(component as u32), MetricSym(metric as u32))
+    }
 }
 
 #[cfg(test)]

@@ -6,27 +6,43 @@
 //! the metric store. This is precisely the mechanism that makes bursty behaviour hard to
 //! see in the stored data.
 
-use std::collections::BTreeMap;
-
 use crate::metric::MetricKey;
 use crate::noise::{NoiseGenerator, NoiseModel};
 use crate::store::MetricStore;
 use crate::time::{Duration, Timestamp};
+
+/// The currently open interval of one key.
+#[derive(Debug, Clone, Copy)]
+struct OpenInterval {
+    /// Start of the interval (bucket-aligned seconds).
+    start: u64,
+    /// Sum of the raw observations accumulated so far.
+    sum: f64,
+    /// Number of raw observations accumulated so far.
+    count: usize,
+}
 
 /// Accumulates raw observations and flushes interval averages into a [`MetricStore`].
 #[derive(Debug)]
 pub struct IntervalSampler {
     interval: Duration,
     noise: NoiseGenerator,
-    /// Per key: (interval start, sum, count) of the currently open interval.
-    open: BTreeMap<MetricKey, (u64, f64, usize)>,
+    /// Open intervals in a dense table indexed `[component symbol][metric symbol]`.
+    ///
+    /// Interned symbols are dense intern-order indices, so the per-observation lookup
+    /// is two array indexings instead of the `BTreeMap` walk the sampler used at
+    /// lower metric cardinality. Rows and slots grow on demand; iteration in
+    /// (component, metric) index order reproduces the old map's key order exactly,
+    /// which keeps the noise-generator consumption sequence — and therefore the
+    /// recorded values — bit-identical.
+    open: Vec<Vec<Option<OpenInterval>>>,
 }
 
 impl IntervalSampler {
     /// Creates a sampler with the given interval and noise model. The seed makes the
     /// injected noise deterministic.
     pub fn new(interval: Duration, noise: NoiseModel, seed: u64) -> Self {
-        IntervalSampler { interval, noise: NoiseGenerator::new(noise, seed), open: BTreeMap::new() }
+        IntervalSampler { interval, noise: NoiseGenerator::new(noise, seed), open: Vec::new() }
     }
 
     /// A production-like sampler: 5-minute intervals, light Gaussian noise.
@@ -46,30 +62,41 @@ impl IntervalSampler {
     /// allocation at all.
     pub fn observe(&mut self, store: &mut MetricStore, key: MetricKey, time: Timestamp, value: f64) {
         let bucket = self.bucket_start(time);
-        match self.open.get_mut(&key) {
-            Some((start, sum, count)) if *start == bucket => {
-                *sum += value;
-                *count += 1;
+        let (ci, mi) = (key.component.index(), key.metric.index());
+        if ci >= self.open.len() {
+            self.open.resize_with(ci + 1, Vec::new);
+        }
+        let row = &mut self.open[ci];
+        if mi >= row.len() {
+            row.resize(mi + 1, None);
+        }
+        match &mut row[mi] {
+            Some(open) if open.start == bucket => {
+                open.sum += value;
+                open.count += 1;
             }
-            Some(entry) => {
-                let (start, sum, count) = *entry;
-                let avg = self.noise.perturb(sum / count as f64);
-                store.record_key(key, Timestamp::new(start), avg);
-                *entry = (bucket, value, 1);
+            Some(open) => {
+                let avg = self.noise.perturb(open.sum / open.count as f64);
+                store.record_key(key, Timestamp::new(open.start), avg);
+                *open = OpenInterval { start: bucket, sum: value, count: 1 };
             }
-            None => {
-                self.open.insert(key, (bucket, value, 1));
-            }
+            slot => *slot = Some(OpenInterval { start: bucket, sum: value, count: 1 }),
         }
     }
 
     /// Flushes every open interval into the store (call at the end of a simulation).
+    ///
+    /// Flush order is (component, metric) symbol order — identical to the order of
+    /// the `BTreeMap` this table replaced, so the noise stream lands on the same
+    /// values.
     pub fn flush(&mut self, store: &mut MetricStore) {
         let open = std::mem::take(&mut self.open);
-        for (key, (start, sum, count)) in open {
-            if count > 0 {
-                let avg = self.noise.perturb(sum / count as f64);
-                store.record_key(key, Timestamp::new(start), avg);
+        for (ci, row) in open.into_iter().enumerate() {
+            for (mi, slot) in row.into_iter().enumerate() {
+                let Some(interval) = slot else { continue };
+                let key = MetricKey::from_indices(ci, mi);
+                let avg = self.noise.perturb(interval.sum / interval.count as f64);
+                store.record_key(key, Timestamp::new(interval.start), avg);
             }
         }
     }

@@ -80,11 +80,12 @@ impl TimeSeries {
     }
 
     /// Values (without timestamps) within a range.
-    ///
-    /// Allocates a fresh `Vec`; hot paths should use [`TimeSeries::range`] or
-    /// [`TimeSeries::iter_in`], which borrow.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `range` / `iter_in`, which borrow"
+    )]
     pub fn values_in(&self, range: TimeRange) -> Vec<f64> {
-        self.range(range).iter().map(|p| p.value).collect()
+        self.iter_in(range).collect()
     }
 
     /// Iterates over the values within a range without allocating.
@@ -184,8 +185,12 @@ mod tests {
     fn range_query_is_half_open() {
         let s = series();
         let r = TimeRange::new(Timestamp::new(20), Timestamp::new(50));
-        let vals = s.values_in(r);
+        let vals: Vec<f64> = s.iter_in(r).collect();
         assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+        // The deprecated allocating accessor stays behavior-compatible.
+        #[allow(deprecated)]
+        let allocated = s.values_in(r);
+        assert_eq!(allocated, vals);
         assert_eq!(s.range(TimeRange::new(Timestamp::new(200), Timestamp::new(300))).len(), 0);
     }
 

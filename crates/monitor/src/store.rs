@@ -5,8 +5,18 @@
 //! [`MetricKey`]s (two `u32`s, `Copy`), so the scoring hot path of the diagnosis
 //! workflow performs **zero string clones and zero allocations** per lookup. Rich
 //! identities are cloned exactly once, when a series is first recorded.
+//!
+//! Internally the series map is **sharded by [`ComponentSym`]**: every component's
+//! series live in exactly one of [`MetricStore::SHARD_COUNT`] sorted shards. Reads
+//! stay lock-free borrows (a key addresses its shard directly; full iteration is a
+//! deterministic k-way merge in key order, identical to the pre-sharding `BTreeMap`
+//! order), while [`MetricStore::sharded_writer`] temporarily splits the store into a
+//! lock-per-shard writer so N simulator threads can record concurrently — contention
+//! free as long as they touch different shards, and bit-identical to sequential
+//! recording as long as each key's observations keep their relative order.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use crate::ids::{ComponentId, ComponentKind};
 use crate::intern::{ComponentSym, Interner, MetricSym};
@@ -14,23 +24,57 @@ use crate::metric::{MetricKey, MetricName};
 use crate::series::{DataPoint, TimeSeries};
 use crate::time::{TimeRange, Timestamp};
 
-/// An in-memory store of metric time series keyed by interned (component, metric)
-/// symbols.
-///
-/// A `BTreeMap` over the dense keys keeps iteration deterministic (symbol order =
-/// first-recorded order, which is deterministic for a deterministic simulation) and
-/// groups each component's series contiguously, so per-component scans are range
-/// queries instead of full traversals.
+/// One shard: the sorted sub-map of every series whose component hashes here.
 #[derive(Debug, Clone, Default)]
-pub struct MetricStore {
-    interner: Interner,
+struct Shard {
     series: BTreeMap<MetricKey, TimeSeries>,
 }
 
+/// An in-memory store of metric time series keyed by interned (component, metric)
+/// symbols.
+///
+/// Series are partitioned across [`MetricStore::SHARD_COUNT`] `BTreeMap` shards by
+/// component symbol. Within a shard, key order keeps iteration deterministic (symbol
+/// order = first-recorded order, which is deterministic for a deterministic
+/// simulation) and groups each component's series contiguously, so per-component
+/// scans are range queries instead of full traversals; across shards, the merged
+/// view re-establishes global key order.
+#[derive(Debug, Clone)]
+pub struct MetricStore {
+    interner: Interner,
+    shards: Vec<Shard>,
+}
+
+impl Default for MetricStore {
+    fn default() -> Self {
+        MetricStore {
+            interner: Interner::new(),
+            shards: (0..Self::SHARD_COUNT).map(|_| Shard::default()).collect(),
+        }
+    }
+}
+
+/// The shard a component's series live in (power-of-two mask over the dense symbol).
+fn shard_index(component: ComponentSym) -> usize {
+    component.index() & (MetricStore::SHARD_COUNT - 1)
+}
+
 impl MetricStore {
+    /// Number of shards the series map is split into. A power of two so the shard of
+    /// a symbol is a mask, not a division.
+    pub const SHARD_COUNT: usize = 16;
+
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn shard(&self, component: ComponentSym) -> &Shard {
+        &self.shards[shard_index(component)]
+    }
+
+    fn shard_mut(&mut self, component: ComponentSym) -> &mut Shard {
+        &mut self.shards[shard_index(component)]
     }
 
     // ----- Interning -----
@@ -82,15 +126,31 @@ impl MetricStore {
     /// Records one observation.
     pub fn record(&mut self, component: &ComponentId, metric: &MetricName, time: Timestamp, value: f64) {
         let key = self.intern(component, metric);
-        self.series.entry(key).or_default().push(time, value);
+        self.record_key(key, time, value);
     }
 
     /// Records one observation by interned key (the zero-allocation fast path).
     pub fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
-        self.series.entry(key).or_default().push(time, value);
+        self.shard_mut(key.component).series.entry(key).or_default().push(time, value);
     }
 
-    // ----- Lookups (hot path: no clones, no allocations) -----
+    /// Splits the store into a lock-per-shard concurrent writer.
+    ///
+    /// Worker threads record through `&ShardedWriter` by interned key; each write
+    /// locks only the shard that owns the key's component, so threads recording
+    /// different components (different shards) never contend. Keys must be interned
+    /// up front — the interner is not part of the writer view.
+    ///
+    /// Dropping the writer re-unifies the store. The merged read view is
+    /// deterministic: as long as each key's observations keep their relative order
+    /// (e.g. one logical stream per component), the resulting store is bit-identical
+    /// to sequential recording, regardless of how the streams interleave across
+    /// threads.
+    pub fn sharded_writer(&mut self) -> ShardedWriter<'_> {
+        ShardedWriter { shards: self.shards.iter_mut().map(Mutex::new).collect() }
+    }
+
+    // ----- Lookups (hot path: no clones, no allocations, no locks) -----
 
     /// The series for a (component, metric) pair, if any observation was ever recorded.
     pub fn series(&self, component: &ComponentId, metric: &MetricName) -> Option<&TimeSeries> {
@@ -99,7 +159,7 @@ impl MetricStore {
 
     /// The series for an interned key.
     pub fn series_by_key(&self, key: MetricKey) -> Option<&TimeSeries> {
-        self.series.get(&key)
+        self.shard(key.component).series.get(&key)
     }
 
     /// Points of a metric within a time range, as a borrowed slice (empty if the
@@ -113,12 +173,24 @@ impl MetricStore {
         self.series_by_key(key).map(|s| s.range(range)).unwrap_or(&[])
     }
 
+    /// Values of a metric within a time range, without allocating (empty if the
+    /// series does not exist).
+    pub fn iter_in(
+        &self,
+        component: &ComponentId,
+        metric: &MetricName,
+        range: TimeRange,
+    ) -> impl Iterator<Item = f64> + '_ {
+        self.points_in(component, metric, range).iter().map(|p| p.value)
+    }
+
     /// Values of a metric within a time range (empty if the series does not exist).
-    ///
-    /// Allocates a fresh `Vec`; scoring loops should prefer [`Self::points_in`] /
-    /// [`Self::points_in_by_key`] or the aggregate accessors, which do not.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `points_in`/`iter_in` (or the aggregate accessors)"
+    )]
     pub fn values_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> Vec<f64> {
-        self.series(component, metric).map(|s| s.values_in(range)).unwrap_or_default()
+        self.iter_in(component, metric, range).collect()
     }
 
     /// Mean of a metric within a time range.
@@ -139,11 +211,12 @@ impl MetricStore {
     // ----- Enumeration (cold path: resolves and sorts for stable public order) -----
 
     /// Every series key of one component, in metric-symbol order. Zero allocations:
-    /// this is a range scan over the contiguous key block of the component.
+    /// this is a range scan over the contiguous key block of the component inside its
+    /// shard.
     pub fn keys_of(&self, component: ComponentSym) -> impl Iterator<Item = MetricKey> + '_ {
         let lo = MetricKey::new(component, MetricSym::MIN);
         let hi = MetricKey::new(component, MetricSym::MAX);
-        self.series.range(lo..=hi).map(|(k, _)| *k)
+        self.shard(component).series.range(lo..=hi).map(|(k, _)| *k)
     }
 
     /// All metric names ever recorded for a component, sorted by name order.
@@ -175,56 +248,120 @@ impl MetricStore {
         out
     }
 
-    /// All distinct component symbols with any recorded series, in symbol order.
+    /// All distinct component symbols with any recorded series, in symbol order
+    /// (merged across shards).
     pub fn component_syms(&self) -> impl Iterator<Item = ComponentSym> + '_ {
-        let mut last: Option<ComponentSym> = None;
-        self.series.keys().filter_map(move |k| {
-            if last == Some(k.component) {
-                None
-            } else {
-                last = Some(k.component);
-                Some(k.component)
+        let mut syms: Vec<ComponentSym> = Vec::new();
+        for shard in &self.shards {
+            let mut last: Option<ComponentSym> = None;
+            for k in shard.series.keys() {
+                if last != Some(k.component) {
+                    last = Some(k.component);
+                    syms.push(k.component);
+                }
             }
-        })
+        }
+        syms.sort_unstable();
+        syms.into_iter()
     }
 
     /// Number of distinct (component, metric) series.
     pub fn series_count(&self) -> usize {
-        self.series.len()
+        self.shards.iter().map(|s| s.series.len()).sum()
     }
 
     /// Total number of recorded data points across all series.
     pub fn point_count(&self) -> usize {
-        self.series.values().map(|s| s.len()).sum()
+        self.shards.iter().flat_map(|s| s.series.values()).map(|s| s.len()).sum()
     }
 
     /// Merges another store into this one (used when assembling a testbed from the SAN
     /// and database collectors). Symbols are re-interned, so the stores do not need to
     /// share an interner.
     pub fn merge(&mut self, other: &MetricStore) {
-        for (key, series) in &other.series {
-            let (component, metric) = other.resolve(*key);
+        for (key, series) in other.iter() {
+            let (component, metric) = other.resolve(key);
             let own = self.intern(component, metric);
-            let entry = self.series.entry(own).or_default();
+            let entry = self.shard_mut(own.component).series.entry(own).or_default();
             for p in series.points() {
                 entry.push(p.time, p.value);
             }
         }
     }
 
-    /// Iterates over every (key, series) pair in key (symbol) order — deterministic
-    /// for a deterministic record order. Use [`Self::resolve`] on the keys for rich
-    /// identities, or [`Self::iter_sorted`] for name-sorted iteration.
+    /// Iterates over every (key, series) pair in key (symbol) order — a deterministic
+    /// k-way merge of the shards, identical to the pre-sharding single-map order. Use
+    /// [`Self::resolve`] on the keys for rich identities, or [`Self::iter_sorted`]
+    /// for name-sorted iteration.
     pub fn iter(&self) -> impl Iterator<Item = (MetricKey, &TimeSeries)> {
-        self.series.iter().map(|(k, s)| (*k, s))
+        MergedIter { shards: self.shards.iter().map(|s| s.series.iter().peekable()).collect() }
     }
 
     /// Iterates in (component, metric) *name* order — the old rich-key iteration
     /// order. Allocates a sort index, so keep it out of hot loops.
     pub fn iter_sorted(&self) -> impl Iterator<Item = (MetricKey, &TimeSeries)> {
-        let mut keys: Vec<MetricKey> = self.series.keys().copied().collect();
+        let mut keys: Vec<MetricKey> = self.iter().map(|(k, _)| k).collect();
         keys.sort_by(|a, b| self.resolve(*a).cmp(&self.resolve(*b)));
-        keys.into_iter().map(|k| (k, &self.series[&k]))
+        keys.into_iter().map(|k| (k, self.series_by_key(k).expect("key from iter")))
+    }
+}
+
+/// K-way merge over the shards' sorted maps. Component symbols map to exactly one
+/// shard, so keys never tie and the merge is a total order.
+struct MergedIter<'a> {
+    shards: Vec<std::iter::Peekable<std::collections::btree_map::Iter<'a, MetricKey, TimeSeries>>>,
+}
+
+impl<'a> Iterator for MergedIter<'a> {
+    type Item = (MetricKey, &'a TimeSeries);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<(MetricKey, usize)> = None;
+        for (i, iter) in self.shards.iter_mut().enumerate() {
+            if let Some(&(&key, _)) = iter.peek() {
+                if best.is_none_or(|(b, _)| key < b) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        let (_, i) = best?;
+        self.shards[i].next().map(|(k, s)| (*k, s))
+    }
+}
+
+/// A lock-per-shard concurrent writer over a [`MetricStore`], created by
+/// [`MetricStore::sharded_writer`].
+///
+/// The writer borrows the store mutably, so no reads are possible while it lives —
+/// readers get the merged view back the moment it drops. Recording locks only the
+/// shard owning the key's component: threads recording disjoint components proceed
+/// without contention, and the final store contents are independent of the thread
+/// interleaving (each shard's map is keyed, and each series keeps its points
+/// time-sorted).
+#[derive(Debug)]
+pub struct ShardedWriter<'a> {
+    shards: Vec<Mutex<&'a mut Shard>>,
+}
+
+impl ShardedWriter<'_> {
+    /// Records one observation by interned key, locking only the owning shard.
+    pub fn record_key(&self, key: MetricKey, time: Timestamp, value: f64) {
+        let mut shard = self.shards[shard_index(key.component)].lock().expect("shard lock poisoned");
+        shard.series.entry(key).or_default().push(time, value);
+    }
+
+    /// Records a batch of observations for one key under a single shard lock.
+    pub fn record_points(&self, key: MetricKey, points: &[DataPoint]) {
+        let mut shard = self.shards[shard_index(key.component)].lock().expect("shard lock poisoned");
+        let series = shard.series.entry(key).or_default();
+        for p in points {
+            series.push(p.time, p.value);
+        }
+    }
+
+    /// Number of independent shards (and thus the writer's maximum concurrency).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -243,11 +380,18 @@ mod tests {
             store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(t * 60), t as f64);
         }
         let r = TimeRange::new(Timestamp::new(0), Timestamp::new(300));
-        assert_eq!(store.values_in(&volume("V1"), &MetricName::WriteIo, r), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                store.values_in(&volume("V1"), &MetricName::WriteIo, r),
+                vec![0.0, 1.0, 2.0, 3.0, 4.0]
+            );
+            assert!(store.values_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
+        }
+        assert_eq!(store.iter_in(&volume("V1"), &MetricName::WriteIo, r).collect::<Vec<_>>().len(), 5);
         assert_eq!(store.mean_in(&volume("V1"), &MetricName::WriteIo, r), Some(2.0));
         assert_eq!(store.sum_in(&volume("V1"), &MetricName::WriteIo, r), 10.0);
         // Unknown series behave as empty.
-        assert!(store.values_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
         assert_eq!(store.mean_in(&volume("V1"), &MetricName::ReadIo, r), None);
         assert_eq!(store.sum_in(&volume("V9"), &MetricName::ReadIo, r), 0.0);
         // Zero-copy range access returns the same values as a borrowed slice.
@@ -326,5 +470,97 @@ mod tests {
         let mut expect = ka.clone();
         expect.sort();
         assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn merged_iteration_is_in_global_key_order() {
+        // Enough components to populate many shards, interned in shuffled order so
+        // shards receive interleaved symbols.
+        let mut store = MetricStore::new();
+        for i in [7usize, 2, 31, 0, 16, 15, 9, 24, 1, 8] {
+            store.record(&volume(&format!("V{i:02}")), &MetricName::WriteIo, Timestamp::new(0), i as f64);
+            store.record(&volume(&format!("V{i:02}")), &MetricName::ReadIo, Timestamp::new(0), i as f64);
+        }
+        let keys: Vec<MetricKey> = store.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged iteration must be ascending key order");
+        assert_eq!(keys.len(), store.series_count());
+        // component_syms is ascending and distinct.
+        let syms: Vec<_> = store.component_syms().collect();
+        let mut expect = syms.clone();
+        expect.sort();
+        expect.dedup();
+        assert_eq!(syms, expect);
+        assert_eq!(syms.len(), 10);
+    }
+
+    #[test]
+    fn sharded_writer_matches_sequential_recording() {
+        // Build identical key sets in two stores, then record the same streams —
+        // sequentially in one, through the sharded writer (single-threaded here;
+        // threaded equivalence is covered by the property test) in the other.
+        let mut seq = MetricStore::new();
+        let mut par = MetricStore::new();
+        let keys: Vec<(MetricKey, MetricKey)> = (0..10)
+            .map(|i| {
+                let c = volume(&format!("V{i}"));
+                (seq.intern(&c, &MetricName::WriteIo), par.intern(&c, &MetricName::WriteIo))
+            })
+            .collect();
+        for t in 0..50u64 {
+            let (ks, _) = keys[(t % 10) as usize];
+            seq.record_key(ks, Timestamp::new(t), t as f64);
+        }
+        {
+            let writer = par.sharded_writer();
+            assert_eq!(writer.shard_count(), MetricStore::SHARD_COUNT);
+            for t in 0..50u64 {
+                let (_, kp) = keys[(t % 10) as usize];
+                writer.record_key(kp, Timestamp::new(t), t as f64);
+            }
+        }
+        assert_eq!(seq.series_count(), par.series_count());
+        for ((ks, kp), _) in keys.iter().zip(0..) {
+            assert_eq!(seq.series_by_key(*ks).unwrap().points(), par.series_by_key(*kp).unwrap().points());
+        }
+    }
+
+    #[test]
+    fn sharded_writer_records_from_real_threads() {
+        let mut store = MetricStore::new();
+        let keys: Vec<MetricKey> =
+            (0..8).map(|i| store.intern(&volume(&format!("V{i}")), &MetricName::WriteIo)).collect();
+        {
+            let writer = store.sharded_writer();
+            std::thread::scope(|scope| {
+                for chunk in keys.chunks(2) {
+                    let writer = &writer;
+                    scope.spawn(move || {
+                        for &key in chunk {
+                            for t in 0..100u64 {
+                                writer.record_key(key, Timestamp::new(t), t as f64);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(store.series_count(), 8);
+        assert_eq!(store.point_count(), 800);
+        for key in keys {
+            let points = store.series_by_key(key).unwrap().points();
+            assert_eq!(points.len(), 100);
+            assert!(points.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+    }
+
+    #[test]
+    fn record_points_batches_under_one_lock() {
+        let mut store = MetricStore::new();
+        let key = store.intern(&volume("V1"), &MetricName::WriteIo);
+        let batch: Vec<DataPoint> = (0..5).map(|t| DataPoint::new(Timestamp::new(t), t as f64)).collect();
+        store.sharded_writer().record_points(key, &batch);
+        assert_eq!(store.series_by_key(key).unwrap().points(), &batch[..]);
     }
 }

@@ -1,0 +1,233 @@
+//! Property tests for the sharded metric store: concurrent recording through the
+//! lock-per-shard writer must be indistinguishable from sequential recording.
+//!
+//! `proptest` is not vendored in this environment, so — like
+//! `stats/tests/properties.rs` — the properties are driven by a deterministic
+//! splitmix64 case generator: each property is checked over many pseudo-random
+//! interleaved record streams with a fixed seed, keeping failures reproducible.
+
+use diads_monitor::rng::SplitMix64;
+use diads_monitor::{ComponentId, MetricKey, MetricName, MetricStore, TimeRange, Timestamp};
+
+/// Deterministic case generator over the workspace's shared splitmix64 PRNG.
+struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { rng: SplitMix64::new(seed) }
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.rng.next_u64() as usize) % (hi - lo)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+}
+
+/// One generated workload: per-component observation streams over a shared metric
+/// vocabulary, plus a random global interleaving of those streams.
+struct Case {
+    /// `streams[c]` is component `c`'s observations in its own stream order:
+    /// (metric index, time, value).
+    streams: Vec<Vec<(usize, Timestamp, f64)>>,
+    /// The interleaved order: a sequence of component indices; each occurrence
+    /// consumes that component's next observation.
+    interleaving: Vec<usize>,
+    metrics: Vec<MetricName>,
+}
+
+fn metric_vocabulary() -> Vec<MetricName> {
+    vec![
+        MetricName::WriteIo,
+        MetricName::ReadIo,
+        MetricName::WriteTime,
+        MetricName::Utilization,
+        MetricName::Custom("queue_depth".into()),
+    ]
+}
+
+fn generate_case(g: &mut Gen) -> Case {
+    let metrics = metric_vocabulary();
+    let components = g.usize_in(2, 24);
+    let mut streams = Vec::with_capacity(components);
+    let mut interleaving = Vec::new();
+    for c in 0..components {
+        let len = g.usize_in(1, 80);
+        let mut stream = Vec::with_capacity(len);
+        let mut time = g.usize_in(0, 600) as u64;
+        for _ in 0..len {
+            let metric = g.usize_in(0, metrics.len());
+            // Occasionally repeat a timestamp (interval-aligned flushes do) and
+            // occasionally jump backwards (late flushes), exercising sorted insert.
+            time = match g.usize_in(0, 10) {
+                0 => time,
+                1 => time.saturating_sub(g.usize_in(1, 120) as u64),
+                _ => time + g.usize_in(1, 90) as u64,
+            };
+            stream.push((metric, Timestamp::new(time), g.f64_in(-1.0e6, 1.0e6)));
+        }
+        interleaving.extend(std::iter::repeat_n(c, stream.len()));
+        streams.push(stream);
+    }
+    // Fisher-Yates over the interleaving: a random global arrival order that still
+    // preserves each component's stream order.
+    for i in (1..interleaving.len()).rev() {
+        interleaving.swap(i, g.usize_in(0, i + 1));
+    }
+    Case { streams, interleaving, metrics }
+}
+
+/// Interns the case's full key matrix in one deterministic order, so both stores
+/// issue identical symbols.
+fn intern_keys(store: &mut MetricStore, case: &Case) -> Vec<Vec<MetricKey>> {
+    (0..case.streams.len())
+        .map(|c| {
+            let component = ComponentId::volume(format!("V{c:03}"));
+            case.metrics.iter().map(|m| store.intern(&component, m)).collect()
+        })
+        .collect()
+}
+
+/// Applies the interleaved stream sequentially through `MetricStore::record_key`.
+fn record_sequential(case: &Case) -> MetricStore {
+    let mut store = MetricStore::new();
+    let keys = intern_keys(&mut store, case);
+    let mut cursors = vec![0usize; case.streams.len()];
+    for &c in &case.interleaving {
+        let (metric, time, value) = case.streams[c][cursors[c]];
+        cursors[c] += 1;
+        store.record_key(keys[c][metric], time, value);
+    }
+    store
+}
+
+/// Applies the same streams from `threads` real threads through the sharded writer.
+/// Components are dealt round-robin across threads, so shards are hit concurrently;
+/// each component's stream order is preserved by its owning thread.
+fn record_threaded(case: &Case, threads: usize) -> MetricStore {
+    let mut store = MetricStore::new();
+    let keys = intern_keys(&mut store, case);
+    {
+        let writer = store.sharded_writer();
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let writer = &writer;
+                let keys = &keys;
+                let streams = &case.streams;
+                scope.spawn(move || {
+                    for (c, stream) in streams.iter().enumerate() {
+                        if c % threads != worker {
+                            continue;
+                        }
+                        for &(metric, time, value) in stream {
+                            writer.record_key(keys[c][metric], time, value);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    store
+}
+
+/// Byte-level equality of two stores: same merged key sequence, and per key the
+/// same points with bit-identical values.
+fn assert_stores_identical(a: &MetricStore, b: &MetricStore, what: &str) {
+    assert_eq!(a.series_count(), b.series_count(), "{what}: series count");
+    assert_eq!(a.point_count(), b.point_count(), "{what}: point count");
+    let ka: Vec<MetricKey> = a.iter().map(|(k, _)| k).collect();
+    let kb: Vec<MetricKey> = b.iter().map(|(k, _)| k).collect();
+    assert_eq!(ka, kb, "{what}: merged key order");
+    for key in ka {
+        let pa = a.series_by_key(key).expect("key listed").points();
+        let pb = b.series_by_key(key).expect("key listed").points();
+        assert_eq!(pa.len(), pb.len(), "{what}: {} length", a.display_key(key));
+        for (x, y) in pa.iter().zip(pb) {
+            assert_eq!(x.time, y.time, "{what}: {} timestamps", a.display_key(key));
+            assert_eq!(
+                x.value.to_bits(),
+                y.value.to_bits(),
+                "{what}: {} values must be bit-identical",
+                a.display_key(key)
+            );
+        }
+    }
+}
+
+const CASES: usize = 40;
+
+#[test]
+fn threaded_sharded_recording_is_bit_identical_to_sequential() {
+    let mut g = Gen::new(0xD1AD5);
+    for case_no in 0..CASES {
+        let case = generate_case(&mut g);
+        let sequential = record_sequential(&case);
+        for threads in [2, 4, 7] {
+            let threaded = record_threaded(&case, threads);
+            assert_stores_identical(&sequential, &threaded, &format!("case {case_no}, {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn range_reads_agree_between_sequential_and_sharded_stores() {
+    let mut g = Gen::new(0xBEEF);
+    for _ in 0..CASES {
+        let case = generate_case(&mut g);
+        let sequential = record_sequential(&case);
+        let threaded = record_threaded(&case, 4);
+        // Random range probes over random (component, metric) pairs, including
+        // pairs that were never recorded.
+        for _ in 0..50 {
+            let c = g.usize_in(0, case.streams.len() + 2);
+            let m = g.usize_in(0, case.metrics.len());
+            let component = ComponentId::volume(format!("V{c:03}"));
+            let metric = &case.metrics[m];
+            let lo = g.usize_in(0, 4_000) as u64;
+            let range = TimeRange::new(Timestamp::new(lo), Timestamp::new(lo + g.usize_in(1, 4_000) as u64));
+            let pa = sequential.points_in(&component, metric, range);
+            let pb = threaded.points_in(&component, metric, range);
+            assert_eq!(pa.len(), pb.len());
+            assert!(pa
+                .iter()
+                .zip(pb)
+                .all(|(x, y)| x.time == y.time && x.value.to_bits() == y.value.to_bits()));
+            // The deprecated allocating accessor and the borrowed path agree too.
+            #[allow(deprecated)]
+            let values = sequential.values_in(&component, metric, range);
+            assert_eq!(values, pb.iter().map(|p| p.value).collect::<Vec<_>>());
+            assert_eq!(
+                sequential.mean_in(&component, metric, range),
+                threaded.mean_in(&component, metric, range)
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_enumeration_is_deterministic_and_sorted() {
+    let mut g = Gen::new(0xCAFE);
+    for _ in 0..CASES {
+        let case = generate_case(&mut g);
+        let store = record_threaded(&case, 3);
+        let keys: Vec<MetricKey> = store.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged iteration must be ascending key order");
+        let syms: Vec<_> = store.component_syms().collect();
+        let mut expect = syms.clone();
+        expect.sort();
+        expect.dedup();
+        assert_eq!(syms, expect, "component_syms must be ascending and distinct");
+        // keys_of covers exactly the keys iter() attributes to the component.
+        for &sym in &syms {
+            let from_scan: Vec<MetricKey> = store.keys_of(sym).collect();
+            let from_iter: Vec<MetricKey> = keys.iter().copied().filter(|k| k.component == sym).collect();
+            assert_eq!(from_scan, from_iter);
+        }
+    }
+}

@@ -44,18 +44,10 @@ pub use diads_workload as workload;
 
 /// Convenience: build the diagnosis context for a completed scenario run and execute
 /// the full batch workflow, returning the report.
+///
+/// Routes through the testbed-level [`core::SharedDiagnosisCache`], so diagnosing the
+/// same outcome (same run labelling) repeatedly reuses every KDE fit. The report is
+/// identical cold or warm.
 pub fn diagnose_scenario_outcome(outcome: &core::ScenarioOutcome) -> core::DiagnosisReport {
-    let apg = outcome.apg();
-    let events = outcome.testbed.all_events();
-    let ctx = core::DiagnosisContext {
-        apg: &apg,
-        history: &outcome.history,
-        store: &outcome.testbed.store,
-        events: &events,
-        catalog: &outcome.testbed.catalog,
-        config: &outcome.testbed.config,
-        topology: outcome.testbed.san.topology(),
-        workloads: outcome.testbed.san.workloads(),
-    };
-    core::DiagnosisWorkflow::new().run(&ctx)
+    outcome.diagnose()
 }

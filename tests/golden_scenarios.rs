@@ -1,12 +1,19 @@
 //! Golden regression tests for the diagnosis engine.
 //!
-//! These pin the *exact* top-ranked root cause and its confidence level for the first
-//! three Table-1 scenarios. They were captured on the pre-refactor scoring engine and
-//! must keep passing unchanged: any zero-copy / caching / parallelism work in the hot
-//! path has to be behavior-preserving, and this is the tripwire that proves it.
+//! These pin the *exact* top-ranked root cause and its confidence level for every
+//! scenario constructor in `diads_inject::scenarios` — the full Table-1 matrix
+//! (scenarios 1–5), the Table-2 bursty variant (1b), and the two plan-change
+//! scenarios (index drop, configuration change). They were captured on the
+//! sequential engine and must keep passing unchanged: any sharding / caching /
+//! parallelism work in the hot path has to be behavior-preserving, and this is the
+//! tripwire that proves it. The same pins run under `--features parallel`, and the
+//! concurrent scenario engine is asserted bit-identical to the sequential loop.
 
 use diads::core::{ConfidenceLevel, Testbed};
-use diads::inject::scenarios::{scenario_1, scenario_2, scenario_3, Scenario, ScenarioTimeline};
+use diads::inject::scenarios::{
+    config_change_scenario, index_drop_scenario, scenario_1, scenario_1b, scenario_2, scenario_3, scenario_4,
+    scenario_5, Scenario, ScenarioTimeline,
+};
 
 struct Golden {
     scenario: Scenario,
@@ -36,12 +43,24 @@ fn check(golden: Golden) {
         top.confidence_score,
         report.render()
     );
+    // The warm-cache path must reproduce the cold report exactly.
+    let warm = diads::diagnose_scenario_outcome(&outcome);
+    assert_eq!(report, warm, "{}: warm-cache diagnosis drifted from cold", golden.scenario.id);
 }
 
 #[test]
 fn golden_scenario_1_top_cause_and_confidence() {
     check(Golden {
         scenario: scenario_1(ScenarioTimeline::short()),
+        top_cause: "san-misconfiguration-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_scenario_1b_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_1b(ScenarioTimeline::short()),
         top_cause: "san-misconfiguration-contention",
         confidence: ConfidenceLevel::High,
     });
@@ -63,4 +82,73 @@ fn golden_scenario_3_top_cause_and_confidence() {
         top_cause: "data-property-change",
         confidence: ConfidenceLevel::High,
     });
+}
+
+#[test]
+fn golden_scenario_4_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_4(ScenarioTimeline::short()),
+        top_cause: "san-misconfiguration-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_scenario_5_top_cause_and_confidence() {
+    check(Golden {
+        scenario: scenario_5(ScenarioTimeline::short()),
+        top_cause: "table-lock-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_index_drop_top_cause_and_confidence() {
+    check(Golden {
+        scenario: index_drop_scenario(ScenarioTimeline::short()),
+        top_cause: "index-dropped",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_config_change_top_cause_and_confidence() {
+    check(Golden {
+        scenario: config_change_scenario(ScenarioTimeline::short()),
+        top_cause: "config-parameter-change",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+/// The concurrent scenario engine must be a pure wall-clock optimisation: over the
+/// whole Table-1 matrix, outcomes and diagnosis reports are bit-identical to the
+/// sequential reference loop, in input order.
+#[cfg(feature = "parallel")]
+#[test]
+fn concurrent_engine_matches_sequential_loop_over_all_scenarios() {
+    let scenarios = diads::inject::scenarios::all_scenarios();
+    let sequential = Testbed::run_scenarios(&scenarios);
+    let concurrent = Testbed::run_scenarios_concurrent(&scenarios);
+    assert_eq!(sequential.len(), concurrent.len());
+    for ((scenario, seq), conc) in scenarios.iter().zip(&sequential).zip(&concurrent) {
+        assert_eq!(seq.scenario.id, scenario.id, "sequential outcomes out of order");
+        assert_eq!(conc.scenario.id, scenario.id, "concurrent outcomes out of order");
+        assert_eq!(seq.fault_log, conc.fault_log, "{}: fault log drifted", scenario.id);
+        assert_eq!(
+            seq.testbed.store.point_count(),
+            conc.testbed.store.point_count(),
+            "{}: recorded point count drifted",
+            scenario.id
+        );
+        let seq_report = seq.diagnose();
+        let conc_report = conc.diagnose();
+        assert_eq!(
+            seq_report,
+            conc_report,
+            "{}: concurrent report drifted from sequential\n--- sequential ---\n{}\n--- concurrent ---\n{}",
+            scenario.id,
+            seq_report.render(),
+            conc_report.render()
+        );
+    }
 }
