@@ -17,7 +17,10 @@
 //!   matrix of injected-fault scenarios, sequential loop vs. concurrent engine,
 //!   plus warm re-diagnosis through the testbed-level cache.
 //!
-//! Run with `cargo run --release -p diads-bench --bin bench_diads`.
+//! Run with `cargo run --release -p diads-bench --bin bench_diads`. Pass `--smoke`
+//! to shrink every group to two samples — CI uses this to exercise the whole
+//! regeneration path on every push without paying full measurement time (smoke
+//! numbers are statistically meaningless; write them somewhere disposable).
 
 use diads_bench::hotpath;
 use diads_bench::microbench::{Criterion, Record};
@@ -33,7 +36,13 @@ fn median_of(records: &[Record], group: &str, bench: &str) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_diads.json".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let out_path = args.into_iter().next().unwrap_or_else(|| "BENCH_diads.json".to_string());
+    // Smoke mode: minimum samples everywhere — exercises every measured path and
+    // the JSON assembly, not the statistics.
+    let samples = |n: usize| if smoke { 2 } else { n };
     let mut c = Criterion::new();
 
     // ----- KDE scoring: per-call refit vs. cache + score_many -----
@@ -43,7 +52,7 @@ fn main() {
     let observations = hotpath::kde_observations();
     {
         let mut group = c.benchmark_group("kde");
-        group.sample_size(30);
+        group.sample_size(samples(30));
         group.bench_function("refit_per_score", |b| {
             b.iter(|| black_box(hotpath::refit_per_score(black_box(&sample), &observations)))
         });
@@ -76,7 +85,7 @@ fn main() {
 
     {
         let mut group = c.benchmark_group("da");
-        group.sample_size(20);
+        group.sample_size(samples(20));
         group.bench_function("refit_baseline", |b| {
             b.iter(|| {
                 let mut cache = DiagnosisCache::disabled();
@@ -96,7 +105,7 @@ fn main() {
 
     {
         let mut group = c.benchmark_group("end_to_end");
-        group.sample_size(15);
+        group.sample_size(samples(15));
         group.bench_function("scenario1_refit_baseline", |b| {
             b.iter(|| {
                 let mut cache = DiagnosisCache::disabled();
@@ -123,7 +132,7 @@ fn main() {
     };
     {
         let mut group = c.benchmark_group("store");
-        group.sample_size(15);
+        group.sample_size(samples(15));
         group.bench_function("record_direct", |b| {
             b.iter(|| {
                 let mut store = MetricStore::new();
@@ -187,7 +196,7 @@ fn main() {
     let matrix = vec![scenario_1(t), scenario_3(t), scenario_5(t)];
     {
         let mut group = c.benchmark_group("scenario_matrix");
-        group.sample_size(5);
+        group.sample_size(samples(5));
         group.bench_function("sequential", |b| {
             b.iter(|| {
                 let outcomes = Testbed::run_scenarios(black_box(&matrix));

@@ -1,0 +1,220 @@
+//! The fleet-level diagnosis engine.
+//!
+//! A [`DiagnosisEngine`] owns the cross-diagnosis KDE-fit cache **across testbeds**:
+//! one engine can back a whole batch of scenario outcomes (or a fleet of monitored
+//! deployments), and every diagnosis routed through it shares fits keyed by
+//! *(run-history fingerprint, variable)*.
+//!
+//! Sharing across testbeds is sound because both halves of the key are
+//! store-agnostic identities:
+//!
+//! * the outer key is [`crate::testbed::ScenarioOutcome::engine_fingerprint`] — the
+//!   labelled history's [`crate::runs::RunHistory::fingerprint`] mixed with the
+//!   monitoring store's content fingerprint, so a slot pins both the satisfactory
+//!   run set *and* the recorded samples the fits are computed from;
+//! * the inner key is [`crate::workflow::ScoreKey`], whose
+//!   [`ScoreKey::Metric`](crate::workflow::ScoreKey) variant holds a
+//!   [`diads_monitor::MetricKey`] issued by the **shared interner** — the same
+//!   (component, metric) pair resolves to the same key in every store, so a fit
+//!   warmed by one testbed's diagnosis is found (and valid) when an independent
+//!   store with identical contents and history is diagnosed later.
+//!
+//! The engine preserves the per-fingerprint invalidation and generation-counter
+//! semantics of the per-testbed cache it grew out of: slots are checked out while a
+//! diagnosis runs (never holding the lock across scoring), explicit invalidation
+//! wins over concurrent in-flight check-ins, and relabelled histories land in fresh
+//! slots.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::diagnosis::DiagnosisReport;
+use crate::testbed::ScenarioOutcome;
+use crate::workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow};
+
+/// The mutex-protected state of a [`DiagnosisEngine`].
+#[derive(Debug, Default)]
+struct CacheSlots {
+    map: HashMap<u64, DiagnosisCache>,
+    /// Bumped by every invalidation. A [`DiagnosisEngine::with_slot`] check-in whose
+    /// checkout observed an older generation is dropped — conservative (an
+    /// invalidation of *any* fingerprint discards concurrent in-flight fits, costing
+    /// at most a re-fit later), but it can never re-insert invalidated fits.
+    generation: u64,
+    /// Checkouts that found a warm (previously checked-in) slot.
+    warm_checkouts: u64,
+    /// Checkouts that created a fresh slot.
+    cold_checkouts: u64,
+}
+
+/// Checkout statistics of a [`DiagnosisEngine`] — the observable that pins the
+/// fleet-level warm path in tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Slot checkouts that found previously-warmed fits.
+    pub warm_checkouts: u64,
+    /// Slot checkouts that started from an empty slot.
+    pub cold_checkouts: u64,
+}
+
+/// A fleet-level diagnosis cache: one [`DiagnosisCache`] slot per run-history
+/// fingerprint, shareable across testbeds and threads.
+///
+/// Interior mutability (a mutex around the slot map) lets the engine live behind a
+/// shared `Arc`; a slot is checked out while a diagnosis runs, so diagnoses of
+/// *different* histories never serialize on the lock. An invalidation that lands
+/// while a slot is checked out wins: the in-flight fits are discarded at check-in
+/// instead of resurrecting the invalidated slot.
+#[derive(Debug, Default)]
+pub struct DiagnosisEngine {
+    slots: Mutex<CacheSlots>,
+}
+
+impl DiagnosisEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty engine behind an `Arc`, ready to share across testbeds.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Diagnoses a scenario outcome through this engine (rather than through the
+    /// engine its testbed carries): the fleet-level entry point that lets one engine
+    /// warm-serve outcomes from independently-built testbeds.
+    pub fn diagnose(&self, outcome: &ScenarioOutcome) -> DiagnosisReport {
+        let apg = outcome.apg();
+        let events = outcome.testbed.all_events();
+        let ctx = DiagnosisContext {
+            apg: &apg,
+            history: &outcome.history,
+            store: &outcome.testbed.store,
+            events: &events,
+            catalog: &outcome.testbed.catalog,
+            config: &outcome.testbed.config,
+            topology: outcome.testbed.san.topology(),
+            workloads: outcome.testbed.san.workloads(),
+        };
+        self.with_slot(outcome.engine_fingerprint(), |cache| {
+            DiagnosisWorkflow::new().run_with_cache(&ctx, cache)
+        })
+    }
+
+    /// Runs `f` with the slot of `fingerprint` checked out (created empty on first
+    /// use) and returns `f`'s result. The mutex is held only while checking the slot
+    /// out and back in, never across `f`; concurrent users of one fingerprint each
+    /// get a working cache and their fits are merged afterwards. While a slot is
+    /// checked out it is absent from the map, so [`DiagnosisEngine::is_warm`]
+    /// reports only checked-in slots.
+    pub fn with_slot<R>(&self, fingerprint: u64, f: impl FnOnce(&mut DiagnosisCache) -> R) -> R {
+        let (mut cache, generation) = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            let cache = match slots.map.remove(&fingerprint) {
+                Some(cache) => {
+                    slots.warm_checkouts += 1;
+                    cache
+                }
+                None => {
+                    slots.cold_checkouts += 1;
+                    DiagnosisCache::default()
+                }
+            };
+            (cache, slots.generation)
+        };
+        let out = f(&mut cache);
+        let mut slots = self.slots.lock().expect("cache lock poisoned");
+        if slots.generation == generation {
+            match slots.map.entry(fingerprint) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(cache),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(cache);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops the slot of one fingerprint (call when the labelling it was fitted for
+    /// is abandoned, e.g. on run relabelling). Also discards any concurrent in-flight
+    /// check-in, so an invalidated slot cannot be resurrected.
+    pub fn invalidate(&self, fingerprint: u64) {
+        let mut slots = self.slots.lock().expect("cache lock poisoned");
+        slots.map.remove(&fingerprint);
+        slots.generation += 1;
+    }
+
+    /// Drops every slot (call when the underlying monitoring store or run records
+    /// change, which invalidates every fit), including concurrent in-flight ones.
+    pub fn invalidate_all(&self) {
+        let mut slots = self.slots.lock().expect("cache lock poisoned");
+        slots.map.clear();
+        slots.generation += 1;
+    }
+
+    /// Whether a checked-in slot exists for this fingerprint (i.e. a previous
+    /// diagnosis warmed it and no diagnosis currently has it checked out).
+    pub fn is_warm(&self, fingerprint: u64) -> bool {
+        self.slots.lock().expect("cache lock poisoned").map.contains_key(&fingerprint)
+    }
+
+    /// Number of distinct history fingerprints with a warm slot.
+    pub fn slot_count(&self) -> usize {
+        self.slots.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Checkout statistics since the engine was created.
+    pub fn stats(&self) -> EngineStats {
+        let slots = self.slots.lock().expect("cache lock poisoned");
+        EngineStats { warm_checkouts: slots.warm_checkouts, cold_checkouts: slots.cold_checkouts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::ScoreKey;
+    use diads_db::OperatorId;
+
+    #[test]
+    fn slots_are_keyed_by_fingerprint() {
+        let engine = DiagnosisEngine::new();
+        assert!(!engine.is_warm(1));
+        let fitted = engine.with_slot(1, |c| {
+            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
+                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+            })
+            .is_some()
+        });
+        assert!(fitted);
+        assert!(engine.is_warm(1));
+        // The same fingerprint gets its fits back; a different one starts cold.
+        engine.with_slot(1, |c| assert_eq!(c.len(), 1));
+        engine.with_slot(2, |c| assert!(c.is_empty()));
+        assert_eq!(engine.slot_count(), 2);
+        assert_eq!(engine.stats(), EngineStats { warm_checkouts: 1, cold_checkouts: 2 });
+        engine.invalidate(1);
+        assert!(!engine.is_warm(1));
+        engine.invalidate_all();
+        assert_eq!(engine.slot_count(), 0);
+    }
+
+    #[test]
+    fn invalidation_during_checkout_is_not_resurrected() {
+        let engine = DiagnosisEngine::new();
+        // Invalidate while the slot is checked out: the check-in must be discarded.
+        engine.with_slot(7, |c| {
+            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
+                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+            });
+            engine.invalidate_all();
+        });
+        assert!(!engine.is_warm(7), "invalidated slot must not be re-inserted at check-in");
+        engine.with_slot(7, |c| assert!(c.is_empty()));
+        // An invalidation of an unrelated fingerprint is conservative: it also drops
+        // the in-flight fits (never resurrects), at worst costing a later re-fit.
+        engine.with_slot(8, |_| engine.invalidate(9999));
+        assert!(!engine.is_warm(8));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod apg;
 pub mod baseline;
 pub mod diagnosis;
+pub mod engine;
 pub mod runs;
 pub mod screens;
 pub mod symptoms;
@@ -37,10 +38,8 @@ pub mod workflow;
 
 pub use apg::Apg;
 pub use diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
+pub use engine::{DiagnosisEngine, EngineStats};
 pub use runs::{LabeledRun, RunHistory};
 pub use symptoms::{Condition, RootCauseEntry, ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
-pub use testbed::{ScenarioOutcome, Testbed};
-pub use workflow::{
-    DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, SharedDiagnosisCache, WorkflowConfig,
-    WorkflowSession,
-};
+pub use testbed::{RecordingMode, ScenarioOutcome, Testbed};
+pub use workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, WorkflowConfig, WorkflowSession};

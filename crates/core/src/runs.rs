@@ -137,7 +137,7 @@ impl RunHistory {
     /// unsatisfactory sample sets, so KDE fits cached under a fingerprint stay valid
     /// for every later diagnosis of an identically-labelled history — this is the
     /// first half of the (history fingerprint, variable) key of
-    /// [`crate::workflow::SharedDiagnosisCache`]. Relabelling any run changes the
+    /// [`crate::engine::DiagnosisEngine`]. Relabelling any run changes the
     /// fingerprint.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the label-relevant fields; dependency-free and deterministic

@@ -7,6 +7,15 @@
 //! records database and SAN monitoring data into the metric/event stores, and labels
 //! the runs. The result — a [`ScenarioOutcome`] — is exactly the input DIADS needs:
 //! historic monitoring data plus a satisfactory/unsatisfactory run history.
+//!
+//! Recording is split from simulation: runs execute (and faults apply) first, then
+//! the collected observations are recorded. Under the `parallel` feature the
+//! recording phase can go through [`MetricStore::sharded_writer`]: the database
+//! recorder and several SAN samplers — one per interval-aligned time chunk — write
+//! concurrently, and per-series noise streams make the result bit-identical to the
+//! sequential reference path (see [`RecordingMode`]).
+
+use std::sync::Arc;
 
 use diads_db::{
     BufferCache, Catalog, DbConfig, ExecutionEnvironment, Executor, LockManager, Optimizer, Plan,
@@ -20,8 +29,8 @@ use diads_workload::{q2_plan_candidates, tpch_catalog, ReportQuery, TpchLayout};
 
 use crate::apg::Apg;
 use crate::diagnosis::DiagnosisReport;
+use crate::engine::DiagnosisEngine;
 use crate::runs::RunHistory;
-use crate::workflow::{DiagnosisContext, DiagnosisWorkflow, SharedDiagnosisCache};
 
 /// Name of the simulated database instance.
 pub const DB_INSTANCE: &str = "reports-db";
@@ -45,10 +54,13 @@ pub struct Testbed {
     pub store: MetricStore,
     /// The report query under diagnosis and its candidate plans.
     pub query: ReportQuery,
-    /// Cross-diagnosis KDE-fit cache, keyed by (history fingerprint, variable).
-    /// Batch callers that diagnose this testbed's outcomes repeatedly hit the warm
-    /// path the interactive session always had.
-    pub diagnosis_cache: SharedDiagnosisCache,
+    /// The diagnosis engine this testbed routes its diagnoses through: the
+    /// cross-diagnosis KDE-fit cache keyed by ((history fingerprint, store
+    /// content), variable) — see [`ScenarioOutcome::engine_fingerprint`].
+    /// Freshly built testbeds get a private engine; batch runners
+    /// ([`Testbed::run_scenarios_with_engine`]) swap in one fleet-level engine so
+    /// every outcome in the batch shares warm fits.
+    pub engine: Arc<DiagnosisEngine>,
 }
 
 impl Testbed {
@@ -68,7 +80,7 @@ impl Testbed {
             db_events: EventStore::new(),
             store: MetricStore::new(),
             query: ReportQuery { name: "TPC-H Q2".into(), candidates },
-            diagnosis_cache: SharedDiagnosisCache::new(),
+            engine: DiagnosisEngine::shared(),
         }
     }
 
@@ -119,15 +131,23 @@ impl Testbed {
     }
 
     /// Runs a complete fault-injection scenario and returns the final testbed state,
-    /// the labelled run history and the scenario itself.
+    /// the labelled run history and the scenario itself. Recording uses
+    /// [`RecordingMode::auto`]: in-scenario sharded recording on multi-core hosts
+    /// with the `parallel` feature, the sequential collector otherwise — the stored
+    /// data is bit-identical either way.
     pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+        Self::run_scenario_with_recording(scenario, RecordingMode::auto())
+    }
+
+    /// Runs a scenario with an explicit [`RecordingMode`] (the equivalence tests and
+    /// benchmarks pin sequential against sharded recording through this).
+    pub fn run_scenario_with_recording(scenario: &Scenario, recording: RecordingMode) -> ScenarioOutcome {
         let mut testbed = Testbed::paper_default(scenario.scale_factor);
         let injector = Injector::new();
         let mut seed = 0u64;
         for b in scenario.id.bytes() {
             seed = seed.wrapping_mul(31).wrapping_add(b as u64);
         }
-        let mut sampler = IntervalSampler::new(Duration::from_mins(5), scenario.noise.clone(), seed);
 
         let schedule: Vec<Timestamp> = (0..scenario.timeline.total_runs())
             .map(|i| scenario.timeline.first_run.plus(scenario.timeline.run_interval.scale(i as f64)))
@@ -137,6 +157,9 @@ impl Testbed {
         pending.sort_by_key(|f| f.inject_at);
         let mut fault_log = Vec::new();
 
+        // Phase 1 — simulate: execute the scheduled runs with faults applied in
+        // order. Nothing is recorded yet (execution never reads the metric store),
+        // so the recording phase is free to choose its concurrency.
         let mut records = Vec::new();
         let mut query_loads: Vec<VolumeLoad> = Vec::new();
         for &run_start in &schedule {
@@ -155,7 +178,6 @@ impl Testbed {
             }
             match testbed.execute_once(run_start) {
                 Ok(record) => {
-                    record.record_metrics(&mut testbed.store, DB_INSTANCE, DB_SERVER);
                     query_loads.extend(record.volume_loads.clone());
                     records.push(record);
                 }
@@ -177,10 +199,10 @@ impl Testbed {
             fault_log.push((fault.inject_at, message));
         }
 
-        // Record the SAN's view of the whole period, including the query's own I/O.
+        // Phase 2 — record: the database runs' observations plus the SAN's view of
+        // the whole period (including the query's own I/O).
         let range = TimeRange::new(Timestamp::ZERO, scenario.timeline.end_time());
-        testbed.san.record_metrics(range, &query_loads, &mut sampler, &mut testbed.store);
-        sampler.flush(&mut testbed.store);
+        record_outcome(&mut testbed, scenario, &records, &query_loads, seed, range, recording);
 
         // Label runs by the scenario's timeline: everything before the fault is
         // satisfactory (the administrator's time-window marking).
@@ -190,14 +212,32 @@ impl Testbed {
         ScenarioOutcome { scenario: scenario.clone(), testbed, history, fault_log }
     }
 
-    /// Runs a batch of scenarios sequentially, in input order — the reference loop
-    /// the concurrent engine is checked against.
+    /// Runs a batch of scenarios sequentially, in input order, sharing one
+    /// fleet-level [`DiagnosisEngine`] across the batch — the reference loop the
+    /// concurrent engine is checked against.
     pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
-        scenarios.iter().map(Testbed::run_scenario).collect()
+        Self::run_scenarios_with_engine(scenarios, &DiagnosisEngine::shared())
+    }
+
+    /// Runs a batch of scenarios sequentially, attaching every outcome's testbed to
+    /// the given fleet-level engine: diagnoses of identically-labelled histories —
+    /// even across independently-built stores — share KDE fits.
+    pub fn run_scenarios_with_engine(
+        scenarios: &[Scenario],
+        engine: &Arc<DiagnosisEngine>,
+    ) -> Vec<ScenarioOutcome> {
+        scenarios
+            .iter()
+            .map(|scenario| {
+                let mut outcome = Testbed::run_scenario(scenario);
+                outcome.testbed.engine = Arc::clone(engine);
+                outcome
+            })
+            .collect()
     }
 
     /// Runs a batch of scenarios concurrently on a scoped thread pool and returns
-    /// their outcomes **in input order**.
+    /// their outcomes **in input order**, sharing one fleet-level engine.
     ///
     /// Each scenario simulates an independent testbed (its own SAN, catalog, sampler
     /// seed and sharded metric store), so every outcome — and every report diagnosed
@@ -206,21 +246,159 @@ impl Testbed {
     /// core, capped at the batch size.
     #[cfg(feature = "parallel")]
     pub fn run_scenarios_concurrent(scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(scenarios.len());
+        Self::run_scenarios_concurrent_with_engine(scenarios, &DiagnosisEngine::shared())
+    }
+
+    /// [`Testbed::run_scenarios_concurrent`] with a caller-supplied fleet engine.
+    #[cfg(feature = "parallel")]
+    pub fn run_scenarios_concurrent_with_engine(
+        scenarios: &[Scenario],
+        engine: &Arc<DiagnosisEngine>,
+    ) -> Vec<ScenarioOutcome> {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = cores.min(scenarios.len());
         if threads <= 1 {
-            return Self::run_scenarios(scenarios);
+            return Self::run_scenarios_with_engine(scenarios, engine);
         }
+        // The scenario workers already occupy one core each; nesting sharded
+        // in-scenario recording under a core-saturating batch would oversubscribe
+        // ~cores² threads for no wall-clock gain. Keep it only when cores outnumber
+        // the batch (the recorded data is bit-identical either way).
+        let recording = if threads >= cores { RecordingMode::Sequential } else { RecordingMode::auto() };
         let chunk_len = scenarios.len().div_ceil(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = scenarios
                 .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(Testbed::run_scenario).collect::<Vec<_>>()))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|scenario| {
+                                let mut outcome = Testbed::run_scenario_with_recording(scenario, recording);
+                                outcome.testbed.engine = Arc::clone(engine);
+                                outcome
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             // Chunks are contiguous and joined in spawn order, so concatenation
             // restores the input order deterministically.
             handles.into_iter().flat_map(|h| h.join().expect("scenario worker panicked")).collect()
         })
     }
+}
+
+/// How [`Testbed::run_scenario_with_recording`] records a scenario's monitoring data.
+///
+/// Both modes produce **bit-identical stores**: interval averages are pure functions
+/// of the observations, and the per-series noise streams (seeded by series identity
+/// and interval start) are independent of recording order, chunking and thread
+/// count. The mode is purely a wall-clock choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordingMode {
+    /// One collector records everything in time order — the reference path.
+    Sequential,
+    /// Database and SAN observations are recorded concurrently through
+    /// [`MetricStore::sharded_writer`]: one worker replays the run records while
+    /// several SAN samplers each cover an interval-aligned chunk of the timeline.
+    #[cfg(feature = "parallel")]
+    Sharded,
+}
+
+impl RecordingMode {
+    /// Sharded when the `parallel` feature is on and the host has more than one
+    /// core; sequential otherwise (a single core would only pay locking overhead).
+    pub fn auto() -> Self {
+        #[cfg(feature = "parallel")]
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            return RecordingMode::Sharded;
+        }
+        RecordingMode::Sequential
+    }
+}
+
+/// Records a finished simulation's observations into the testbed's store, honouring
+/// the recording mode.
+fn record_outcome(
+    testbed: &mut Testbed,
+    scenario: &Scenario,
+    records: &[QueryRunRecord],
+    query_loads: &[VolumeLoad],
+    seed: u64,
+    range: TimeRange,
+    recording: RecordingMode,
+) {
+    let interval = Duration::from_mins(5);
+    #[cfg(feature = "parallel")]
+    if recording == RecordingMode::Sharded {
+        let step = testbed.san.config().metric_step_secs.max(1);
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+        let chunks = recording_chunks(range, interval.as_secs(), step, workers);
+        let san = &testbed.san;
+        let writer = testbed.store.sharded_writer();
+        std::thread::scope(|scope| {
+            let writer = &writer;
+            // The database recorder replays every run in order (per-series point
+            // order is preserved by the single writer thread)...
+            scope.spawn(move || {
+                let mut sink = writer;
+                for record in records {
+                    record.record_metrics(&mut sink, DB_INSTANCE, DB_SERVER);
+                }
+            });
+            // ...while each SAN worker samples its own interval-aligned chunk of
+            // the timeline with a private collector. Per-series noise streams make
+            // the union identical to one sequential sampler over the full range.
+            for chunk in chunks {
+                let noise = scenario.noise.clone();
+                scope.spawn(move || {
+                    let mut sampler = IntervalSampler::new(interval, noise, seed);
+                    let mut sink = writer;
+                    san.record_metrics(chunk, query_loads, &mut sampler, &mut sink);
+                    sampler.flush(&mut sink);
+                });
+            }
+        });
+        return;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let RecordingMode::Sequential = recording;
+    for record in records {
+        record.record_metrics(&mut testbed.store, DB_INSTANCE, DB_SERVER);
+    }
+    let mut sampler = IntervalSampler::new(interval, scenario.noise.clone(), seed);
+    testbed.san.record_metrics(range, query_loads, &mut sampler, &mut testbed.store);
+    sampler.flush(&mut testbed.store);
+}
+
+/// Splits a recording range into up to `workers` chunks whose boundaries are
+/// aligned to both the sampler interval and the SAN metric step, so no sampling
+/// interval (and no emission instant) straddles two workers. Returns the whole
+/// range as one chunk when it cannot be split safely.
+#[cfg(feature = "parallel")]
+fn recording_chunks(range: TimeRange, interval_secs: u64, step_secs: u64, workers: usize) -> Vec<TimeRange> {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let total = range.duration().as_secs();
+    let align = interval_secs / gcd(interval_secs, step_secs) * step_secs;
+    if workers <= 1 || align == 0 || total <= align || !range.start.as_secs().is_multiple_of(interval_secs) {
+        return vec![range];
+    }
+    let chunk = (total / workers as u64).max(1).div_ceil(align).max(1) * align;
+    let mut out = Vec::new();
+    let mut lo = range.start.as_secs();
+    while lo < range.end.as_secs() {
+        let hi = (lo + chunk).min(range.end.as_secs());
+        out.push(TimeRange::new(Timestamp::new(lo), Timestamp::new(hi)));
+        lo = hi;
+    }
+    out
 }
 
 /// The result of running a scenario end to end.
@@ -257,39 +435,43 @@ impl ScenarioOutcome {
         self.testbed.build_apg(&self.diagnosed_plan())
     }
 
-    /// Diagnoses the outcome with the default workflow, through the testbed-level
-    /// [`SharedDiagnosisCache`].
+    /// The outcome's [`DiagnosisEngine`] slot key: the labelled history's
+    /// fingerprint mixed with the monitoring store's content fingerprint.
     ///
-    /// The first diagnosis of a labelling fits every variable once and warms the
-    /// slot keyed by the history's fingerprint; every later diagnosis of the same
-    /// labelling reuses the fits. The report is identical either way — the cache is
-    /// purely a latency optimisation.
-    pub fn diagnose(&self) -> DiagnosisReport {
-        let apg = self.apg();
-        let events = self.testbed.all_events();
-        let ctx = DiagnosisContext {
-            apg: &apg,
-            history: &self.history,
-            store: &self.testbed.store,
-            events: &events,
-            catalog: &self.testbed.catalog,
-            config: &self.testbed.config,
-            topology: self.testbed.san.topology(),
-            workloads: self.testbed.san.workloads(),
-        };
-        self.testbed.diagnosis_cache.with_slot(self.history.fingerprint(), |cache| {
-            DiagnosisWorkflow::new().run_with_cache(&ctx, cache)
-        })
+    /// Cached KDE fits are functions of *both* halves — the satisfactory run set
+    /// (pinned by the history fingerprint) and the per-run metric samples read from
+    /// the store (pinned by [`MetricStore::content_fingerprint`]). Mixing the store
+    /// half in means two outcomes share a slot **iff** they would produce the same
+    /// fits: independently-built testbeds with bit-identical recordings warm each
+    /// other, while identical histories over *differently-noised* stores land in
+    /// separate slots instead of silently scoring against the wrong samples.
+    pub fn engine_fingerprint(&self) -> u64 {
+        diads_monitor::rng::SplitMix64::mix(
+            self.history.fingerprint(),
+            self.testbed.store.content_fingerprint(),
+        )
     }
 
-    /// Relabels the run history and explicitly invalidates the diagnosis-cache slots
+    /// Diagnoses the outcome with the default workflow, through the testbed's
+    /// [`DiagnosisEngine`].
+    ///
+    /// The first diagnosis of a labelling fits every variable once and warms the
+    /// engine slot keyed by the history's fingerprint; every later diagnosis of the
+    /// same labelling — from this outcome or, with a shared engine, any testbed
+    /// whose history carries the same fingerprint — reuses the fits. The report is
+    /// identical either way: the engine is purely a latency optimisation.
+    pub fn diagnose(&self) -> DiagnosisReport {
+        self.testbed.engine.diagnose(self)
+    }
+
+    /// Relabels the run history and explicitly invalidates the engine slots
     /// involved: the abandoned labelling's slot (its fits no longer describe any
     /// current labelling) and, defensively, the slot of the new fingerprint.
     pub fn relabel(&mut self, relabel: impl FnOnce(&mut RunHistory)) {
-        let old = self.history.fingerprint();
+        let old = self.engine_fingerprint();
         relabel(&mut self.history);
-        self.testbed.diagnosis_cache.invalidate(old);
-        self.testbed.diagnosis_cache.invalidate(self.history.fingerprint());
+        self.testbed.engine.invalidate(old);
+        self.testbed.engine.invalidate(self.engine_fingerprint());
     }
 }
 
@@ -333,19 +515,57 @@ mod tests {
     }
 
     #[test]
-    fn diagnose_warms_the_testbed_cache_and_relabel_invalidates() {
+    fn diagnose_warms_the_testbed_engine_and_relabel_invalidates() {
         let scenario = scenario_1(ScenarioTimeline::short());
         let mut outcome = Testbed::run_scenario(&scenario);
-        let fingerprint = outcome.history.fingerprint();
-        assert!(!outcome.testbed.diagnosis_cache.is_warm(fingerprint));
+        let fingerprint = outcome.engine_fingerprint();
+        assert!(!outcome.testbed.engine.is_warm(fingerprint));
         let cold = outcome.diagnose();
-        assert!(outcome.testbed.diagnosis_cache.is_warm(fingerprint));
+        assert!(outcome.testbed.engine.is_warm(fingerprint));
         let warm = outcome.diagnose();
         assert_eq!(cold, warm, "warm diagnosis must be identical to cold");
         // Relabelling abandons the old slot and changes the fingerprint.
         outcome.relabel(|h| h.label_by_threshold(f64::MAX));
-        assert!(!outcome.testbed.diagnosis_cache.is_warm(fingerprint));
-        assert_ne!(outcome.history.fingerprint(), fingerprint);
+        assert!(!outcome.testbed.engine.is_warm(fingerprint));
+        assert_ne!(outcome.engine_fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn engine_slots_distinguish_identical_histories_over_different_stores() {
+        // Same timeline and faults, but no collector noise: the executed runs — and
+        // therefore the history fingerprint — are identical, while the recorded
+        // monitoring data differs. The engine slot key must tell them apart, or the
+        // second outcome would be scored against the first one's samples.
+        let scenario = scenario_1(ScenarioTimeline::short());
+        let mut quiet = scenario.clone();
+        quiet.noise = diads_monitor::noise::NoiseModel::None;
+        let noisy_outcome = Testbed::run_scenario(&scenario);
+        let quiet_outcome = Testbed::run_scenario(&quiet);
+        assert_eq!(noisy_outcome.history.fingerprint(), quiet_outcome.history.fingerprint());
+        assert_ne!(
+            noisy_outcome.testbed.store.content_fingerprint(),
+            quiet_outcome.testbed.store.content_fingerprint()
+        );
+        assert_ne!(noisy_outcome.engine_fingerprint(), quiet_outcome.engine_fingerprint());
+
+        let engine = crate::engine::DiagnosisEngine::shared();
+        engine.diagnose(&noisy_outcome);
+        let fleet = engine.diagnose(&quiet_outcome);
+        assert_eq!(engine.stats().warm_checkouts, 0, "different stores must not share a slot");
+        assert_eq!(fleet, quiet_outcome.diagnose(), "cold fleet diagnosis must match the outcome's own");
+    }
+
+    #[test]
+    fn batch_runs_share_one_fleet_engine() {
+        let t = ScenarioTimeline::short();
+        let scenarios = [scenario_1(t), diads_inject::scenarios::scenario_3(t)];
+        let engine = crate::engine::DiagnosisEngine::shared();
+        let outcomes = Testbed::run_scenarios_with_engine(&scenarios, &engine);
+        for outcome in &outcomes {
+            assert!(Arc::ptr_eq(&outcome.testbed.engine, &engine));
+            outcome.diagnose();
+        }
+        assert_eq!(engine.slot_count(), 2, "one warm slot per distinct history");
     }
 
     #[test]

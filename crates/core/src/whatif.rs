@@ -79,7 +79,7 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
         db_events: testbed.db_events.clone(),
         store: diads_monitor::MetricStore::new(),
         query: testbed.query.clone(),
-        diagnosis_cache: crate::workflow::SharedDiagnosisCache::new(),
+        engine: crate::engine::DiagnosisEngine::shared(),
     };
     let description = match change {
         ProposedChange::MoveTablespace { tablespace, to_volume } => {

@@ -43,125 +43,51 @@ use crate::symptoms::{ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
 /// either way — the cache pays off on *re-execution*: interactive sessions
 /// re-running modules, repeated diagnoses of one context, and DA workers folding
 /// fits back for later passes. All variants are `Copy`.
+///
+/// Every variant is a **store-agnostic identity**: operator ids are plan-structural,
+/// and [`ScoreKey::Metric`] holds a [`MetricKey`] issued by the shared interner, so
+/// the same (component, metric) pair keys the same slot no matter which store
+/// recorded it. This is what lets the fleet-level
+/// [`crate::engine::DiagnosisEngine`] reuse fits across testbeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScoreKey {
     /// Elapsed running time of one operator (module CO).
     OperatorElapsed(OperatorId),
     /// Actual record count of one operator (module CR).
     OperatorRows(OperatorId),
-    /// One (component, metric) series, by interned key (module DA).
+    /// One (component, metric) series, by interned identity key (module DA).
     Metric(MetricKey),
 }
 
 /// The per-diagnosis scoring cache: one KDE fit per [`ScoreKey`].
 ///
-/// A cache is bound to the [`DiagnosisContext`] it was first used with:
-/// [`ScoreKey::Metric`] holds interned keys that are only meaningful relative to that
-/// context's `MetricStore`, and the cached samples come from that context's run
-/// history. Reusing a cache across *different* contexts (another store, a what-if
-/// clone of the testbed, a relabelled history) silently mixes up variables — create a
-/// fresh cache (or [`ScoringCache::clear`] this one) whenever the context changes.
+/// Keys are store-agnostic, but the cached *samples* come from one run history's
+/// satisfactory set — so a cache is bound to the history labelling it was first
+/// used with, not to a particular store. Reusing a cache across *differently
+/// labelled* histories silently mixes up sample sets; that binding is what the
+/// fleet-level [`crate::engine::DiagnosisEngine`] enforces by keying its slots with
+/// [`crate::runs::RunHistory::fingerprint`]. Create a fresh cache (or
+/// [`ScoringCache::clear`] this one) whenever the labelling changes.
 pub type DiagnosisCache = ScoringCache<ScoreKey>;
-
-/// The testbed-level diagnosis cache: one [`DiagnosisCache`] slot per run-history
-/// fingerprint, so *batch* callers get the warm-cache path the interactive
-/// [`WorkflowSession`] always had.
-///
-/// The effective cache key is (history fingerprint, variable): the outer map is
-/// keyed by [`crate::runs::RunHistory::fingerprint`] and each slot is the per-variable
-/// KDE-fit cache. A slot's fits are derived from the satisfactory sample sets of one
-/// exact labelling of one run history over one store, all of which the fingerprint
-/// pins — so repeated diagnoses of the same outcome reuse every fit, while a
-/// relabelled history lands in a different slot (and the abandoned labelling is
-/// explicitly invalidated by [`crate::testbed::ScenarioOutcome::relabel`]).
-///
-/// Interior mutability (a mutex around the slot map) lets the cache live on a shared
-/// `Testbed` borrow; a slot is checked out while a diagnosis runs, so diagnoses of
-/// *different* histories never serialize on the lock. An invalidation that lands
-/// while a slot is checked out wins: the in-flight fits are discarded at check-in
-/// instead of resurrecting the invalidated slot.
-#[derive(Debug, Default)]
-pub struct SharedDiagnosisCache {
-    slots: std::sync::Mutex<CacheSlots>,
-}
-
-/// The mutex-protected state of a [`SharedDiagnosisCache`].
-#[derive(Debug, Default)]
-struct CacheSlots {
-    map: std::collections::HashMap<u64, DiagnosisCache>,
-    /// Bumped by every invalidation. A [`SharedDiagnosisCache::with_slot`] check-in
-    /// whose checkout observed an older generation is dropped — conservative (an
-    /// invalidation of *any* fingerprint discards concurrent in-flight fits, costing
-    /// at most a re-fit later), but it can never re-insert invalidated fits.
-    generation: u64,
-}
-
-impl SharedDiagnosisCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Runs `f` with the slot of `fingerprint` checked out (created empty on first
-    /// use) and returns `f`'s result. The mutex is held only while checking the slot
-    /// out and back in, never across `f`; concurrent users of one fingerprint each
-    /// get a working cache and their fits are merged afterwards. While a slot is
-    /// checked out it is absent from the map, so [`SharedDiagnosisCache::is_warm`]
-    /// reports only checked-in slots.
-    pub fn with_slot<R>(&self, fingerprint: u64, f: impl FnOnce(&mut DiagnosisCache) -> R) -> R {
-        let (mut cache, generation) = {
-            let mut slots = self.slots.lock().expect("cache lock poisoned");
-            (slots.map.remove(&fingerprint).unwrap_or_default(), slots.generation)
-        };
-        let out = f(&mut cache);
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        if slots.generation == generation {
-            match slots.map.entry(fingerprint) {
-                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(cache),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(cache);
-                }
-            }
-        }
-        out
-    }
-
-    /// Drops the slot of one fingerprint (call when the labelling it was fitted for
-    /// is abandoned, e.g. on run relabelling). Also discards any concurrent in-flight
-    /// check-in, so an invalidated slot cannot be resurrected.
-    pub fn invalidate(&self, fingerprint: u64) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        slots.map.remove(&fingerprint);
-        slots.generation += 1;
-    }
-
-    /// Drops every slot (call when the underlying monitoring store or run records
-    /// change, which invalidates every fit), including concurrent in-flight ones.
-    pub fn invalidate_all(&self) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        slots.map.clear();
-        slots.generation += 1;
-    }
-
-    /// Whether a checked-in slot exists for this fingerprint (i.e. a previous
-    /// diagnosis warmed it and no diagnosis currently has it checked out).
-    pub fn is_warm(&self, fingerprint: u64) -> bool {
-        self.slots.lock().expect("cache lock poisoned").map.contains_key(&fingerprint)
-    }
-
-    /// Number of distinct history fingerprints with a warm slot.
-    pub fn slot_count(&self) -> usize {
-        self.slots.lock().expect("cache lock poisoned").map.len()
-    }
-}
 
 /// Minimum number of satisfactory observations required before a variable is scored
 /// (the paper's KDE needs a handful of samples to be meaningful).
 const MIN_SATISFACTORY_SAMPLES: usize = 3;
 
-/// Component-set size below which parallel DA is not worth the thread spawns.
+/// Minimum number of components each DA worker should score: below this, the scoped
+/// thread spawns cost more than the KDE fits they parallelize.
 #[cfg(feature = "parallel")]
-const PARALLEL_DA_THRESHOLD: usize = 16;
+const DA_MIN_COMPONENTS_PER_WORKER: usize = 8;
+
+/// How many DA workers a component set warrants: one per
+/// [`DA_MIN_COMPONENTS_PER_WORKER`] components, capped by the machine's available
+/// parallelism. Single-core containers (and small component sets) get `1`, which
+/// routes DA onto the sequential path with zero thread overhead.
+#[cfg(feature = "parallel")]
+fn da_worker_count(component_count: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(component_count / DA_MIN_COMPONENTS_PER_WORKER).max(1)
+}
 
 /// One DA worker's output: per-component (metric scores, flagged) results plus the
 /// worker's thread-local fit cache (absorbed into the shared cache after the join).
@@ -531,11 +457,11 @@ impl DiagnosisWorkflow {
         // A disabled cache is a refit-baseline request: it must stay on the
         // sequential per-call-refit path, not on pooled workers with live caches.
         #[cfg(feature = "parallel")]
-        if cache.is_enabled()
-            && components.len() >= PARALLEL_DA_THRESHOLD
-            && std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1
-        {
-            return self.dependency_analysis_on_pool(ctx, &components, 0, cache);
+        if cache.is_enabled() {
+            let workers = da_worker_count(components.len());
+            if workers > 1 {
+                return self.dependency_analysis_on_pool(ctx, &components, workers, cache);
+            }
         }
         self.score_components_sequential(ctx, components, cache)
     }
@@ -640,7 +566,8 @@ impl DiagnosisWorkflow {
     /// results are concatenated in order — the merge is deterministic and the scores
     /// are bit-identical to the sequential path.
     ///
-    /// `threads == 0` uses the machine's available parallelism.
+    /// `threads == 0` sizes the pool from the machine's available parallelism and
+    /// the component count (see [`da_worker_count`]).
     #[cfg(feature = "parallel")]
     pub fn dependency_analysis_parallel(
         &self,
@@ -660,11 +587,7 @@ impl DiagnosisWorkflow {
         threads: usize,
         cache: &mut DiagnosisCache,
     ) -> DependencyAnalysisResult {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            threads
-        };
+        let threads = if threads == 0 { da_worker_count(components.len()) } else { threads };
         let threads = threads.clamp(1, components.len().max(1));
         let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
@@ -1547,46 +1470,6 @@ mod tests {
         // A different variable gets its own fit.
         cached_score(&mut cache, ScoreKey::OperatorRows(OperatorId(7)), || sat.to_vec(), &[1.0], true);
         assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn shared_cache_slots_are_keyed_by_fingerprint() {
-        let shared = SharedDiagnosisCache::new();
-        assert!(!shared.is_warm(1));
-        let fitted = shared.with_slot(1, |c| {
-            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
-                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
-            })
-            .is_some()
-        });
-        assert!(fitted);
-        assert!(shared.is_warm(1));
-        // The same fingerprint gets its fits back; a different one starts cold.
-        shared.with_slot(1, |c| assert_eq!(c.len(), 1));
-        shared.with_slot(2, |c| assert!(c.is_empty()));
-        assert_eq!(shared.slot_count(), 2);
-        shared.invalidate(1);
-        assert!(!shared.is_warm(1));
-        shared.invalidate_all();
-        assert_eq!(shared.slot_count(), 0);
-    }
-
-    #[test]
-    fn invalidation_during_checkout_is_not_resurrected() {
-        let shared = SharedDiagnosisCache::new();
-        // Invalidate while the slot is checked out: the check-in must be discarded.
-        shared.with_slot(7, |c| {
-            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
-                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
-            });
-            shared.invalidate_all();
-        });
-        assert!(!shared.is_warm(7), "invalidated slot must not be re-inserted at check-in");
-        shared.with_slot(7, |c| assert!(c.is_empty()));
-        // An invalidation of an unrelated fingerprint is conservative: it also drops
-        // the in-flight fits (never resurrects), at worst costing a later re-fit.
-        shared.with_slot(8, |_| shared.invalidate(9999));
-        assert!(!shared.is_warm(8));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! analysis uses to attribute the slowdown to root causes.
 
 use diads_monitor::{
-    ComponentId, ComponentKind, Duration, MetricKey, MetricName, MetricStore, TimeRange, Timestamp,
+    ComponentId, ComponentKind, Duration, MetricKey, MetricName, MetricSink, TimeRange, Timestamp,
 };
 use diads_san::workload::IoProfile;
 use diads_san::{SanSimulator, VolumeLoad};
@@ -96,8 +96,10 @@ impl QueryRunRecord {
     }
 
     /// Records the run's observations (operator metrics, instance metrics and a
-    /// simple CPU-usage figure for the database server) into the metric store.
-    pub fn record_metrics(&self, store: &mut MetricStore, db_instance: &str, db_server: &str) {
+    /// simple CPU-usage figure for the database server) into the metric sink —
+    /// either the store directly, or a `&ShardedWriter` when the scenario engine
+    /// records database and SAN metrics concurrently.
+    pub fn record_metrics<S: MetricSink>(&self, store: &mut S, db_instance: &str, db_server: &str) {
         let at = self.end;
         for op in &self.operators {
             // One interning per operator; the four per-metric records are symbol-keyed.
@@ -111,17 +113,26 @@ impl QueryRunRecord {
             emit(&MetricName::OperatorRecordCount, op.actual_rows);
             emit(&MetricName::OperatorEstimatedRecords, op.estimated_rows);
         }
-        let instance = ComponentId::new(ComponentKind::DatabaseInstance, db_instance);
+        let instance =
+            store.intern_component(&ComponentId::new(ComponentKind::DatabaseInstance, db_instance));
+        let emit_instance = |store: &mut S, metric: &MetricName, value: f64| {
+            let key = MetricKey::new(instance, store.intern_metric(metric));
+            store.record_key(key, at, value);
+        };
         for (metric, value) in &self.db_metrics {
-            store.record(&instance, metric, at, *value);
+            emit_instance(store, metric, *value);
         }
-        store.record(&instance, &MetricName::PlanElapsedTime, at, self.elapsed_secs);
+        emit_instance(store, &MetricName::PlanElapsedTime, self.elapsed_secs);
         // Server CPU while the query ran: the CPU share of the elapsed time.
         let cpu_secs: f64 = self.operators.iter().map(|o| o.cpu_secs).sum();
         let cpu_pct = (cpu_secs / self.elapsed_secs.max(1e-9) * 100.0).min(100.0);
-        let server = ComponentId::server(db_server);
-        store.record(&server, &MetricName::CpuUsagePercent, at, cpu_pct);
-        store.record(&server, &MetricName::PhysicalMemoryPercent, at, 55.0);
+        let server = store.intern_component(&ComponentId::server(db_server));
+        let emit_server = |store: &mut S, metric: &MetricName, value: f64| {
+            let key = MetricKey::new(server, store.intern_metric(metric));
+            store.record_key(key, at, value);
+        };
+        emit_server(store, &MetricName::CpuUsagePercent, cpu_pct);
+        emit_server(store, &MetricName::PhysicalMemoryPercent, 55.0);
     }
 }
 
@@ -402,6 +413,7 @@ mod tests {
     use super::*;
     use crate::catalog::{Index, StorageKind, Table, Tablespace};
     use crate::locks::LockContentionWindow;
+    use diads_monitor::MetricStore;
     use diads_san::topology::paper_testbed;
     use diads_san::workload::{ExternalWorkload, IoProfile};
 

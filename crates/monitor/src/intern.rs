@@ -6,13 +6,29 @@
 //! gives every distinct component and metric a dense `u32` symbol: keys become `Copy`,
 //! comparisons become integer compares, and lookups allocate nothing.
 //!
-//! The interner is owned by the [`crate::store::MetricStore`]; symbols are only
-//! meaningful relative to the store that issued them.
+//! Symbols are **store-agnostic identities**: every [`crate::store::MetricStore`]
+//! shares the [`Interner::global`] interner by default (explicitly-shared interners
+//! are possible via [`crate::store::MetricStore::with_interner`]), so a
+//! [`crate::metric::MetricKey`] names the same (component, metric) pair in every
+//! store that shares the interner. This is what lets fleet-level caches key on
+//! `MetricKey` directly and compare keys across testbeds.
+//!
+//! Interned identities are stored as leaked `&'static` references: the set of
+//! distinct components and metrics a process ever monitors is small and bounded, and
+//! leaking them keeps [`Interner::component`]/[`Interner::metric`] resolution
+//! zero-copy (a read-lock plus an index) instead of cloning through the lock.
+//!
+//! Alongside the dense symbol, the interner records a **stable identity hash** of
+//! each identity (FNV-1a over the rich name, independent of intern order, process
+//! and platform). Consumers that need determinism under concurrent interning — the
+//! per-series noise streams of [`crate::sampler::IntervalSampler`] — seed from the
+//! stable hash, never from the (order-dependent) symbol value.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::ids::ComponentId;
-use crate::metric::MetricName;
+use crate::metric::{MetricKey, MetricName};
 
 /// Interned identity of a [`ComponentId`]. `Copy`, 4 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,80 +57,167 @@ impl MetricSym {
     }
 }
 
-/// Bidirectional map between rich identities and their dense symbols.
-///
-/// Interning clones the identity exactly once (on first sight); every later lookup is
-/// a borrowed hash probe with zero allocations.
-#[derive(Debug, Clone, Default)]
-pub struct Interner {
-    components: Vec<ComponentId>,
+/// FNV-1a over a sequence of byte strings, with a `0xFF` separator between parts
+/// (none of the hashed names contain `0xFF`, so concatenation cannot collide).
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for part in parts {
+        for &b in *part {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash ^= 0xFF;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Stable identity hash of a component: depends only on (kind, name), never on
+/// intern order. Deterministic across threads, processes and platforms.
+pub fn component_identity_hash(component: &ComponentId) -> u64 {
+    fnv1a(&[b"component", component.kind.label().as_bytes(), component.name.as_bytes()])
+}
+
+/// Stable identity hash of a metric name. Built-in metrics and [`MetricName::Custom`]
+/// metrics hash under distinct tags, so `Custom("writeIO")` never collides with the
+/// built-in `writeIO`.
+pub fn metric_identity_hash(metric: &MetricName) -> u64 {
+    match metric {
+        MetricName::Custom(name) => fnv1a(&[b"metric-custom", name.as_bytes()]),
+        builtin => fnv1a(&[b"metric", builtin.short_name().as_bytes()]),
+    }
+}
+
+/// The mutable state behind an [`Interner`].
+#[derive(Debug, Default)]
+struct InternerState {
+    components: Vec<&'static ComponentId>,
     component_syms: HashMap<ComponentId, ComponentSym>,
-    metrics: Vec<MetricName>,
+    component_hashes: Vec<u64>,
+    metrics: Vec<&'static MetricName>,
     metric_syms: HashMap<MetricName, MetricSym>,
+    metric_hashes: Vec<u64>,
+}
+
+/// Bidirectional map between rich identities and their dense symbols, sharable
+/// across stores and threads.
+///
+/// Interning clones (and leaks) the identity exactly once, on first sight; every
+/// later lookup is a borrowed hash probe under a read lock with zero allocations.
+/// The process-global instance ([`Interner::global`]) is what makes symbols stable
+/// identities across every [`crate::store::MetricStore`] in the process.
+#[derive(Debug, Default)]
+pub struct Interner {
+    state: RwLock<InternerState>,
 }
 
 impl Interner {
-    /// Creates an empty interner.
+    /// Creates an empty, private interner (symbols are only comparable among stores
+    /// explicitly sharing it).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// The process-global interner every [`crate::store::MetricStore`] shares by
+    /// default.
+    pub fn global() -> &'static Arc<Interner> {
+        static GLOBAL: OnceLock<Arc<Interner>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Interner::new()))
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, InternerState> {
+        self.state.read().expect("interner lock poisoned")
+    }
+
     /// The symbol for a component, interning it on first sight.
-    pub fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
-        if let Some(&sym) = self.component_syms.get(component) {
+    pub fn intern_component(&self, component: &ComponentId) -> ComponentSym {
+        if let Some(&sym) = self.read().component_syms.get(component) {
             return sym;
         }
-        let sym = ComponentSym(u32::try_from(self.components.len()).expect("< 2^32 components"));
-        self.components.push(component.clone());
-        self.component_syms.insert(component.clone(), sym);
+        let mut state = self.state.write().expect("interner lock poisoned");
+        if let Some(&sym) = state.component_syms.get(component) {
+            return sym; // Raced with another interning thread.
+        }
+        let sym = ComponentSym(u32::try_from(state.components.len()).expect("< 2^32 components"));
+        state.components.push(Box::leak(Box::new(component.clone())));
+        state.component_hashes.push(component_identity_hash(component));
+        state.component_syms.insert(component.clone(), sym);
         sym
     }
 
     /// The symbol for a metric, interning it on first sight.
-    pub fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
-        if let Some(&sym) = self.metric_syms.get(metric) {
+    pub fn intern_metric(&self, metric: &MetricName) -> MetricSym {
+        if let Some(&sym) = self.read().metric_syms.get(metric) {
             return sym;
         }
-        let sym = MetricSym(u32::try_from(self.metrics.len()).expect("< 2^32 metrics"));
-        self.metrics.push(metric.clone());
-        self.metric_syms.insert(metric.clone(), sym);
+        let mut state = self.state.write().expect("interner lock poisoned");
+        if let Some(&sym) = state.metric_syms.get(metric) {
+            return sym;
+        }
+        let sym = MetricSym(u32::try_from(state.metrics.len()).expect("< 2^32 metrics"));
+        state.metrics.push(Box::leak(Box::new(metric.clone())));
+        state.metric_hashes.push(metric_identity_hash(metric));
+        state.metric_syms.insert(metric.clone(), sym);
         sym
     }
 
     /// The symbol of an already-interned component (no allocation, no mutation).
     pub fn component_sym(&self, component: &ComponentId) -> Option<ComponentSym> {
-        self.component_syms.get(component).copied()
+        self.read().component_syms.get(component).copied()
     }
 
     /// The symbol of an already-interned metric (no allocation, no mutation).
     pub fn metric_sym(&self, metric: &MetricName) -> Option<MetricSym> {
-        self.metric_syms.get(metric).copied()
+        self.read().metric_syms.get(metric).copied()
     }
 
     /// Resolves a component symbol back to its identity.
     ///
     /// # Panics
     /// Panics if the symbol was issued by a different interner.
-    pub fn component(&self, sym: ComponentSym) -> &ComponentId {
-        &self.components[sym.0 as usize]
+    pub fn component(&self, sym: ComponentSym) -> &'static ComponentId {
+        self.read().components[sym.0 as usize]
     }
 
     /// Resolves a metric symbol back to its name.
     ///
     /// # Panics
     /// Panics if the symbol was issued by a different interner.
-    pub fn metric(&self, sym: MetricSym) -> &MetricName {
-        &self.metrics[sym.0 as usize]
+    pub fn metric(&self, sym: MetricSym) -> &'static MetricName {
+        self.read().metrics[sym.0 as usize]
+    }
+
+    /// The stable identity hash of an interned component (precomputed at intern time).
+    pub fn component_hash(&self, sym: ComponentSym) -> u64 {
+        self.read().component_hashes[sym.0 as usize]
+    }
+
+    /// The stable identity hash of an interned metric.
+    pub fn metric_hash(&self, sym: MetricSym) -> u64 {
+        self.read().metric_hashes[sym.0 as usize]
+    }
+
+    /// The stable identity hash of a series key: a mix of its component and metric
+    /// identity hashes. Depends only on the rich identities, never on symbol
+    /// numbering — safe to seed per-series noise streams from.
+    pub fn key_hash(&self, key: MetricKey) -> u64 {
+        let state = self.read();
+        crate::rng::SplitMix64::mix(
+            state.component_hashes[key.component.0 as usize],
+            state.metric_hashes[key.metric.0 as usize],
+        )
     }
 
     /// Number of distinct components interned.
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.read().components.len()
     }
 
     /// Number of distinct metrics interned.
     pub fn metric_count(&self) -> usize {
-        self.metrics.len()
+        self.read().metrics.len()
     }
 }
 
@@ -124,7 +227,7 @@ mod tests {
 
     #[test]
     fn interning_is_idempotent_and_resolves_back() {
-        let mut i = Interner::new();
+        let i = Interner::new();
         let v1 = ComponentId::volume("V1");
         let a = i.intern_component(&v1);
         let b = i.intern_component(&v1);
@@ -140,7 +243,7 @@ mod tests {
 
     #[test]
     fn distinct_identities_get_distinct_symbols() {
-        let mut i = Interner::new();
+        let i = Interner::new();
         let a = i.intern_component(&ComponentId::volume("V1"));
         let b = i.intern_component(&ComponentId::volume("V2"));
         let c = i.intern_component(&ComponentId::disk("V1"));
@@ -158,5 +261,60 @@ mod tests {
         let i = Interner::new();
         assert!(i.component_sym(&ComponentId::volume("V1")).is_none());
         assert_eq!(i.component_count(), 0);
+    }
+
+    #[test]
+    fn identity_hashes_are_stable_and_intern_order_independent() {
+        // Two interners, opposite intern orders: symbols differ, hashes agree.
+        let (a, b) = (Interner::new(), Interner::new());
+        let v1 = ComponentId::volume("V1");
+        let v2 = ComponentId::volume("V2");
+        let sa1 = a.intern_component(&v1);
+        let sa2 = a.intern_component(&v2);
+        let sb2 = b.intern_component(&v2);
+        let sb1 = b.intern_component(&v1);
+        assert_ne!(sa1, sb1, "intern order determines symbols");
+        assert_eq!(a.component_hash(sa1), b.component_hash(sb1));
+        assert_eq!(a.component_hash(sa2), b.component_hash(sb2));
+        assert_ne!(a.component_hash(sa1), a.component_hash(sa2));
+        // Key hashes follow the same rule.
+        let ma = a.intern_metric(&MetricName::WriteIo);
+        let _pad = b.intern_metric(&MetricName::ReadIo);
+        let mb = b.intern_metric(&MetricName::WriteIo);
+        assert_eq!(a.key_hash(MetricKey::new(sa1, ma)), b.key_hash(MetricKey::new(sb1, mb)));
+    }
+
+    #[test]
+    fn custom_metric_never_collides_with_builtin_of_same_short_name() {
+        let custom = MetricName::Custom("writeIO".into());
+        assert_eq!(custom.short_name(), MetricName::WriteIo.short_name());
+        assert_ne!(metric_identity_hash(&custom), metric_identity_hash(&MetricName::WriteIo));
+    }
+
+    #[test]
+    fn global_interner_is_shared_across_call_sites() {
+        let sym = Interner::global().intern_component(&ComponentId::volume("global-intern-test"));
+        assert_eq!(Interner::global().component_sym(&ComponentId::volume("global-intern-test")), Some(sym));
+    }
+
+    #[test]
+    fn concurrent_interning_is_race_free() {
+        let i = Interner::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for n in 0..64 {
+                        i.intern_component(&ComponentId::volume(format!("V{n}")));
+                        i.intern_metric(&MetricName::Custom(format!("m{n}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(i.component_count(), 64);
+        assert_eq!(i.metric_count(), 64);
+        for n in 0..64 {
+            let sym = i.component_sym(&ComponentId::volume(format!("V{n}"))).expect("interned");
+            assert_eq!(i.component(sym).name, format!("V{n}"));
+        }
     }
 }

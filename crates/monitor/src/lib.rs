@@ -43,7 +43,7 @@ pub use intern::{ComponentSym, Interner, MetricSym};
 pub use metric::{MetricKey, MetricName};
 pub use sampler::IntervalSampler;
 pub use series::{DataPoint, TimeSeries};
-pub use store::{MetricStore, ShardedWriter};
+pub use store::{MetricSink, MetricStore, ShardedWriter};
 pub use time::{Duration, TimeRange, Timestamp};
 
 #[cfg(test)]
@@ -53,7 +53,7 @@ mod tests {
     #[test]
     fn public_types_are_reexported() {
         let c = ComponentId::new(ComponentKind::StorageVolume, "V1");
-        let mut store = MetricStore::new();
+        let store = MetricStore::new();
         let key = store.intern(&c, &MetricName::WriteIo);
         assert_eq!(store.resolve(key).1, &MetricName::WriteIo);
         let range = TimeRange::new(Timestamp::new(0), Timestamp::new(10));

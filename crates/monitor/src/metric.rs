@@ -261,11 +261,13 @@ impl std::fmt::Display for MetricName {
 
 /// An interned (component, metric) pair — the key of the time-series store.
 ///
-/// This is a pair of dense `u32` symbols issued by the owning
-/// [`crate::store::MetricStore`]'s interner: `Copy`, 8 bytes, integer-comparable. Use
+/// This is a pair of dense `u32` symbols issued by a shared
+/// [`crate::intern::Interner`]: `Copy`, 8 bytes, integer-comparable. Use
 /// [`crate::store::MetricStore::intern`] to create one and
-/// [`crate::store::MetricStore::resolve`] to get the rich identities back. Keys are
-/// only meaningful relative to the store that issued them.
+/// [`crate::store::MetricStore::resolve`] to get the rich identities back. Stores
+/// share the process-global interner by default, so a key is a **store-agnostic
+/// identity**: every store (and every fleet-level cache) that shares the interner
+/// agrees on which (component, metric) pair a key names.
 ///
 /// The ordering (component first, then metric) groups a component's series
 /// contiguously, which is what makes per-component range scans possible.
@@ -321,7 +323,7 @@ mod tests {
 
     #[test]
     fn metric_keys_are_copy_and_ordered_component_first() {
-        let mut store = crate::store::MetricStore::new();
+        let store = crate::store::MetricStore::new();
         let a = store.intern(&ComponentId::new(ComponentKind::StorageVolume, "V1"), &MetricName::WriteIo);
         let b = a; // Copy — no clone needed
         assert_eq!(a, b);

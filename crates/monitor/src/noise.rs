@@ -38,44 +38,30 @@ impl NoiseModel {
     pub fn default_production() -> Self {
         NoiseModel::Gaussian { sigma: 0.05 }
     }
-}
 
-/// A seeded noise generator that perturbs metric samples according to a [`NoiseModel`].
-#[derive(Debug, Clone)]
-pub struct NoiseGenerator {
-    model: NoiseModel,
-    rng: SplitMix64,
-}
-
-impl NoiseGenerator {
-    /// Creates a generator with a fixed seed (deterministic across runs).
-    pub fn new(model: NoiseModel, seed: u64) -> Self {
-        NoiseGenerator { model, rng: SplitMix64::new(seed) }
-    }
-
-    /// Applies noise to a raw value; never returns a negative number, since every
-    /// metric in the Figure-4 catalog is a non-negative counter, time or percentage.
-    pub fn perturb(&mut self, value: f64) -> f64 {
-        match self.model {
+    /// Applies the model to one value, drawing randomness from `rng`. Never returns
+    /// a negative number, since every metric in the Figure-4 catalog is a
+    /// non-negative counter, time or percentage.
+    ///
+    /// The caller owns the stream discipline: the per-series collector hands in a
+    /// fresh generator seeded by (series identity, sample index), which is what
+    /// makes recorded values independent of cross-series flush interleaving.
+    pub fn apply(&self, rng: &mut SplitMix64, value: f64) -> f64 {
+        match *self {
             NoiseModel::None => value,
             NoiseModel::Gaussian { sigma } => {
-                let z = self.sample_standard_normal();
+                let z = rng.next_normal(0.0, 1.0);
                 (value * (1.0 + sigma * z)).max(0.0)
             }
             NoiseModel::GaussianWithSpikes { sigma, spike_prob, spike_factor } => {
-                let z = self.sample_standard_normal();
+                let z = rng.next_normal(0.0, 1.0);
                 let mut v = value * (1.0 + sigma * z);
-                if self.rng.next_f64() < spike_prob {
+                if rng.next_f64() < spike_prob {
                     v *= spike_factor;
                 }
                 v.max(0.0)
             }
         }
-    }
-
-    /// Standard normal via Box–Muller (avoids pulling in a distributions crate).
-    fn sample_standard_normal(&mut self) -> f64 {
-        self.rng.next_normal(0.0, 1.0)
     }
 }
 
@@ -83,20 +69,27 @@ impl NoiseGenerator {
 mod tests {
     use super::*;
 
+    /// A fixed-seed draw stream for exercising the model (the collector itself
+    /// seeds one fresh generator per sample — see `sampler`).
+    fn stream(seed: u64) -> SplitMix64 {
+        SplitMix64::new(seed)
+    }
+
     #[test]
     fn no_noise_is_identity() {
-        let mut g = NoiseGenerator::new(NoiseModel::None, 1);
-        assert_eq!(g.perturb(42.0), 42.0);
-        assert_eq!(g.perturb(0.0), 0.0);
+        let mut rng = stream(1);
+        assert_eq!(NoiseModel::None.apply(&mut rng, 42.0), 42.0);
+        assert_eq!(NoiseModel::None.apply(&mut rng, 0.0), 0.0);
     }
 
     #[test]
     fn gaussian_noise_is_small_and_unbiased() {
-        let mut g = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.05 }, 7);
+        let model = NoiseModel::Gaussian { sigma: 0.05 };
+        let mut rng = stream(7);
         let n = 2000;
         let mut sum = 0.0;
         for _ in 0..n {
-            let v = g.perturb(100.0);
+            let v = model.apply(&mut rng, 100.0);
             assert!(v >= 0.0);
             assert!((v - 100.0).abs() < 40.0, "5-sigma-ish bound: {v}");
             sum += v;
@@ -107,24 +100,21 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic_per_seed() {
-        let mut a = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 99);
-        let mut b = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 99);
-        let va: Vec<f64> = (0..20).map(|_| a.perturb(10.0)).collect();
-        let vb: Vec<f64> = (0..20).map(|_| b.perturb(10.0)).collect();
+        let model = NoiseModel::Gaussian { sigma: 0.1 };
+        let (mut a, mut b, mut c) = (stream(99), stream(99), stream(100));
+        let va: Vec<f64> = (0..20).map(|_| model.apply(&mut a, 10.0)).collect();
+        let vb: Vec<f64> = (0..20).map(|_| model.apply(&mut b, 10.0)).collect();
+        let vc: Vec<f64> = (0..20).map(|_| model.apply(&mut c, 10.0)).collect();
         assert_eq!(va, vb);
-        let mut c = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 0.1 }, 100);
-        let vc: Vec<f64> = (0..20).map(|_| c.perturb(10.0)).collect();
         assert_ne!(va, vc);
     }
 
     #[test]
     fn spikes_occur_at_roughly_the_configured_rate() {
-        let mut g = NoiseGenerator::new(
-            NoiseModel::GaussianWithSpikes { sigma: 0.01, spike_prob: 0.1, spike_factor: 10.0 },
-            5,
-        );
+        let model = NoiseModel::GaussianWithSpikes { sigma: 0.01, spike_prob: 0.1, spike_factor: 10.0 };
+        let mut rng = stream(5);
         let n = 5000;
-        let spikes = (0..n).filter(|_| g.perturb(10.0) > 50.0).count();
+        let spikes = (0..n).filter(|_| model.apply(&mut rng, 10.0) > 50.0).count();
         let rate = spikes as f64 / n as f64;
         assert!(rate > 0.05 && rate < 0.15, "spike rate = {rate}");
     }
@@ -132,9 +122,10 @@ mod tests {
     #[test]
     fn negative_results_are_clamped() {
         // Large sigma would otherwise produce negative counters.
-        let mut g = NoiseGenerator::new(NoiseModel::Gaussian { sigma: 5.0 }, 3);
+        let model = NoiseModel::Gaussian { sigma: 5.0 };
+        let mut rng = stream(3);
         for _ in 0..500 {
-            assert!(g.perturb(1.0) >= 0.0);
+            assert!(model.apply(&mut rng, 1.0) >= 0.0);
         }
     }
 }

@@ -15,6 +15,15 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// Deterministically combines two 64-bit values into a well-mixed seed — the
+    /// stream-splitting primitive used to derive independent per-series noise
+    /// streams from `(scenario seed, series identity hash)` and per-sample streams
+    /// from `(series seed, interval start)`. Symmetric inputs are broken by the
+    /// pre-mix rotation, so `mix(a, b) != mix(b, a)` in general.
+    pub fn mix(a: u64, b: u64) -> u64 {
+        SplitMix64::new(a ^ b.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+    }
+
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

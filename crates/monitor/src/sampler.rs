@@ -5,10 +5,24 @@
 //! averaged, optionally perturbed by a noise model, and only the averaged value lands in
 //! the metric store. This is precisely the mechanism that makes bursty behaviour hard to
 //! see in the stored data.
+//!
+//! # Per-series noise streams
+//!
+//! Noise is drawn from a **deterministic per-sample stream**: each flushed sample's
+//! generator is seeded by `mix(mix(collector seed, series identity hash), interval
+//! start)`. A recorded value therefore depends only on *(series, sample index)* —
+//! never on how flushes of different series interleave, how the observed time range
+//! is chunked, or how many threads record. That is what lets simulators inside a
+//! single scenario record concurrently through [`MetricStore::sharded_writer`] (each
+//! worker owning its own sampler over a sub-range or component subset) and still
+//! produce stores bit-identical to one sequential collector. The identity hash comes
+//! from the shared [`crate::intern::Interner`], so the stream survives symbol
+//! renumbering across stores and processes.
 
 use crate::metric::MetricKey;
-use crate::noise::{NoiseGenerator, NoiseModel};
-use crate::store::MetricStore;
+use crate::noise::NoiseModel;
+use crate::rng::SplitMix64;
+use crate::store::MetricSink;
 use crate::time::{Duration, Timestamp};
 
 /// The currently open interval of one key.
@@ -22,27 +36,37 @@ struct OpenInterval {
     count: usize,
 }
 
-/// Accumulates raw observations and flushes interval averages into a [`MetricStore`].
+/// Per-series collector state: the series' noise-stream seed (cached at first
+/// observation) and its currently open interval, if any.
+#[derive(Debug, Clone, Copy)]
+struct SeriesSlot {
+    /// `mix(collector seed, series identity hash)` — the root of the series' noise
+    /// stream, independent of symbol numbering.
+    series_seed: u64,
+    open: Option<OpenInterval>,
+}
+
+/// Accumulates raw observations and flushes interval averages into a [`MetricSink`]
+/// (a [`MetricStore`], or a sharded writer when recording concurrently).
 #[derive(Debug)]
 pub struct IntervalSampler {
     interval: Duration,
-    noise: NoiseGenerator,
-    /// Open intervals in a dense table indexed `[component symbol][metric symbol]`.
+    model: NoiseModel,
+    seed: u64,
+    /// Per-series state in a dense table indexed `[component symbol][metric symbol]`.
     ///
     /// Interned symbols are dense intern-order indices, so the per-observation lookup
-    /// is two array indexings instead of the `BTreeMap` walk the sampler used at
-    /// lower metric cardinality. Rows and slots grow on demand; iteration in
-    /// (component, metric) index order reproduces the old map's key order exactly,
-    /// which keeps the noise-generator consumption sequence — and therefore the
-    /// recorded values — bit-identical.
-    open: Vec<Vec<Option<OpenInterval>>>,
+    /// is two array indexings. Rows and slots grow on demand.
+    open: Vec<Vec<Option<SeriesSlot>>>,
 }
 
 impl IntervalSampler {
     /// Creates a sampler with the given interval and noise model. The seed makes the
-    /// injected noise deterministic.
+    /// injected noise deterministic: two samplers with the same seed produce the same
+    /// value for the same (series, interval) no matter which subset of series or
+    /// sub-range of time each one observes.
     pub fn new(interval: Duration, noise: NoiseModel, seed: u64) -> Self {
-        IntervalSampler { interval, noise: NoiseGenerator::new(noise, seed), open: Vec::new() }
+        IntervalSampler { interval, model: noise, seed, open: Vec::new() }
     }
 
     /// A production-like sampler: 5-minute intervals, light Gaussian noise.
@@ -56,11 +80,11 @@ impl IntervalSampler {
     }
 
     /// Feeds one raw observation; if the observation falls into a new interval for this
-    /// key, the previous interval is flushed into `store` first.
+    /// key, the previous interval is flushed into `sink` first.
     ///
     /// Keys are interned symbols (`Copy`), so steady-state observation performs no
     /// allocation at all.
-    pub fn observe(&mut self, store: &mut MetricStore, key: MetricKey, time: Timestamp, value: f64) {
+    pub fn observe<S: MetricSink>(&mut self, sink: &mut S, key: MetricKey, time: Timestamp, value: f64) {
         let bucket = self.bucket_start(time);
         let (ci, mi) = (key.component.index(), key.metric.index());
         if ci >= self.open.len() {
@@ -70,33 +94,45 @@ impl IntervalSampler {
         if mi >= row.len() {
             row.resize(mi + 1, None);
         }
-        match &mut row[mi] {
+        let slot = match &mut row[mi] {
+            Some(slot) => slot,
+            empty => empty.insert(SeriesSlot {
+                series_seed: SplitMix64::mix(self.seed, sink.key_hash(key)),
+                open: None,
+            }),
+        };
+        match &mut slot.open {
             Some(open) if open.start == bucket => {
                 open.sum += value;
                 open.count += 1;
             }
             Some(open) => {
-                let avg = self.noise.perturb(open.sum / open.count as f64);
-                store.record_key(key, Timestamp::new(open.start), avg);
+                let flushed = *open;
+                let series_seed = slot.series_seed;
                 *open = OpenInterval { start: bucket, sum: value, count: 1 };
+                let avg =
+                    perturb(&self.model, series_seed, flushed.start, flushed.sum / flushed.count as f64);
+                sink.record_key(key, Timestamp::new(flushed.start), avg);
             }
-            slot => *slot = Some(OpenInterval { start: bucket, sum: value, count: 1 }),
+            open => *open = Some(OpenInterval { start: bucket, sum: value, count: 1 }),
         }
     }
 
-    /// Flushes every open interval into the store (call at the end of a simulation).
+    /// Flushes every open interval into the sink (call at the end of a simulation, or
+    /// at the end of a worker's recording chunk).
     ///
-    /// Flush order is (component, metric) symbol order — identical to the order of
-    /// the `BTreeMap` this table replaced, so the noise stream lands on the same
-    /// values.
-    pub fn flush(&mut self, store: &mut MetricStore) {
+    /// Flush order is (component, metric) symbol order, but each flushed value is a
+    /// pure function of its (series, interval) — the order affects only the
+    /// insertion sequence, which keyed, time-sorted series absorb.
+    pub fn flush<S: MetricSink>(&mut self, sink: &mut S) {
         let open = std::mem::take(&mut self.open);
         for (ci, row) in open.into_iter().enumerate() {
             for (mi, slot) in row.into_iter().enumerate() {
-                let Some(interval) = slot else { continue };
+                let Some(SeriesSlot { series_seed, open: Some(interval) }) = slot else { continue };
                 let key = MetricKey::from_indices(ci, mi);
-                let avg = self.noise.perturb(interval.sum / interval.count as f64);
-                store.record_key(key, Timestamp::new(interval.start), avg);
+                let avg =
+                    perturb(&self.model, series_seed, interval.start, interval.sum / interval.count as f64);
+                sink.record_key(key, Timestamp::new(interval.start), avg);
             }
         }
     }
@@ -107,11 +143,20 @@ impl IntervalSampler {
     }
 }
 
+/// The noise a series receives for the interval starting at `bucket`: a fresh
+/// generator seeded from the series seed and the (absolute) interval start, so the
+/// drawn noise is a pure function of (series identity, sample index).
+fn perturb(model: &NoiseModel, series_seed: u64, bucket: u64, value: f64) -> f64 {
+    let mut rng = SplitMix64::new(SplitMix64::mix(series_seed, bucket));
+    model.apply(&mut rng, value)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::ComponentId;
     use crate::metric::MetricName;
+    use crate::store::MetricStore;
     use crate::time::TimeRange;
 
     fn key(store: &mut MetricStore) -> MetricKey {
@@ -202,6 +247,44 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!((a - 100.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn noise_stream_is_independent_of_cross_series_interleaving() {
+        // Two collectors observe the same two series, but in opposite per-observation
+        // interleavings (and flush in different relative orders). Per-series streams
+        // make the recorded values identical anyway.
+        let volume_keys = |store: &mut MetricStore| {
+            [
+                store.intern(&ComponentId::volume("V1"), &MetricName::WriteIo),
+                store.intern(&ComponentId::volume("V2"), &MetricName::WriteIo),
+            ]
+        };
+        let mut a_store = MetricStore::new();
+        let mut b_store = MetricStore::new();
+        let a_keys = volume_keys(&mut a_store);
+        let b_keys = volume_keys(&mut b_store);
+        let mut a = IntervalSampler::new(Duration::from_secs(60), NoiseModel::Gaussian { sigma: 0.1 }, 7);
+        let mut b = IntervalSampler::new(Duration::from_secs(60), NoiseModel::Gaussian { sigma: 0.1 }, 7);
+        for t in 0..240 {
+            a.observe(&mut a_store, a_keys[0], Timestamp::new(t), 100.0);
+            a.observe(&mut a_store, a_keys[1], Timestamp::new(t), 20.0);
+            // Opposite interleaving: V2 first, and V1 lags a whole interval behind.
+            b.observe(&mut b_store, b_keys[1], Timestamp::new(t), 20.0);
+        }
+        for t in 0..240 {
+            b.observe(&mut b_store, b_keys[0], Timestamp::new(t), 100.0);
+        }
+        a.flush(&mut a_store);
+        b.flush(&mut b_store);
+        for (ka, kb) in a_keys.iter().zip(b_keys) {
+            let pa = a_store.series_by_key(*ka).unwrap().points();
+            let pb = b_store.series_by_key(kb).unwrap().points();
+            assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "per-series stream drifted");
+            }
+        }
     }
 
     #[test]

@@ -79,15 +79,6 @@ impl TimeSeries {
         &self.points[lo..hi]
     }
 
-    /// Values (without timestamps) within a range.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a fresh Vec per call; use `range` / `iter_in`, which borrow"
-    )]
-    pub fn values_in(&self, range: TimeRange) -> Vec<f64> {
-        self.iter_in(range).collect()
-    }
-
     /// Iterates over the values within a range without allocating.
     pub fn iter_in(&self, range: TimeRange) -> impl Iterator<Item = f64> + '_ {
         self.range(range).iter().map(|p| p.value)
@@ -187,10 +178,6 @@ mod tests {
         let r = TimeRange::new(Timestamp::new(20), Timestamp::new(50));
         let vals: Vec<f64> = s.iter_in(r).collect();
         assert_eq!(vals, vec![2.0, 3.0, 4.0]);
-        // The deprecated allocating accessor stays behavior-compatible.
-        #[allow(deprecated)]
-        let allocated = s.values_in(r);
-        assert_eq!(allocated, vals);
         assert_eq!(s.range(TimeRange::new(Timestamp::new(200), Timestamp::new(300))).len(), 0);
     }
 

@@ -1,10 +1,14 @@
 //! The central metric store — the reproduction's stand-in for the TPC/DB2 monitoring
 //! database the paper's deployment records everything into (Figure 5).
 //!
-//! The store owns a symbol [`Interner`]: series are keyed by interned
-//! [`MetricKey`]s (two `u32`s, `Copy`), so the scoring hot path of the diagnosis
-//! workflow performs **zero string clones and zero allocations** per lookup. Rich
-//! identities are cloned exactly once, when a series is first recorded.
+//! Series are keyed by interned [`MetricKey`]s (two `u32`s, `Copy`), so the scoring
+//! hot path of the diagnosis workflow performs **zero string clones and zero
+//! allocations** per lookup. Rich identities are cloned exactly once, when a series
+//! is first recorded. The store does **not** own its [`Interner`]: it shares the
+//! process-global one by default (or an explicitly-shared one via
+//! [`MetricStore::with_interner`]), so keys are stable identities *across* stores —
+//! two independent stores that record `volume:V1/writeIO` agree on the key, which is
+//! what lets fleet-level diagnosis caches compare keys across testbeds.
 //!
 //! Internally the series map is **sharded by [`ComponentSym`]**: every component's
 //! series live in exactly one of [`MetricStore::SHARD_COUNT`] sorted shards. Reads
@@ -16,11 +20,12 @@
 //! recording as long as each key's observations keep their relative order.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::ids::{ComponentId, ComponentKind};
 use crate::intern::{ComponentSym, Interner, MetricSym};
 use crate::metric::{MetricKey, MetricName};
+use crate::rng::SplitMix64;
 use crate::series::{DataPoint, TimeSeries};
 use crate::time::{TimeRange, Timestamp};
 
@@ -28,6 +33,28 @@ use crate::time::{TimeRange, Timestamp};
 #[derive(Debug, Clone, Default)]
 struct Shard {
     series: BTreeMap<MetricKey, TimeSeries>,
+    /// Order-independent content hash of the shard: the wrapping sum of every
+    /// recorded observation's [`point_hash`]. Updated on each insert (under the
+    /// shard lock when recording through the sharded writer), so reading it is
+    /// O(1) and identical no matter how the writers interleaved.
+    content: u64,
+}
+
+impl Shard {
+    /// The single insert path: every recorded observation lands here, keeping the
+    /// content hash in sync with the series maps.
+    fn push(&mut self, key: MetricKey, time: Timestamp, value: f64) {
+        self.content = self.content.wrapping_add(point_hash(key, time, value));
+        self.series.entry(key).or_default().push(time, value);
+    }
+}
+
+/// Hash of one observation, over (key symbols, time, value bits). Symbol-based, so
+/// it is comparable exactly between stores sharing an interner — which is also the
+/// precondition for comparing their [`MetricKey`]s at all.
+fn point_hash(key: MetricKey, time: Timestamp, value: f64) -> u64 {
+    let k = ((key.component.index() as u64) << 32) | key.metric.index() as u64;
+    SplitMix64::mix(k, SplitMix64::mix(time.as_secs(), value.to_bits()))
 }
 
 /// An in-memory store of metric time series keyed by interned (component, metric)
@@ -41,16 +68,13 @@ struct Shard {
 /// view re-establishes global key order.
 #[derive(Debug, Clone)]
 pub struct MetricStore {
-    interner: Interner,
+    interner: Arc<Interner>,
     shards: Vec<Shard>,
 }
 
 impl Default for MetricStore {
     fn default() -> Self {
-        MetricStore {
-            interner: Interner::new(),
-            shards: (0..Self::SHARD_COUNT).map(|_| Shard::default()).collect(),
-        }
+        Self::with_interner(Arc::clone(Interner::global()))
     }
 }
 
@@ -64,9 +88,15 @@ impl MetricStore {
     /// a symbol is a mask, not a division.
     pub const SHARD_COUNT: usize = 16;
 
-    /// Creates an empty store.
+    /// Creates an empty store sharing the process-global [`Interner`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store over an explicitly-shared interner (for fleets that
+    /// want an identity universe isolated from the global one, e.g. property tests).
+    pub fn with_interner(interner: Arc<Interner>) -> Self {
+        MetricStore { interner, shards: (0..Self::SHARD_COUNT).map(|_| Shard::default()).collect() }
     }
 
     fn shard(&self, component: ComponentSym) -> &Shard {
@@ -79,39 +109,49 @@ impl MetricStore {
 
     // ----- Interning -----
 
-    /// The store's interner (for resolving symbols issued by this store).
-    pub fn interner(&self) -> &Interner {
+    /// The store's shared interner (for resolving symbols and for attaching further
+    /// stores to the same identity universe).
+    pub fn interner(&self) -> &Arc<Interner> {
         &self.interner
     }
 
     /// Interns a (component, metric) pair into a `Copy` key. Allocates only the first
-    /// time an identity is seen.
-    pub fn intern(&mut self, component: &ComponentId, metric: &MetricName) -> MetricKey {
+    /// time an identity is seen anywhere in the sharing fleet.
+    pub fn intern(&self, component: &ComponentId, metric: &MetricName) -> MetricKey {
         MetricKey::new(self.interner.intern_component(component), self.interner.intern_metric(metric))
     }
 
     /// Interns a component on its own (e.g. to hoist the symbol out of a loop that
     /// emits many metrics for the same component).
-    pub fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
+    pub fn intern_component(&self, component: &ComponentId) -> ComponentSym {
         self.interner.intern_component(component)
     }
 
     /// Interns a metric name on its own.
-    pub fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
+    pub fn intern_metric(&self, metric: &MetricName) -> MetricSym {
         self.interner.intern_metric(metric)
     }
 
-    /// The key for an already-recorded (component, metric) pair, without mutating the
-    /// interner. Zero clones, zero allocations.
+    /// The stable identity hash of a key (see [`Interner::key_hash`]): independent
+    /// of intern order, so per-series noise streams can seed from it.
+    pub fn key_hash(&self, key: MetricKey) -> u64 {
+        self.interner.key_hash(key)
+    }
+
+    /// The key for an already-interned (component, metric) pair, without mutating the
+    /// interner. Zero clones, zero allocations. Because the interner is shared
+    /// across stores, a `Some` key does not imply this store holds the series —
+    /// lookups through a key absent here behave as empty.
     pub fn key_of(&self, component: &ComponentId, metric: &MetricName) -> Option<MetricKey> {
         Some(MetricKey::new(self.interner.component_sym(component)?, self.interner.metric_sym(metric)?))
     }
 
-    /// Resolves a key back to its rich identities.
+    /// Resolves a key back to its rich identities (`'static`: interned identities
+    /// live for the process, see [`Interner`]).
     ///
     /// # Panics
-    /// Panics if the key was issued by a different store.
-    pub fn resolve(&self, key: MetricKey) -> (&ComponentId, &MetricName) {
+    /// Panics if the key was issued by a store with a different (non-shared) interner.
+    pub fn resolve(&self, key: MetricKey) -> (&'static ComponentId, &'static MetricName) {
         (self.interner.component(key.component), self.interner.metric(key.metric))
     }
 
@@ -131,7 +171,17 @@ impl MetricStore {
 
     /// Records one observation by interned key (the zero-allocation fast path).
     pub fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
-        self.shard_mut(key.component).series.entry(key).or_default().push(time, value);
+        self.shard_mut(key.component).push(key, time, value);
+    }
+
+    /// An order-independent fingerprint of the store's contents: the wrapping sum
+    /// of a hash of every recorded (key, time, value) observation. Two stores
+    /// sharing an interner hold the same data **iff** their fingerprints match
+    /// (modulo hash collisions); the value is independent of recording order,
+    /// chunking and thread count. O(shards) to read — the per-observation work is
+    /// done at record time.
+    pub fn content_fingerprint(&self) -> u64 {
+        self.shards.iter().fold(0u64, |acc, s| acc.wrapping_add(s.content))
     }
 
     /// Splits the store into a lock-per-shard concurrent writer.
@@ -147,7 +197,10 @@ impl MetricStore {
     /// to sequential recording, regardless of how the streams interleave across
     /// threads.
     pub fn sharded_writer(&mut self) -> ShardedWriter<'_> {
-        ShardedWriter { shards: self.shards.iter_mut().map(Mutex::new).collect() }
+        ShardedWriter {
+            interner: Arc::clone(&self.interner),
+            shards: self.shards.iter_mut().map(Mutex::new).collect(),
+        }
     }
 
     // ----- Lookups (hot path: no clones, no allocations, no locks) -----
@@ -163,7 +216,7 @@ impl MetricStore {
     }
 
     /// Points of a metric within a time range, as a borrowed slice (empty if the
-    /// series does not exist). This is the zero-copy replacement for [`Self::values_in`].
+    /// series does not exist).
     pub fn points_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> &[DataPoint] {
         self.series(component, metric).map(|s| s.range(range)).unwrap_or(&[])
     }
@@ -182,15 +235,6 @@ impl MetricStore {
         range: TimeRange,
     ) -> impl Iterator<Item = f64> + '_ {
         self.points_in(component, metric, range).iter().map(|p| p.value)
-    }
-
-    /// Values of a metric within a time range (empty if the series does not exist).
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a fresh Vec per call; use `points_in`/`iter_in` (or the aggregate accessors)"
-    )]
-    pub fn values_in(&self, component: &ComponentId, metric: &MetricName, range: TimeRange) -> Vec<f64> {
-        self.iter_in(component, metric, range).collect()
     }
 
     /// Mean of a metric within a time range.
@@ -276,15 +320,20 @@ impl MetricStore {
     }
 
     /// Merges another store into this one (used when assembling a testbed from the SAN
-    /// and database collectors). Symbols are re-interned, so the stores do not need to
-    /// share an interner.
+    /// and database collectors). Stores sharing an interner (the default) copy keys
+    /// directly; otherwise symbols are re-interned through the rich identities.
     pub fn merge(&mut self, other: &MetricStore) {
+        let shared = Arc::ptr_eq(&self.interner, &other.interner);
         for (key, series) in other.iter() {
-            let (component, metric) = other.resolve(key);
-            let own = self.intern(component, metric);
-            let entry = self.shard_mut(own.component).series.entry(own).or_default();
+            let own = if shared {
+                key
+            } else {
+                let (component, metric) = other.resolve(key);
+                self.intern(component, metric)
+            };
+            let shard = self.shard_mut(own.component);
             for p in series.points() {
-                entry.push(p.time, p.value);
+                shard.push(own, p.time, p.value);
             }
         }
     }
@@ -329,6 +378,67 @@ impl<'a> Iterator for MergedIter<'a> {
     }
 }
 
+/// A destination for interned-key metric observations.
+///
+/// This is the seam that lets the simulators' recording paths (the SAN engine's
+/// [`crate::sampler::IntervalSampler`] feed, the database run recorder) write either
+/// into an exclusively-borrowed [`MetricStore`] — the sequential reference path — or
+/// through a shared [`&ShardedWriter`](ShardedWriter) from many threads inside one
+/// scenario. Both implementations intern through the same shared [`Interner`], so a
+/// key minted via one sink is valid in the other.
+pub trait MetricSink {
+    /// Interns a component (shared-interner backed, callable from any thread).
+    fn intern_component(&mut self, component: &ComponentId) -> ComponentSym;
+    /// Interns a metric name.
+    fn intern_metric(&mut self, metric: &MetricName) -> MetricSym;
+    /// Interns a (component, metric) pair into a key.
+    fn intern(&mut self, component: &ComponentId, metric: &MetricName) -> MetricKey {
+        MetricKey::new(self.intern_component(component), self.intern_metric(metric))
+    }
+    /// The stable identity hash of a key (see [`Interner::key_hash`]).
+    fn key_hash(&self, key: MetricKey) -> u64;
+    /// Records one observation by interned key.
+    fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64);
+}
+
+impl MetricSink for MetricStore {
+    fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
+        MetricStore::intern_component(self, component)
+    }
+
+    fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
+        MetricStore::intern_metric(self, metric)
+    }
+
+    fn key_hash(&self, key: MetricKey) -> u64 {
+        MetricStore::key_hash(self, key)
+    }
+
+    fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
+        MetricStore::record_key(self, key, time, value);
+    }
+}
+
+/// The per-thread view of a sharded writer: `&ShardedWriter` is itself a sink, so
+/// each worker passes its own `&mut &writer` without coordinating with the others.
+impl MetricSink for &ShardedWriter<'_> {
+    fn intern_component(&mut self, component: &ComponentId) -> ComponentSym {
+        self.interner.intern_component(component)
+    }
+
+    fn intern_metric(&mut self, metric: &MetricName) -> MetricSym {
+        self.interner.intern_metric(metric)
+    }
+
+    fn key_hash(&self, key: MetricKey) -> u64 {
+        self.interner.key_hash(key)
+    }
+
+    fn record_key(&mut self, key: MetricKey, time: Timestamp, value: f64) {
+        ShardedWriter::record_key(self, key, time, value);
+    }
+}
+
 /// A lock-per-shard concurrent writer over a [`MetricStore`], created by
 /// [`MetricStore::sharded_writer`].
 ///
@@ -337,25 +447,31 @@ impl<'a> Iterator for MergedIter<'a> {
 /// shard owning the key's component: threads recording disjoint components proceed
 /// without contention, and the final store contents are independent of the thread
 /// interleaving (each shard's map is keyed, and each series keeps its points
-/// time-sorted).
+/// time-sorted). The writer carries the store's shared [`Interner`], so workers can
+/// intern new identities mid-flight without a store borrow.
 #[derive(Debug)]
 pub struct ShardedWriter<'a> {
+    interner: Arc<Interner>,
     shards: Vec<Mutex<&'a mut Shard>>,
 }
 
 impl ShardedWriter<'_> {
+    /// The shared interner behind the writer.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
     /// Records one observation by interned key, locking only the owning shard.
     pub fn record_key(&self, key: MetricKey, time: Timestamp, value: f64) {
         let mut shard = self.shards[shard_index(key.component)].lock().expect("shard lock poisoned");
-        shard.series.entry(key).or_default().push(time, value);
+        shard.push(key, time, value);
     }
 
     /// Records a batch of observations for one key under a single shard lock.
     pub fn record_points(&self, key: MetricKey, points: &[DataPoint]) {
         let mut shard = self.shards[shard_index(key.component)].lock().expect("shard lock poisoned");
-        let series = shard.series.entry(key).or_default();
         for p in points {
-            series.push(p.time, p.value);
+            shard.push(key, p.time, p.value);
         }
     }
 
@@ -373,6 +489,12 @@ mod tests {
         ComponentId::volume(name)
     }
 
+    /// A store over a private interner, so assertions about which identities are
+    /// interned cannot be perturbed by other tests sharing the global interner.
+    fn isolated_store() -> MetricStore {
+        MetricStore::with_interner(Arc::new(Interner::new()))
+    }
+
     #[test]
     fn record_and_query() {
         let mut store = MetricStore::new();
@@ -380,15 +502,10 @@ mod tests {
             store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(t * 60), t as f64);
         }
         let r = TimeRange::new(Timestamp::new(0), Timestamp::new(300));
-        #[allow(deprecated)]
-        {
-            assert_eq!(
-                store.values_in(&volume("V1"), &MetricName::WriteIo, r),
-                vec![0.0, 1.0, 2.0, 3.0, 4.0]
-            );
-            assert!(store.values_in(&volume("V9"), &MetricName::WriteIo, r).is_empty());
-        }
-        assert_eq!(store.iter_in(&volume("V1"), &MetricName::WriteIo, r).collect::<Vec<_>>().len(), 5);
+        assert_eq!(
+            store.iter_in(&volume("V1"), &MetricName::WriteIo, r).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0]
+        );
         assert_eq!(store.mean_in(&volume("V1"), &MetricName::WriteIo, r), Some(2.0));
         assert_eq!(store.sum_in(&volume("V1"), &MetricName::WriteIo, r), 10.0);
         // Unknown series behave as empty.
@@ -403,7 +520,7 @@ mod tests {
 
     #[test]
     fn interned_keys_round_trip() {
-        let mut store = MetricStore::new();
+        let mut store = isolated_store();
         store.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
         let key = store.key_of(&volume("V1"), &MetricName::WriteIo).expect("recorded");
         assert_eq!(store.series_by_key(key).unwrap().len(), 1);
@@ -441,16 +558,30 @@ mod tests {
 
     #[test]
     fn merge_combines_points_across_interners() {
-        let mut a = MetricStore::new();
+        // Separate private interners on purpose: symbols must not be assumed shared,
+        // so this exercises the re-interning merge path.
+        let mut a = isolated_store();
         a.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
-        let mut b = MetricStore::new();
-        // Interned in a different order on purpose: symbols must not be assumed shared.
+        let mut b = isolated_store();
         b.record(&volume("V2"), &MetricName::ReadIo, Timestamp::new(0), 3.0);
         b.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(60), 2.0);
         a.merge(&b);
         assert_eq!(a.series_count(), 2);
         assert_eq!(a.series(&volume("V1"), &MetricName::WriteIo).unwrap().len(), 2);
         assert_eq!(a.series(&volume("V2"), &MetricName::ReadIo).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_with_shared_interner_copies_keys_directly() {
+        // The default: both stores share the global interner, so keys are identities
+        // and the merge needs no re-interning to agree with per-store lookups.
+        let mut a = MetricStore::new();
+        a.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(0), 1.0);
+        let mut b = MetricStore::new();
+        b.record(&volume("V1"), &MetricName::WriteIo, Timestamp::new(60), 2.0);
+        let key_b = b.key_of(&volume("V1"), &MetricName::WriteIo).unwrap();
+        a.merge(&b);
+        assert_eq!(a.series_by_key(key_b).unwrap().len(), 2, "b's key addresses a's merged series");
     }
 
     #[test]

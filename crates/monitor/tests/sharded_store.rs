@@ -196,9 +196,8 @@ fn range_reads_agree_between_sequential_and_sharded_stores() {
                 .iter()
                 .zip(pb)
                 .all(|(x, y)| x.time == y.time && x.value.to_bits() == y.value.to_bits()));
-            // The deprecated allocating accessor and the borrowed path agree too.
-            #[allow(deprecated)]
-            let values = sequential.values_in(&component, metric, range);
+            // The allocation-free iterator path agrees with the borrowed slices.
+            let values: Vec<f64> = sequential.iter_in(&component, metric, range).collect();
             assert_eq!(values, pb.iter().map(|p| p.value).collect::<Vec<_>>());
             assert_eq!(
                 sequential.mean_in(&component, metric, range),

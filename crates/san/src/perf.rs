@@ -16,7 +16,7 @@
 //! contention wherever it physically manifests).
 
 use diads_monitor::{
-    ComponentId, ComponentKind, Duration, IntervalSampler, MetricKey, MetricName, MetricStore, TimeRange,
+    ComponentId, ComponentKind, Duration, IntervalSampler, MetricKey, MetricName, MetricSink, TimeRange,
     Timestamp,
 };
 
@@ -283,12 +283,18 @@ impl SanSimulator {
     /// Steps through a time range and records raw performance samples for every SAN
     /// component into the collector. `extra` carries the database's own I/O windows so
     /// the stored metrics reflect the full offered load.
-    pub fn record_metrics(
+    ///
+    /// The sink is either an exclusively-borrowed `MetricStore` (the sequential
+    /// reference path) or a `&ShardedWriter` view, which lets several workers — each
+    /// with its own sampler over an interval-aligned sub-range — record one
+    /// scenario's SAN metrics concurrently. Per-series noise streams make the two
+    /// bit-identical.
+    pub fn record_metrics<S: MetricSink>(
         &self,
         range: TimeRange,
         extra: &[VolumeLoad],
         sampler: &mut IntervalSampler,
-        store: &mut MetricStore,
+        store: &mut S,
     ) {
         let step = self.config.metric_step_secs.max(1);
         let mut t = range.start;
@@ -298,13 +304,13 @@ impl SanSimulator {
         }
     }
 
-    fn record_step(
+    fn record_step<S: MetricSink>(
         &self,
         t: Timestamp,
         step: u64,
         extra: &[VolumeLoad],
         sampler: &mut IntervalSampler,
-        store: &mut MetricStore,
+        store: &mut S,
     ) {
         let step_f = step as f64;
         let mut pool_acc: std::collections::BTreeMap<String, [f64; 6]> = std::collections::BTreeMap::new();
@@ -497,6 +503,7 @@ mod tests {
     use crate::topology::paper_testbed;
     use crate::workload::BurstPattern;
     use diads_monitor::noise::NoiseModel;
+    use diads_monitor::MetricStore;
 
     fn window(start: u64, secs: u64) -> TimeRange {
         TimeRange::with_duration(Timestamp::new(start), Duration::from_secs(secs))

@@ -45,9 +45,9 @@ pub use diads_workload as workload;
 /// Convenience: build the diagnosis context for a completed scenario run and execute
 /// the full batch workflow, returning the report.
 ///
-/// Routes through the testbed-level [`core::SharedDiagnosisCache`], so diagnosing the
-/// same outcome (same run labelling) repeatedly reuses every KDE fit. The report is
-/// identical cold or warm.
+/// Routes through the testbed's fleet-capable [`core::DiagnosisEngine`], so
+/// diagnosing the same outcome (same run labelling) repeatedly reuses every KDE
+/// fit. The report is identical cold or warm.
 pub fn diagnose_scenario_outcome(outcome: &core::ScenarioOutcome) -> core::DiagnosisReport {
     outcome.diagnose()
 }
