@@ -38,9 +38,13 @@ fn bench_workflow(c: &mut Criterion) {
         let mut cache = DiagnosisCache::new();
         b.iter(|| black_box(workflow.run_with_cache(black_box(&ctx), &mut cache)))
     });
-    group.bench_function("module_co", |b| b.iter(|| black_box(workflow.correlated_operators(&ctx))));
-    let cos = workflow.correlated_operators(&ctx);
-    group.bench_function("module_da", |b| b.iter(|| black_box(workflow.dependency_analysis(&ctx, &cos))));
+    group.bench_function("module_co", |b| {
+        b.iter(|| black_box(workflow.correlated_operators(&ctx, &mut DiagnosisCache::new())))
+    });
+    let cos = workflow.correlated_operators(&ctx, &mut DiagnosisCache::new());
+    group.bench_function("module_da", |b| {
+        b.iter(|| black_box(workflow.dependency_analysis(&ctx, &cos, &mut DiagnosisCache::new())))
+    });
     group.bench_function("module_da_refit_baseline", |b| {
         b.iter(|| {
             let mut cache = DiagnosisCache::disabled();

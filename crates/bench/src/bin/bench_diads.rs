@@ -81,7 +81,7 @@ fn main() {
         workloads: outcome.testbed.san.workloads(),
     };
     let workflow = DiagnosisWorkflow::new();
-    let cos = workflow.correlated_operators(&ctx);
+    let cos = workflow.correlated_operators(&ctx, &mut DiagnosisCache::new());
 
     {
         let mut group = c.benchmark_group("da");

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release -p diads-bench --bin scenario1_drilldown`.
 
 use diads_bench::harness::heading;
-use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+use diads_core::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, Testbed};
 use diads_inject::scenarios::{scenario_1, ScenarioTimeline};
 use diads_monitor::ComponentKind;
 
@@ -26,6 +26,7 @@ fn main() {
         workloads: outcome.testbed.san.workloads(),
     };
     let workflow = DiagnosisWorkflow::new();
+    let mut cache = DiagnosisCache::new();
 
     heading("Scenario 1 drill-down (SAN misconfiguration causing contention in V1)");
     println!(
@@ -39,7 +40,7 @@ fn main() {
     let pd = workflow.plan_diffing(&ctx);
     println!("\n[Module PD] same plan in both periods: {}", pd.same_plan);
 
-    let cos = workflow.correlated_operators(&ctx);
+    let cos = workflow.correlated_operators(&ctx, &mut cache);
     println!("\n[Module CO] operator anomaly scores above the 0.8 threshold:");
     for op in &cos.correlated {
         let leaf = apg.plan.operator(*op).map(|n| n.kind.is_leaf()).unwrap_or(false);
@@ -52,7 +53,7 @@ fn main() {
         );
     }
 
-    let da = workflow.dependency_analysis(&ctx, &cos);
+    let da = workflow.dependency_analysis(&ctx, &cos, &mut cache);
     println!("\n[Module DA] correlated components (storage side):");
     for c in da.correlated_components.iter().filter(|c| {
         matches!(c.kind, ComponentKind::StorageVolume | ComponentKind::StoragePool | ComponentKind::Disk)
@@ -60,7 +61,7 @@ fn main() {
         println!("    {c}");
     }
 
-    let cr = workflow.record_counts(&ctx, &cos);
+    let cr = workflow.record_counts(&ctx, &cos, &mut cache);
     println!(
         "\n[Module CR] operators with record-count changes: {}",
         if cr.changed.is_empty() {

@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p diads-bench --bin table2_anomaly_scores`.
 
 use diads_bench::harness::heading;
-use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+use diads_core::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, Testbed};
 use diads_inject::scenarios::{scenario_1, scenario_1b, ScenarioTimeline};
 use diads_monitor::{ComponentId, MetricName};
 
@@ -29,12 +29,13 @@ fn scores_for(scenario: &diads_inject::Scenario) -> Vec<((&'static str, &'static
         workloads: outcome.testbed.san.workloads(),
     };
     let workflow = DiagnosisWorkflow::new();
-    let cos = workflow.correlated_operators(&ctx);
+    let mut cache = DiagnosisCache::new();
+    let cos = workflow.correlated_operators(&ctx, &mut cache);
     // Score every component (pruning off) so both volumes appear even when only one is
     // on the correlated operators' paths.
     let mut unpruned = DiagnosisWorkflow::new();
     unpruned.config.prune_by_dependency_paths = false;
-    let da = unpruned.dependency_analysis(&ctx, &cos);
+    let da = unpruned.dependency_analysis(&ctx, &cos, &mut cache);
 
     let rows = [
         (("V1 (volume)", "writeIO"), ComponentId::volume("V1"), MetricName::WriteIo),

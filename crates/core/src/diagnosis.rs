@@ -1,4 +1,19 @@
-//! The final diagnosis report.
+//! The final diagnosis report (v2): ranked causes plus machine-readable provenance.
+//!
+//! A [`DiagnosisReport`] carries two kinds of content:
+//!
+//! * **findings** — the ranked [`RankedCause`]s and the per-module summaries
+//!   (correlated operators/components, record-count changes), each cause with the
+//!   evidence trail that produced it;
+//! * **provenance** — how the diagnosis was executed: which pipeline stages ran, how
+//!   long each took, how many KDE fits were served warm vs. fitted fresh, and whether
+//!   the [`crate::engine::DiagnosisEngine`] slot was checked out warm or cold.
+//!
+//! Findings are deterministic and participate in `PartialEq` (the golden and
+//! equivalence suites compare them bit-for-bit); provenance is wall-clock-dependent
+//! and explicitly excluded from equality. [`DiagnosisReport::render`] prints the
+//! Figure-7 text panel, [`DiagnosisReport::to_json`] emits the whole report —
+//! findings *and* provenance — as dependency-free JSON for machine consumers.
 
 use diads_monitor::ComponentId;
 
@@ -56,6 +71,10 @@ pub struct RankedCause {
     pub confidence: ConfidenceLevel,
     /// Percentage of the query slowdown attributable to this cause (module IA).
     pub impact_pct: f64,
+    /// The evidence trail behind the cause: one line per supporting symptom (the
+    /// SD-side match) plus, when impact analysis attributed operators, the operator
+    /// set the impact was computed over. Deterministic — part of report equality.
+    pub evidence: Vec<String>,
 }
 
 impl RankedCause {
@@ -66,11 +85,59 @@ impl RankedCause {
     }
 }
 
+/// Execution provenance of one pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageProvenance {
+    /// The stage's name (`"PD"`, `"CO"`, … for the standard stages).
+    pub stage: String,
+    /// Wall-clock time the stage took, in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// KDE-fit lookups the stage served from the (engine- or session-) warm cache.
+    pub cache_hits: u64,
+    /// KDE-fit lookups the stage had to fit fresh (or negatively cache).
+    pub cache_misses: u64,
+}
+
+/// How the diagnosis interacted with the fleet-level
+/// [`crate::engine::DiagnosisEngine`], when one was involved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineProvenance {
+    /// The engine slot key the diagnosis checked out
+    /// ([`crate::testbed::ScenarioOutcome::engine_fingerprint`]).
+    pub fingerprint: u64,
+    /// Whether the checkout found previously-warmed fits (`true`) or started from an
+    /// empty slot (`false`).
+    pub warm: bool,
+}
+
+/// Machine-readable execution provenance of a whole diagnosis: the stage trail and
+/// the engine interaction. Excluded from [`DiagnosisReport`] equality — timings are
+/// wall-clock facts, not findings.
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosisProvenance {
+    /// One entry per executed pipeline stage, in execution order (re-executed stages
+    /// appear once per execution — the trail is a log, not a set).
+    pub stages: Vec<StageProvenance>,
+    /// The engine checkout backing the diagnosis, when it ran through a
+    /// [`crate::engine::DiagnosisEngine`]; `None` for private-cache runs.
+    pub engine: Option<EngineProvenance>,
+}
+
+impl DiagnosisProvenance {
+    /// Total wall-clock nanoseconds across all recorded stage executions.
+    pub fn total_elapsed_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.elapsed_nanos).sum()
+    }
+}
+
 /// Outcome of the whole workflow for one slowdown investigation.
 ///
-/// `PartialEq` compares every field (including the f64 scores bit-for-bit via
-/// equality), which is what the concurrent-vs-sequential equivalence tests pin.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// `PartialEq` compares every *finding* field (including the f64 scores bit-for-bit
+/// via equality), which is what the concurrent-vs-sequential equivalence tests pin.
+/// The [`DiagnosisReport::provenance`] field is excluded: two reports with identical
+/// findings are equal even when their stage timings or engine warm/cold paths
+/// differ (that is precisely what "the warm path changes nothing" tests assert).
+#[derive(Debug, Clone, Default)]
 pub struct DiagnosisReport {
     /// The investigated query.
     pub query: String,
@@ -90,6 +157,23 @@ pub struct DiagnosisReport {
     pub record_count_changes: Vec<String>,
     /// Root causes ranked by confidence then impact.
     pub causes: Vec<RankedCause>,
+    /// Execution provenance: the stage trail and engine interaction (not compared
+    /// by `PartialEq`).
+    pub provenance: DiagnosisProvenance,
+}
+
+impl PartialEq for DiagnosisReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.query == other.query
+            && self.satisfactory_mean_secs == other.satisfactory_mean_secs
+            && self.unsatisfactory_mean_secs == other.unsatisfactory_mean_secs
+            && self.plan_changed == other.plan_changed
+            && self.plan_change_causes == other.plan_change_causes
+            && self.correlated_operators == other.correlated_operators
+            && self.correlated_components == other.correlated_components
+            && self.record_count_changes == other.record_count_changes
+            && self.causes == other.causes
+    }
 }
 
 impl DiagnosisReport {
@@ -166,6 +250,194 @@ impl DiagnosisReport {
         }
         out
     }
+
+    /// Serializes the whole report — findings, per-cause evidence and execution
+    /// provenance — as a single-line JSON object, with no external dependencies.
+    ///
+    /// The shape is part of the public contract (pinned by the
+    /// `report_json_golden` integration test): top-level keys in declaration order,
+    /// `causes` in rank order, `provenance.stages` in execution order. Numbers are
+    /// emitted with Rust's shortest-round-trip float formatting; the engine
+    /// fingerprint is a string (it can exceed 2^53, the safe-integer range of most
+    /// JSON consumers).
+    pub fn to_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.open_object();
+        w.string_field("query", &self.query);
+        w.number_field("satisfactory_mean_secs", self.satisfactory_mean_secs);
+        w.number_field("unsatisfactory_mean_secs", self.unsatisfactory_mean_secs);
+        w.bool_field("plan_changed", self.plan_changed);
+        w.string_array_field("plan_change_causes", self.plan_change_causes.iter());
+        w.string_array_field("correlated_operators", self.correlated_operators.iter());
+        w.string_array_field(
+            "correlated_components",
+            self.correlated_components.iter().map(|c| c.to_string()),
+        );
+        w.string_array_field("record_count_changes", self.record_count_changes.iter());
+        w.key("causes");
+        w.open_array();
+        for cause in &self.causes {
+            w.open_object();
+            w.string_field("cause_id", &cause.cause_id);
+            w.string_field("description", &cause.description);
+            match &cause.subject {
+                Some(subject) => w.string_field("subject", &subject.to_string()),
+                None => w.null_field("subject"),
+            }
+            w.number_field("confidence_score", cause.confidence_score);
+            w.string_field("confidence", cause.confidence.label());
+            w.number_field("impact_pct", cause.impact_pct);
+            w.string_array_field("evidence", cause.evidence.iter());
+            w.close_object();
+        }
+        w.close_array();
+        w.key("provenance");
+        w.open_object();
+        w.key("stages");
+        w.open_array();
+        for stage in &self.provenance.stages {
+            w.open_object();
+            w.string_field("stage", &stage.stage);
+            w.number_field("elapsed_nanos", stage.elapsed_nanos as f64);
+            w.number_field("cache_hits", stage.cache_hits as f64);
+            w.number_field("cache_misses", stage.cache_misses as f64);
+            w.close_object();
+        }
+        w.close_array();
+        match &self.provenance.engine {
+            Some(engine) => {
+                w.key("engine");
+                w.open_object();
+                w.string_field("fingerprint", &engine.fingerprint.to_string());
+                w.bool_field("warm", engine.warm);
+                w.close_object();
+            }
+            None => w.null_field("engine"),
+        }
+        w.close_object();
+        w.close_object();
+        w.finish()
+    }
+}
+
+/// A minimal JSON emitter: just enough structure (comma tracking, string escaping,
+/// finite-number policy) to serialize [`DiagnosisReport`] without a dependency.
+mod json {
+    /// Streaming writer for one JSON document.
+    pub struct Writer {
+        out: String,
+        /// Whether the next value at the current nesting level needs a `,` first.
+        needs_comma: Vec<bool>,
+    }
+
+    impl Writer {
+        pub fn new() -> Self {
+            Writer { out: String::new(), needs_comma: vec![false] }
+        }
+
+        fn before_value(&mut self) {
+            if self.needs_comma.last().copied().unwrap_or(false) {
+                self.out.push(',');
+            }
+            if let Some(last) = self.needs_comma.last_mut() {
+                *last = true;
+            }
+        }
+
+        pub fn open_object(&mut self) {
+            self.before_value();
+            self.out.push('{');
+            self.needs_comma.push(false);
+        }
+
+        pub fn close_object(&mut self) {
+            self.out.push('}');
+            self.needs_comma.pop();
+        }
+
+        pub fn open_array(&mut self) {
+            self.before_value();
+            self.out.push('[');
+            self.needs_comma.push(false);
+        }
+
+        pub fn close_array(&mut self) {
+            self.out.push(']');
+            self.needs_comma.pop();
+        }
+
+        /// Writes an object key; the following write is its value.
+        pub fn key(&mut self, key: &str) {
+            self.before_value();
+            self.push_string(key);
+            self.out.push(':');
+            // The value after a key must not emit another comma.
+            if let Some(last) = self.needs_comma.last_mut() {
+                *last = false;
+            }
+        }
+
+        pub fn string_field(&mut self, key: &str, value: &str) {
+            self.key(key);
+            self.before_value();
+            self.push_string(value);
+        }
+
+        /// Non-finite floats have no JSON representation; they serialize as `null`.
+        pub fn number_field(&mut self, key: &str, value: f64) {
+            self.key(key);
+            self.before_value();
+            if value.is_finite() {
+                self.out.push_str(&value.to_string());
+            } else {
+                self.out.push_str("null");
+            }
+        }
+
+        pub fn bool_field(&mut self, key: &str, value: bool) {
+            self.key(key);
+            self.before_value();
+            self.out.push_str(if value { "true" } else { "false" });
+        }
+
+        pub fn null_field(&mut self, key: &str) {
+            self.key(key);
+            self.before_value();
+            self.out.push_str("null");
+        }
+
+        pub fn string_array_field(&mut self, key: &str, values: impl Iterator<Item = impl AsRef<str>>) {
+            self.key(key);
+            self.open_array();
+            for value in values {
+                self.before_value();
+                self.push_string(value.as_ref());
+            }
+            self.close_array();
+        }
+
+        fn push_string(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+
+        pub fn finish(self) -> String {
+            self.out
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +452,7 @@ mod tests {
             confidence_score: score,
             confidence: ConfidenceLevel::from_score(score),
             impact_pct: impact,
+            evidence: vec![format!("symptom supporting {id}")],
         }
     }
 
@@ -213,6 +486,7 @@ mod tests {
             correlated_components: vec![ComponentId::volume("V1")],
             record_count_changes: vec![],
             causes: vec![cause("san-misconfiguration-contention", 100.0, 99.8), cause("other", 40.0, 5.0)],
+            provenance: DiagnosisProvenance::default(),
         };
         assert!((report.relative_slowdown() - 1.0).abs() < 1e-9);
         assert_eq!(report.primary_cause().unwrap().cause_id, "san-misconfiguration-contention");
@@ -240,5 +514,61 @@ mod tests {
         let text = report.render();
         assert!(text.contains("CHANGED"));
         assert!(text.contains("part_type_size_idx"));
+    }
+
+    #[test]
+    fn equality_ignores_provenance_but_not_findings() {
+        let mut a = DiagnosisReport { query: "Q".into(), ..DiagnosisReport::default() };
+        let mut b = a.clone();
+        b.provenance.stages.push(StageProvenance {
+            stage: "PD".into(),
+            elapsed_nanos: 12345,
+            cache_hits: 1,
+            cache_misses: 2,
+        });
+        b.provenance.engine = Some(EngineProvenance { fingerprint: 7, warm: true });
+        assert_eq!(a, b, "provenance must not affect report equality");
+        b.causes.push(cause("x", 90.0, 10.0));
+        assert_ne!(a, b, "findings must affect report equality");
+        a.causes.push(cause("x", 90.0, 10.0));
+        a.causes[0].evidence.push("extra evidence".into());
+        assert_ne!(a, b, "the evidence trail is a finding");
+    }
+
+    #[test]
+    fn to_json_escapes_and_serializes_every_section() {
+        let report = DiagnosisReport {
+            query: "TPC-H \"Q2\"\n".into(),
+            satisfactory_mean_secs: 200.5,
+            unsatisfactory_mean_secs: f64::NAN,
+            plan_changed: false,
+            plan_change_causes: vec![],
+            correlated_operators: vec!["O8".into()],
+            correlated_components: vec![ComponentId::volume("V1")],
+            record_count_changes: vec![],
+            causes: vec![cause("a", 95.0, 90.0)],
+            provenance: DiagnosisProvenance {
+                stages: vec![StageProvenance {
+                    stage: "PD".into(),
+                    elapsed_nanos: 42,
+                    cache_hits: 0,
+                    cache_misses: 3,
+                }],
+                engine: Some(EngineProvenance { fingerprint: u64::MAX, warm: false }),
+            },
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"query\":\"TPC-H \\\"Q2\\\"\\n\""), "{json}");
+        assert!(json.contains("\"unsatisfactory_mean_secs\":null"), "non-finite -> null: {json}");
+        assert!(json.contains("\"correlated_components\":[\"volume:V1\"]"), "{json}");
+        assert!(json.contains("\"cause_id\":\"a\""), "{json}");
+        assert!(json.contains("\"evidence\":[\"symptom supporting a\"]"), "{json}");
+        assert!(json.contains("\"stages\":[{\"stage\":\"PD\",\"elapsed_nanos\":42"), "{json}");
+        // u64::MAX exceeds 2^53: the fingerprint must be emitted as a string.
+        assert!(json.contains(&format!("\"fingerprint\":\"{}\"", u64::MAX)), "{json}");
+        assert!(json.contains("\"warm\":false"), "{json}");
+        let empty = DiagnosisReport::default();
+        assert!(empty.to_json().contains("\"engine\":null"));
+        assert_eq!(empty.provenance.total_elapsed_nanos(), 0);
     }
 }

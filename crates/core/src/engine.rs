@@ -23,42 +23,88 @@
 //! semantics of the per-testbed cache it grew out of: slots are checked out while a
 //! diagnosis runs (never holding the lock across scoring), explicit invalidation
 //! wins over concurrent in-flight check-ins, and relabelled histories land in fresh
-//! slots.
+//! slots. Slots are additionally **LRU-bounded**: a long-running fleet accumulating
+//! distinct history fingerprints recycles its least-recently-used slot once the
+//! configurable capacity is exceeded (recycling costs at most a later re-fit), with
+//! evictions observable through [`DiagnosisEngine::stats`].
+//!
+//! Diagnoses routed through the engine ([`DiagnosisEngine::diagnose`]) execute the
+//! composable [`crate::pipeline::DiagnosisPipeline`] — the same path batch and
+//! interactive drivers use — and the emitted report's provenance records whether
+//! the slot checkout was warm or cold.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::diagnosis::DiagnosisReport;
+use crate::pipeline::DiagnosisPipeline;
 use crate::testbed::ScenarioOutcome;
-use crate::workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow};
+use crate::workflow::{DiagnosisCache, DiagnosisContext};
+
+/// Default bound on the number of warm slots — generous (a slot per distinct
+/// labelled history; fleets rarely track this many live labellings at once), but
+/// finite, so an unbounded stream of fingerprints cannot grow the engine forever.
+pub const DEFAULT_SLOT_CAPACITY: usize = 1024;
+
+/// One warm slot: the cached fits plus the recency stamp eviction orders by.
+#[derive(Debug)]
+struct Slot {
+    cache: DiagnosisCache,
+    /// Value of the engine's monotonic check-in counter when this slot was last
+    /// checked in — higher is more recent.
+    last_used: u64,
+}
 
 /// The mutex-protected state of a [`DiagnosisEngine`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheSlots {
-    map: HashMap<u64, DiagnosisCache>,
+    map: HashMap<u64, Slot>,
     /// Bumped by every invalidation. A [`DiagnosisEngine::with_slot`] check-in whose
     /// checkout observed an older generation is dropped — conservative (an
     /// invalidation of *any* fingerprint discards concurrent in-flight fits, costing
     /// at most a re-fit later), but it can never re-insert invalidated fits.
     generation: u64,
+    /// Monotonic check-in counter: the recency clock for LRU eviction.
+    tick: u64,
+    /// Maximum number of warm slots kept; the least-recently-used slot is recycled
+    /// when a check-in exceeds it.
+    capacity: usize,
     /// Checkouts that found a warm (previously checked-in) slot.
     warm_checkouts: u64,
     /// Checkouts that created a fresh slot.
     cold_checkouts: u64,
+    /// Slots recycled by the LRU bound.
+    evictions: u64,
+}
+
+impl Default for CacheSlots {
+    fn default() -> Self {
+        CacheSlots {
+            map: HashMap::new(),
+            generation: 0,
+            tick: 0,
+            capacity: DEFAULT_SLOT_CAPACITY,
+            warm_checkouts: 0,
+            cold_checkouts: 0,
+            evictions: 0,
+        }
+    }
 }
 
 /// Checkout statistics of a [`DiagnosisEngine`] — the observable that pins the
-/// fleet-level warm path in tests and benchmarks.
+/// fleet-level warm path (and the LRU bound) in tests and benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Slot checkouts that found previously-warmed fits.
     pub warm_checkouts: u64,
     /// Slot checkouts that started from an empty slot.
     pub cold_checkouts: u64,
+    /// Warm slots recycled by the LRU capacity bound.
+    pub evictions: u64,
 }
 
 /// A fleet-level diagnosis cache: one [`DiagnosisCache`] slot per run-history
-/// fingerprint, shareable across testbeds and threads.
+/// fingerprint, shareable across testbeds and threads, LRU-bounded.
 ///
 /// Interior mutability (a mutex around the slot map) lets the engine live behind a
 /// shared `Arc`; a slot is checked out while a diagnosis runs, so diagnoses of
@@ -71,9 +117,19 @@ pub struct DiagnosisEngine {
 }
 
 impl DiagnosisEngine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with the default slot capacity
+    /// ([`DEFAULT_SLOT_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty engine bounded to at most `capacity` warm slots (at least
+    /// one). Checkouts refresh a slot's recency; a check-in that exceeds the bound
+    /// recycles the least-recently-used slot.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let engine = Self::new();
+        engine.slots.lock().expect("cache lock poisoned").capacity = capacity.max(1);
+        engine
     }
 
     /// Creates an empty engine behind an `Arc`, ready to share across testbeds.
@@ -81,10 +137,23 @@ impl DiagnosisEngine {
         Arc::new(Self::new())
     }
 
+    /// The configured slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.lock().expect("cache lock poisoned").capacity
+    }
+
     /// Diagnoses a scenario outcome through this engine (rather than through the
     /// engine its testbed carries): the fleet-level entry point that lets one engine
-    /// warm-serve outcomes from independently-built testbeds.
+    /// warm-serve outcomes from independently-built testbeds. Runs the standard
+    /// [`DiagnosisPipeline`].
     pub fn diagnose(&self, outcome: &ScenarioOutcome) -> DiagnosisReport {
+        self.diagnose_with(&DiagnosisPipeline::standard(), outcome)
+    }
+
+    /// [`DiagnosisEngine::diagnose`] with a caller-composed pipeline (skipped,
+    /// inserted or custom stages); the engine slot and warm/cold provenance work the
+    /// same way.
+    pub fn diagnose_with(&self, pipeline: &DiagnosisPipeline, outcome: &ScenarioOutcome) -> DiagnosisReport {
         let apg = outcome.apg();
         let events = outcome.testbed.all_events();
         let ctx = DiagnosisContext {
@@ -97,40 +166,68 @@ impl DiagnosisEngine {
             topology: outcome.testbed.san.topology(),
             workloads: outcome.testbed.san.workloads(),
         };
-        self.with_slot(outcome.engine_fingerprint(), |cache| {
-            DiagnosisWorkflow::new().run_with_cache(&ctx, cache)
-        })
+        pipeline.run_with_engine(&ctx, self, outcome.engine_fingerprint())
     }
 
     /// Runs `f` with the slot of `fingerprint` checked out (created empty on first
-    /// use) and returns `f`'s result. The mutex is held only while checking the slot
-    /// out and back in, never across `f`; concurrent users of one fingerprint each
-    /// get a working cache and their fits are merged afterwards. While a slot is
-    /// checked out it is absent from the map, so [`DiagnosisEngine::is_warm`]
-    /// reports only checked-in slots.
+    /// use) and returns `f`'s result. See [`DiagnosisEngine::with_slot_tracked`] for
+    /// the semantics; this variant hides the warm/cold flag.
     pub fn with_slot<R>(&self, fingerprint: u64, f: impl FnOnce(&mut DiagnosisCache) -> R) -> R {
-        let (mut cache, generation) = {
+        self.with_slot_tracked(fingerprint, |cache, _warm| f(cache))
+    }
+
+    /// Runs `f` with the slot of `fingerprint` checked out (created empty on first
+    /// use) and whether the checkout was warm, returning `f`'s result. The mutex is
+    /// held only while checking the slot out and back in, never across `f`;
+    /// concurrent users of one fingerprint each get a working cache and their fits
+    /// are merged afterwards. While a slot is checked out it is absent from the map,
+    /// so [`DiagnosisEngine::is_warm`] reports only checked-in slots. A check-in
+    /// that pushes the map over capacity recycles the least-recently-used slot.
+    pub fn with_slot_tracked<R>(
+        &self,
+        fingerprint: u64,
+        f: impl FnOnce(&mut DiagnosisCache, bool) -> R,
+    ) -> R {
+        let (mut cache, generation, warm) = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
-            let cache = match slots.map.remove(&fingerprint) {
-                Some(cache) => {
+            let (cache, warm) = match slots.map.remove(&fingerprint) {
+                Some(slot) => {
                     slots.warm_checkouts += 1;
-                    cache
+                    (slot.cache, true)
                 }
                 None => {
                     slots.cold_checkouts += 1;
-                    DiagnosisCache::default()
+                    (DiagnosisCache::default(), false)
                 }
             };
-            (cache, slots.generation)
+            (cache, slots.generation, warm)
         };
-        let out = f(&mut cache);
+        let out = f(&mut cache, warm);
         let mut slots = self.slots.lock().expect("cache lock poisoned");
         if slots.generation == generation {
+            slots.tick += 1;
+            let tick = slots.tick;
             match slots.map.entry(fingerprint) {
-                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().absorb(cache),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(cache);
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    slot.cache.absorb(cache);
+                    slot.last_used = tick;
                 }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Slot { cache, last_used: tick });
+                }
+            }
+            // The just-checked-in slot carries the newest tick, so it can never be
+            // the LRU victim (capacity is at least 1).
+            while slots.map.len() > slots.capacity {
+                let lru = slots
+                    .map
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(fp, _)| *fp)
+                    .expect("over-capacity map is non-empty");
+                slots.map.remove(&lru);
+                slots.evictions += 1;
             }
         }
         out
@@ -167,7 +264,11 @@ impl DiagnosisEngine {
     /// Checkout statistics since the engine was created.
     pub fn stats(&self) -> EngineStats {
         let slots = self.slots.lock().expect("cache lock poisoned");
-        EngineStats { warm_checkouts: slots.warm_checkouts, cold_checkouts: slots.cold_checkouts }
+        EngineStats {
+            warm_checkouts: slots.warm_checkouts,
+            cold_checkouts: slots.cold_checkouts,
+            evictions: slots.evictions,
+        }
     }
 }
 
@@ -177,10 +278,19 @@ mod tests {
     use crate::workflow::ScoreKey;
     use diads_db::OperatorId;
 
+    fn warm_slot(engine: &DiagnosisEngine, fingerprint: u64) {
+        engine.with_slot(fingerprint, |c| {
+            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
+                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+            });
+        });
+    }
+
     #[test]
     fn slots_are_keyed_by_fingerprint() {
         let engine = DiagnosisEngine::new();
         assert!(!engine.is_warm(1));
+        assert_eq!(engine.capacity(), DEFAULT_SLOT_CAPACITY);
         let fitted = engine.with_slot(1, |c| {
             c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
                 Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
@@ -193,11 +303,23 @@ mod tests {
         engine.with_slot(1, |c| assert_eq!(c.len(), 1));
         engine.with_slot(2, |c| assert!(c.is_empty()));
         assert_eq!(engine.slot_count(), 2);
-        assert_eq!(engine.stats(), EngineStats { warm_checkouts: 1, cold_checkouts: 2 });
+        assert_eq!(engine.stats(), EngineStats { warm_checkouts: 1, cold_checkouts: 2, evictions: 0 });
         engine.invalidate(1);
         assert!(!engine.is_warm(1));
         engine.invalidate_all();
         assert_eq!(engine.slot_count(), 0);
+    }
+
+    #[test]
+    fn with_slot_tracked_reports_warm_and_cold_checkouts() {
+        let engine = DiagnosisEngine::new();
+        let warm = engine.with_slot_tracked(5, |_, warm| warm);
+        assert!(!warm, "first checkout is cold");
+        let warm = engine.with_slot_tracked(5, |_, warm| warm);
+        assert!(warm, "second checkout of the same fingerprint is warm");
+        engine.invalidate(5);
+        let warm = engine.with_slot_tracked(5, |_, warm| warm);
+        assert!(!warm, "invalidated slots check out cold again");
     }
 
     #[test]
@@ -216,5 +338,43 @@ mod tests {
         // the in-flight fits (never resurrects), at worst costing a later re-fit.
         engine.with_slot(8, |_| engine.invalidate(9999));
         assert!(!engine.is_warm(8));
+    }
+
+    #[test]
+    fn lru_bound_recycles_only_over_capacity() {
+        let engine = DiagnosisEngine::with_capacity(2);
+        assert_eq!(engine.capacity(), 2);
+        warm_slot(&engine, 1);
+        // Under-capacity churn: re-using the other slot any number of times must
+        // never evict the warm slot.
+        for _ in 0..10 {
+            warm_slot(&engine, 2);
+        }
+        assert!(engine.is_warm(1), "warm slot must survive under-capacity churn");
+        assert_eq!(engine.stats().evictions, 0);
+        // Going over capacity recycles the least-recently-used slot: fingerprint 1
+        // is the oldest (2 was just touched), so it is the victim.
+        warm_slot(&engine, 3);
+        assert_eq!(engine.slot_count(), 2);
+        assert!(!engine.is_warm(1), "LRU slot must be recycled over capacity");
+        assert!(engine.is_warm(2));
+        assert!(engine.is_warm(3));
+        assert_eq!(engine.stats().evictions, 1);
+        // A recycled fingerprint simply checks out cold again.
+        let warm = engine.with_slot_tracked(1, |_, warm| warm);
+        assert!(!warm);
+    }
+
+    #[test]
+    fn checkout_refreshes_recency() {
+        let engine = DiagnosisEngine::with_capacity(2);
+        warm_slot(&engine, 1);
+        warm_slot(&engine, 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        engine.with_slot(1, |_| {});
+        warm_slot(&engine, 3);
+        assert!(engine.is_warm(1), "recently-touched slot survives");
+        assert!(!engine.is_warm(2), "stale slot is the LRU victim");
+        assert!(engine.is_warm(3));
     }
 }

@@ -10,17 +10,23 @@
 //! * the **Annotated Plan Graph** ([`apg`]): a single graph that ties every operator of
 //!   a query plan to the database and SAN components it depends on (inner and outer
 //!   dependency paths), annotated with the monitoring data collected during each run;
-//! * the **diagnosis workflow** ([`workflow`], Figure 2): Plan Diffing → Correlated
+//! * the **diagnosis pipeline** ([`pipeline`], Figure 2): Plan Diffing → Correlated
 //!   Operators → Dependency Analysis → Correlated Record-counts → Symptoms Database →
-//!   Impact Analysis, combining KDE-based anomaly scoring with domain knowledge.
+//!   Impact Analysis as composable [`pipeline::DiagnosisStage`]s over a typed
+//!   evidence ledger ([`pipeline::DiagnosisState`]), combining KDE-based anomaly
+//!   scoring with domain knowledge. The per-module computations live in
+//!   [`workflow`]; every driver — batch, the fleet-level [`engine`], the interactive
+//!   [`session`] — executes the same pipeline and emits a provenance-carrying
+//!   [`diagnosis::DiagnosisReport`].
 //!
 //! Supporting modules: [`testbed`] assembles a full simulated deployment and executes a
 //! fault-injection [`diads_inject::Scenario`] end to end, [`runs`] holds the
 //! satisfactory/unsatisfactory run history, [`symptoms`] implements the codebook-style
-//! symptoms database, [`diagnosis`] is the final report, [`baseline`] contains the
-//! SAN-only and DB-only comparison tools discussed in Section 5, [`screens`] renders
-//! the text equivalents of the paper's GUI screens (Figures 3, 6 and 7), and
-//! [`whatif`] implements the Section-7 what-if extension.
+//! symptoms database, [`diagnosis`] is the final report (with machine-readable
+//! [`diagnosis::DiagnosisReport::to_json`]), [`baseline`] contains the SAN-only and
+//! DB-only comparison tools discussed in Section 5, [`screens`] renders the text
+//! equivalents of the paper's GUI screens (Figures 3, 6 and 7), and [`whatif`]
+//! implements the Section-7 what-if extension.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,17 +35,23 @@ pub mod apg;
 pub mod baseline;
 pub mod diagnosis;
 pub mod engine;
+pub mod pipeline;
 pub mod runs;
 pub mod screens;
+pub mod session;
 pub mod symptoms;
 pub mod testbed;
 pub mod whatif;
 pub mod workflow;
 
 pub use apg::Apg;
-pub use diagnosis::{ConfidenceLevel, DiagnosisReport, RankedCause};
+pub use diagnosis::{
+    ConfidenceLevel, DiagnosisProvenance, DiagnosisReport, EngineProvenance, RankedCause, StageProvenance,
+};
 pub use engine::{DiagnosisEngine, EngineStats};
+pub use pipeline::{DiagnosisPipeline, DiagnosisStage, DiagnosisState, Stage, StageCtx};
 pub use runs::{LabeledRun, RunHistory};
+pub use session::WorkflowSession;
 pub use symptoms::{Condition, RootCauseEntry, ScoredCause, Symptom, SymptomKind, SymptomsDatabase};
 pub use testbed::{RecordingMode, ScenarioOutcome, Testbed};
-pub use workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, WorkflowConfig, WorkflowSession};
+pub use workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, WorkflowConfig};

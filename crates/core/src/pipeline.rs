@@ -1,0 +1,608 @@
+//! The composable diagnosis pipeline — the single execution path of the workflow.
+//!
+//! The paper's Figure-2 workflow is explicitly modular: PD, CO, DA, CR, SD and IA
+//! are separable drill-down stages combining ML and domain knowledge. This module
+//! makes that modularity a first-class API:
+//!
+//! * [`DiagnosisStage`] is the stage contract — a name, declared prerequisites, and
+//!   `run(&mut StageCtx)`. The six standard stages are the [`Stage`] enum (which
+//!   implements the trait); custom stages are any other implementor.
+//! * [`DiagnosisState`] is the typed **evidence ledger** stages read and write: one
+//!   slot per standard module result, replacing the ad-hoc locals the monolithic
+//!   workflow used to thread between modules.
+//! * [`DiagnosisPipeline`] is the builder and driver. [`DiagnosisPipeline::standard`]
+//!   reproduces the paper's sequence bit-identically; [`DiagnosisPipeline::skip`],
+//!   [`DiagnosisPipeline::insert_after`] and custom stages open new scenario shapes
+//!   (SAN-only triage that skips PD/CR, a re-scoring stage, …). Per-stage observer
+//!   hooks ([`DiagnosisPipeline::on_stage_complete`]) stream progress, and every run
+//!   emits a [`crate::diagnosis::DiagnosisReport`] carrying per-stage provenance
+//!   (timings, cache hit/miss deltas, engine warm/cold) next to the findings.
+//!
+//! Every driver in the crate — batch ([`crate::workflow::DiagnosisWorkflow::run`]),
+//! fleet ([`crate::engine::DiagnosisEngine::diagnose`]) and interactive
+//! ([`crate::session::WorkflowSession`]) — executes through this pipeline; there is
+//! no second sequencing of the modules anywhere.
+
+use std::time::Instant;
+
+use crate::diagnosis::{DiagnosisProvenance, DiagnosisReport, EngineProvenance, StageProvenance};
+use crate::engine::DiagnosisEngine;
+use crate::workflow::{
+    CorrelatedOperatorsResult, DependencyAnalysisResult, DiagnosisCache, DiagnosisContext, DiagnosisWorkflow,
+    ImpactResult, PlanDiffResult, RecordCountResult, SymptomsResult,
+};
+
+/// The six standard drill-down stages, in the paper's Figure-2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// PD — plan diffing and plan-change analysis.
+    PlanDiffing,
+    /// CO — KDE anomaly scores over operator running times.
+    CorrelatedOperators,
+    /// DA — anomaly scores over dependency-path component metrics.
+    DependencyAnalysis,
+    /// CR — two-sided change scores over operator record counts.
+    RecordCounts,
+    /// SD — symptom extraction and symptoms-database matching.
+    Symptoms,
+    /// IA — impact analysis (inverse dependency analysis).
+    ImpactAnalysis,
+}
+
+impl Stage {
+    /// The standard stages in workflow order.
+    pub const ALL: [Stage; 6] = [
+        Stage::PlanDiffing,
+        Stage::CorrelatedOperators,
+        Stage::DependencyAnalysis,
+        Stage::RecordCounts,
+        Stage::Symptoms,
+        Stage::ImpactAnalysis,
+    ];
+
+    /// The stage's short name — the module label of Figures 2 and 7.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::PlanDiffing => "PD",
+            Stage::CorrelatedOperators => "CO",
+            Stage::DependencyAnalysis => "DA",
+            Stage::RecordCounts => "CR",
+            Stage::Symptoms => "SD",
+            Stage::ImpactAnalysis => "IA",
+        }
+    }
+
+    /// The stages whose ledger slots this stage *reads*. Drivers use this for lazy
+    /// execution (run a stage's unmet prerequisites first); a prerequisite that was
+    /// skipped out of the pipeline is not an error — the reading stage falls back to
+    /// an empty (or, for PD, a "no plan-diff evidence") result.
+    pub fn prerequisites(self) -> &'static [Stage] {
+        match self {
+            Stage::PlanDiffing => &[],
+            Stage::CorrelatedOperators => &[],
+            Stage::DependencyAnalysis => &[Stage::CorrelatedOperators],
+            Stage::RecordCounts => &[Stage::CorrelatedOperators],
+            Stage::Symptoms => &[
+                Stage::PlanDiffing,
+                Stage::CorrelatedOperators,
+                Stage::DependencyAnalysis,
+                Stage::RecordCounts,
+            ],
+            Stage::ImpactAnalysis => {
+                &[Stage::CorrelatedOperators, Stage::DependencyAnalysis, Stage::RecordCounts, Stage::Symptoms]
+            }
+        }
+    }
+
+    /// The standard stage with the given short name, if any (`"PD"` →
+    /// [`Stage::PlanDiffing`], …). Custom stage names resolve to `None`.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// The slot index in the standard ledger order (used for downstream
+    /// invalidation).
+    fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).expect("every stage is in ALL")
+    }
+}
+
+/// The typed evidence ledger of one diagnosis: every standard module result that the
+/// monolithic workflow used to thread through ad-hoc locals, as an inspectable (and
+/// editable) value. Stages read their inputs from here and write their output back;
+/// custom stages may rewrite any slot (e.g. a re-scoring stage adjusting `sd`).
+#[derive(Debug, Clone, Default)]
+pub struct DiagnosisState {
+    /// Module PD's result, once executed.
+    pub pd: Option<PlanDiffResult>,
+    /// Module CO's result, once executed.
+    pub cos: Option<CorrelatedOperatorsResult>,
+    /// Module DA's result, once executed.
+    pub da: Option<DependencyAnalysisResult>,
+    /// Module CR's result, once executed.
+    pub cr: Option<RecordCountResult>,
+    /// Module SD's result, once executed.
+    pub sd: Option<SymptomsResult>,
+    /// Module IA's result, once executed.
+    pub ia: Option<ImpactResult>,
+}
+
+impl DiagnosisState {
+    /// Whether PD ran and found a plan change. The scoring stages (CO/DA/CR) gate on
+    /// this: a changed plan makes operator-level correlation meaningless, so they
+    /// record empty results — exactly the monolithic workflow's behaviour. A skipped
+    /// PD reads as "no plan-change evidence" and the drill-down proceeds.
+    pub fn plan_changed(&self) -> bool {
+        self.pd.as_ref().is_some_and(|pd| !pd.same_plan)
+    }
+
+    /// Whether the given standard stage's ledger slot is filled.
+    pub fn is_complete(&self, stage: Stage) -> bool {
+        match stage {
+            Stage::PlanDiffing => self.pd.is_some(),
+            Stage::CorrelatedOperators => self.cos.is_some(),
+            Stage::DependencyAnalysis => self.da.is_some(),
+            Stage::RecordCounts => self.cr.is_some(),
+            Stage::Symptoms => self.sd.is_some(),
+            Stage::ImpactAnalysis => self.ia.is_some(),
+        }
+    }
+
+    /// Names of the filled standard slots, in workflow order.
+    pub fn completed(&self) -> Vec<&'static str> {
+        Stage::ALL.iter().filter(|s| self.is_complete(**s)).map(|s| s.name()).collect()
+    }
+
+    /// Empties one standard stage's ledger slot.
+    pub fn clear_slot(&mut self, stage: Stage) {
+        match stage {
+            Stage::PlanDiffing => self.pd = None,
+            Stage::CorrelatedOperators => self.cos = None,
+            Stage::DependencyAnalysis => self.da = None,
+            Stage::RecordCounts => self.cr = None,
+            Stage::Symptoms => self.sd = None,
+            Stage::ImpactAnalysis => self.ia = None,
+        }
+    }
+
+    /// Clears every standard slot strictly after `stage` in workflow order — the
+    /// downstream-invalidation rule for interactive edits (editing CO's result
+    /// invalidates DA, CR, SD and IA). Sessions over reordered pipelines invalidate
+    /// by *pipeline* order instead — see
+    /// [`crate::session::WorkflowSession::invalidate_downstream`].
+    pub fn clear_after(&mut self, stage: Stage) {
+        for s in Stage::ALL.iter().skip(stage.index() + 1) {
+            self.clear_slot(*s);
+        }
+    }
+}
+
+/// What a stage's fallback is when it reads a PD slot that never ran: no plan-diff
+/// evidence, so the drill-down proceeds as if the plan were stable.
+fn missing_pd() -> PlanDiffResult {
+    PlanDiffResult {
+        same_plan: true,
+        satisfactory_plans: Vec::new(),
+        unsatisfactory_plans: Vec::new(),
+        change_causes: Vec::new(),
+    }
+}
+
+/// Everything a stage sees while running: the workflow (config + symptoms database),
+/// the immutable diagnosis context, the shared scoring cache, and the evidence
+/// ledger it reads from and writes to.
+pub struct StageCtx<'a, 'ctx> {
+    /// The workflow whose config and symptoms database the stages consult.
+    pub workflow: &'a DiagnosisWorkflow,
+    /// The immutable inputs of the diagnosis (APG, history, stores, topology).
+    pub ctx: &'a DiagnosisContext<'ctx>,
+    /// The diagnosis's KDE-fit cache — one per pipeline run (or an engine slot).
+    pub cache: &'a mut DiagnosisCache,
+    /// The evidence ledger.
+    pub state: &'a mut DiagnosisState,
+}
+
+/// One composable diagnosis stage.
+///
+/// A stage has a `name` (unique within a pipeline; the standard stages use the
+/// paper's module labels), declared `prerequisites` (the standard slots it reads —
+/// drivers use them for lazy execution and downstream invalidation), and a `run`
+/// that reads and writes the [`DiagnosisState`] ledger through a [`StageCtx`].
+pub trait DiagnosisStage {
+    /// The stage's display name (also the key for [`DiagnosisPipeline::skip_named`]
+    /// and [`DiagnosisPipeline::insert_after`]).
+    fn name(&self) -> &str;
+
+    /// The standard stages whose results this stage reads. Defaults to none.
+    fn prerequisites(&self) -> &[Stage] {
+        &[]
+    }
+
+    /// Executes the stage: read inputs from `ctx.state`, score through `ctx.cache`,
+    /// write the result back into `ctx.state`.
+    fn run(&self, ctx: &mut StageCtx<'_, '_>);
+}
+
+impl DiagnosisStage for Stage {
+    fn name(&self) -> &str {
+        Stage::name(*self)
+    }
+
+    fn prerequisites(&self) -> &[Stage] {
+        Stage::prerequisites(*self)
+    }
+
+    fn run(&self, s: &mut StageCtx<'_, '_>) {
+        match self {
+            Stage::PlanDiffing => {
+                s.state.pd = Some(s.workflow.plan_diffing(s.ctx));
+            }
+            Stage::CorrelatedOperators => {
+                let result = if s.state.plan_changed() {
+                    CorrelatedOperatorsResult::default()
+                } else {
+                    s.workflow.correlated_operators(s.ctx, s.cache)
+                };
+                s.state.cos = Some(result);
+            }
+            Stage::DependencyAnalysis => {
+                let result = if s.state.plan_changed() {
+                    DependencyAnalysisResult::default()
+                } else {
+                    let fallback = CorrelatedOperatorsResult::default();
+                    let cos = s.state.cos.as_ref().unwrap_or(&fallback);
+                    s.workflow.dependency_analysis(s.ctx, cos, s.cache)
+                };
+                s.state.da = Some(result);
+            }
+            Stage::RecordCounts => {
+                let result = if s.state.plan_changed() {
+                    RecordCountResult::default()
+                } else {
+                    let fallback = CorrelatedOperatorsResult::default();
+                    let cos = s.state.cos.as_ref().unwrap_or(&fallback);
+                    s.workflow.record_counts(s.ctx, cos, s.cache)
+                };
+                s.state.cr = Some(result);
+            }
+            Stage::Symptoms => {
+                let result = {
+                    let fallback_pd = missing_pd();
+                    let fallback_cos = CorrelatedOperatorsResult::default();
+                    let fallback_da = DependencyAnalysisResult::default();
+                    let fallback_cr = RecordCountResult::default();
+                    let pd = s.state.pd.as_ref().unwrap_or(&fallback_pd);
+                    let cos = s.state.cos.as_ref().unwrap_or(&fallback_cos);
+                    let da = s.state.da.as_ref().unwrap_or(&fallback_da);
+                    let cr = s.state.cr.as_ref().unwrap_or(&fallback_cr);
+                    s.workflow.symptoms(s.ctx, pd, cos, da, cr)
+                };
+                s.state.sd = Some(result);
+            }
+            Stage::ImpactAnalysis => {
+                let result = {
+                    let fallback_cos = CorrelatedOperatorsResult::default();
+                    let fallback_da = DependencyAnalysisResult::default();
+                    let fallback_cr = RecordCountResult::default();
+                    let fallback_sd = SymptomsResult::default();
+                    let cos = s.state.cos.as_ref().unwrap_or(&fallback_cos);
+                    let da = s.state.da.as_ref().unwrap_or(&fallback_da);
+                    let cr = s.state.cr.as_ref().unwrap_or(&fallback_cr);
+                    let sd = s.state.sd.as_ref().unwrap_or(&fallback_sd);
+                    s.workflow.impact_analysis(s.ctx, cos, da, cr, sd)
+                };
+                s.state.ia = Some(result);
+            }
+        }
+    }
+}
+
+/// An observer invoked after each stage completes, with the stage's provenance and
+/// the ledger as it stands — the streaming-progress hook.
+pub type StageObserver = Box<dyn Fn(&StageProvenance, &DiagnosisState)>;
+
+/// The composable diagnosis pipeline: an ordered stage list, the workflow whose
+/// config/symptoms database the stages consult, and observers.
+///
+/// [`DiagnosisPipeline::standard`] is the paper's Figure-2 sequence and is
+/// bit-identical to the pre-pipeline monolithic workflow (all golden pins
+/// unchanged). Builder methods recompose it; run methods execute it with a private
+/// cache or through a fleet-level [`DiagnosisEngine`].
+pub struct DiagnosisPipeline {
+    workflow: DiagnosisWorkflow,
+    stages: Vec<Box<dyn DiagnosisStage>>,
+    observers: Vec<StageObserver>,
+}
+
+impl Default for DiagnosisPipeline {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl DiagnosisPipeline {
+    /// The paper's standard PD → CO → DA → CR → SD → IA pipeline with the default
+    /// workflow (built-in symptoms database, paper thresholds).
+    pub fn standard() -> Self {
+        Self::with_workflow(DiagnosisWorkflow::new())
+    }
+
+    /// The standard stage sequence over a custom workflow (tuned thresholds or a
+    /// custom symptoms database).
+    pub fn with_workflow(workflow: DiagnosisWorkflow) -> Self {
+        let stages: Vec<Box<dyn DiagnosisStage>> =
+            Stage::ALL.iter().map(|s| Box::new(*s) as Box<dyn DiagnosisStage>).collect();
+        DiagnosisPipeline { workflow, stages, observers: Vec::new() }
+    }
+
+    /// An empty pipeline over a workflow — the starting point for fully custom
+    /// stage lists (`empty().push(..)`).
+    pub fn empty(workflow: DiagnosisWorkflow) -> Self {
+        DiagnosisPipeline { workflow, stages: Vec::new(), observers: Vec::new() }
+    }
+
+    /// The workflow the stages consult.
+    pub fn workflow(&self) -> &DiagnosisWorkflow {
+        &self.workflow
+    }
+
+    /// Mutable access to the workflow (threshold tweaks between runs).
+    pub fn workflow_mut(&mut self) -> &mut DiagnosisWorkflow {
+        &mut self.workflow
+    }
+
+    /// The stage names, in execution order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage at `index`, in execution order.
+    pub fn stage_at(&self, index: usize) -> &dyn DiagnosisStage {
+        self.stages[index].as_ref()
+    }
+
+    /// The position of the stage named `name`, if present.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.stages.iter().position(|s| s.name() == name)
+    }
+
+    /// Removes a standard stage. Stages that would have read its result fall back to
+    /// an empty (PD: "no plan-diff evidence") input — the report stays well-formed.
+    pub fn skip(self, stage: Stage) -> Self {
+        self.skip_named(stage.name())
+    }
+
+    /// Removes the stage named `name` (standard or custom); a no-op when absent.
+    pub fn skip_named(mut self, name: &str) -> Self {
+        self.stages.retain(|s| s.name() != name);
+        self
+    }
+
+    /// Inserts a stage right after the named standard stage, or appends it when that
+    /// stage is not in the pipeline.
+    pub fn insert_after(self, after: Stage, stage: Box<dyn DiagnosisStage>) -> Self {
+        self.insert_after_named(after.name(), stage)
+    }
+
+    /// Inserts a stage right after the stage named `after` (standard or custom), or
+    /// appends it when no such stage exists.
+    pub fn insert_after_named(mut self, after: &str, stage: Box<dyn DiagnosisStage>) -> Self {
+        match self.position(after) {
+            Some(i) => self.stages.insert(i + 1, stage),
+            None => self.stages.push(stage),
+        }
+        self
+    }
+
+    /// Appends a stage at the end of the pipeline.
+    pub fn push(mut self, stage: Box<dyn DiagnosisStage>) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Registers an observer called after every stage completes, with the stage's
+    /// provenance (name, elapsed time, cache hit/miss delta) and the ledger as it
+    /// stands — streaming progress for long diagnoses.
+    pub fn on_stage_complete(
+        mut self,
+        observer: impl Fn(&StageProvenance, &DiagnosisState) + 'static,
+    ) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Runs the pipeline with a fresh private cache.
+    pub fn run(&self, ctx: &DiagnosisContext<'_>) -> DiagnosisReport {
+        self.run_with_cache(ctx, &mut DiagnosisCache::new())
+    }
+
+    /// Runs the pipeline with a caller-supplied cache (kept warm across repeated
+    /// runs of the same context). The report's provenance carries the stage trail;
+    /// `engine` stays `None` — use [`DiagnosisPipeline::run_with_engine`] for
+    /// engine-backed runs.
+    pub fn run_with_cache(&self, ctx: &DiagnosisContext<'_>, cache: &mut DiagnosisCache) -> DiagnosisReport {
+        let mut state = DiagnosisState::default();
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for index in 0..self.stages.len() {
+            stages.push(self.run_stage_at(index, ctx, cache, &mut state));
+        }
+        self.assemble(ctx, &state, DiagnosisProvenance { stages, engine: None })
+    }
+
+    /// Runs the pipeline through a fleet-level [`DiagnosisEngine`]: the KDE-fit slot
+    /// of `fingerprint` is checked out for the duration of the run, and the report's
+    /// provenance records whether the checkout was warm or cold.
+    pub fn run_with_engine(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        engine: &DiagnosisEngine,
+        fingerprint: u64,
+    ) -> DiagnosisReport {
+        engine.with_slot_tracked(fingerprint, |cache, warm| {
+            let mut report = self.run_with_cache(ctx, cache);
+            report.provenance.engine = Some(EngineProvenance { fingerprint, warm });
+            report
+        })
+    }
+
+    /// Executes one stage (by pipeline index) against an external ledger and cache,
+    /// returning its provenance. This is the step primitive the interactive
+    /// [`crate::session::WorkflowSession`] drives; the batch runners loop over it.
+    pub fn run_stage_at(
+        &self,
+        index: usize,
+        ctx: &DiagnosisContext<'_>,
+        cache: &mut DiagnosisCache,
+        state: &mut DiagnosisState,
+    ) -> StageProvenance {
+        let provenance = execute_stage(&self.workflow, self.stages[index].as_ref(), ctx, cache, state);
+        for observer in &self.observers {
+            observer(&provenance, state);
+        }
+        provenance
+    }
+
+    /// Assembles the v2 report from a ledger: ranked causes (with their evidence
+    /// trails) from the SD/IA slots, module summaries from the rest, and the given
+    /// provenance. Missing slots read as empty results, so partial pipelines still
+    /// produce well-formed reports.
+    pub fn assemble(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        state: &DiagnosisState,
+        provenance: DiagnosisProvenance,
+    ) -> DiagnosisReport {
+        assemble_v2(&self.workflow, ctx, state, provenance)
+    }
+}
+
+/// Executes one stage against a ledger, timing it and diffing the cache counters —
+/// the primitive both the pipeline driver and the borrowed-workflow fast path use.
+fn execute_stage(
+    workflow: &DiagnosisWorkflow,
+    stage: &dyn DiagnosisStage,
+    ctx: &DiagnosisContext<'_>,
+    cache: &mut DiagnosisCache,
+    state: &mut DiagnosisState,
+) -> StageProvenance {
+    let (hits_before, misses_before) = (cache.hits(), cache.misses());
+    let started = Instant::now();
+    stage.run(&mut StageCtx { workflow, ctx, cache, state });
+    StageProvenance {
+        stage: stage.name().to_string(),
+        elapsed_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        cache_hits: cache.hits() - hits_before,
+        cache_misses: cache.misses() - misses_before,
+    }
+}
+
+/// Assembles the v2 report from a ledger over a borrowed workflow (see
+/// [`DiagnosisPipeline::assemble`]).
+fn assemble_v2(
+    workflow: &DiagnosisWorkflow,
+    ctx: &DiagnosisContext<'_>,
+    state: &DiagnosisState,
+    provenance: DiagnosisProvenance,
+) -> DiagnosisReport {
+    let fallback_pd = missing_pd();
+    let fallback_cos = CorrelatedOperatorsResult::default();
+    let fallback_da = DependencyAnalysisResult::default();
+    let fallback_cr = RecordCountResult::default();
+    let fallback_sd = SymptomsResult::default();
+    let fallback_ia = ImpactResult::default();
+    let mut report = workflow.assemble_report(
+        ctx,
+        state.pd.as_ref().unwrap_or(&fallback_pd),
+        state.cos.as_ref().unwrap_or(&fallback_cos),
+        state.da.as_ref().unwrap_or(&fallback_da),
+        state.cr.as_ref().unwrap_or(&fallback_cr),
+        state.sd.as_ref().unwrap_or(&fallback_sd),
+        state.ia.as_ref().unwrap_or(&fallback_ia),
+    );
+    report.provenance = provenance;
+    report
+}
+
+/// Runs the standard stage sequence over a *borrowed* workflow — what
+/// [`DiagnosisWorkflow::run_with_cache`] delegates to. Identical to
+/// `DiagnosisPipeline::with_workflow(workflow.clone()).run_with_cache(..)` but with
+/// no workflow clone and no stage boxing, so hot warm-path loops pay nothing for
+/// the pipeline indirection.
+pub(crate) fn run_standard_with(
+    workflow: &DiagnosisWorkflow,
+    ctx: &DiagnosisContext<'_>,
+    cache: &mut DiagnosisCache,
+) -> DiagnosisReport {
+    let mut state = DiagnosisState::default();
+    let mut stages = Vec::with_capacity(Stage::ALL.len());
+    for stage in &Stage::ALL {
+        stages.push(execute_stage(workflow, stage, ctx, cache, &mut state));
+    }
+    assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_stage_names_and_prerequisites() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["PD", "CO", "DA", "CR", "SD", "IA"]);
+        assert!(Stage::PlanDiffing.prerequisites().is_empty());
+        assert_eq!(Stage::DependencyAnalysis.prerequisites(), &[Stage::CorrelatedOperators]);
+        assert_eq!(Stage::Symptoms.prerequisites().len(), 4);
+    }
+
+    #[test]
+    fn builder_skip_insert_and_push_recompose_the_stage_list() {
+        struct Noop;
+        impl DiagnosisStage for Noop {
+            fn name(&self) -> &str {
+                "NOOP"
+            }
+            fn run(&self, _ctx: &mut StageCtx<'_, '_>) {}
+        }
+        let pipeline = DiagnosisPipeline::standard()
+            .skip(Stage::PlanDiffing)
+            .skip(Stage::RecordCounts)
+            .insert_after(Stage::CorrelatedOperators, Box::new(Noop))
+            .push(Box::new(Noop));
+        assert_eq!(pipeline.stage_names(), vec!["CO", "NOOP", "DA", "SD", "IA", "NOOP"]);
+        assert_eq!(pipeline.position("DA"), Some(2));
+        assert!(!pipeline.is_empty());
+        // Inserting after an absent stage appends.
+        let appended =
+            DiagnosisPipeline::empty(DiagnosisWorkflow::new()).insert_after(Stage::Symptoms, Box::new(Noop));
+        assert_eq!(appended.stage_names(), vec!["NOOP"]);
+        assert_eq!(DiagnosisPipeline::empty(DiagnosisWorkflow::new()).len(), 0);
+    }
+
+    #[test]
+    fn ledger_tracks_completion_and_downstream_invalidation() {
+        let mut state = DiagnosisState::default();
+        assert!(state.completed().is_empty());
+        assert!(!state.plan_changed());
+        state.pd = Some(missing_pd());
+        state.cos = Some(CorrelatedOperatorsResult::default());
+        state.da = Some(DependencyAnalysisResult::default());
+        state.sd = Some(SymptomsResult::default());
+        assert_eq!(state.completed(), vec!["PD", "CO", "DA", "SD"]);
+        state.clear_after(Stage::CorrelatedOperators);
+        assert_eq!(state.completed(), vec!["PD", "CO"]);
+        assert!(state.is_complete(Stage::PlanDiffing));
+        assert!(!state.is_complete(Stage::DependencyAnalysis));
+        state.pd = Some(PlanDiffResult { same_plan: false, ..missing_pd() });
+        assert!(state.plan_changed());
+    }
+}

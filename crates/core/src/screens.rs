@@ -10,7 +10,7 @@ use diads_monitor::{ComponentId, MetricStore, TimeRange};
 
 use crate::apg::Apg;
 use crate::runs::RunHistory;
-use crate::workflow::WorkflowSession;
+use crate::session::WorkflowSession;
 
 /// The query-selection screen (Figure 3): one row per execution with plan, start/end
 /// time, duration in minutes and the unsatisfactory mark.
@@ -68,23 +68,25 @@ pub fn apg_visualization_screen(
     out
 }
 
-/// The workflow-execution screen (Figure 7): which modules have run and the result
-/// panel of the most recent one.
+/// The workflow-execution screen (Figure 7): which pipeline stages have run and the
+/// result panel of the most advanced standard module. Renders whatever stage list
+/// the session's pipeline carries, so recomposed pipelines (skipped or custom
+/// stages) display faithfully.
 pub fn workflow_screen(session: &WorkflowSession<'_>) -> String {
     let mut out = String::new();
-    let completed = session.completed_modules();
     out.push_str("DIADS workflow: ");
-    for module in ["PD", "CO", "DA", "CR", "SD", "IA"] {
-        if completed.contains(&module) {
-            out.push_str(&format!("[{module}*] "));
+    for (stage, done) in session.stage_progress() {
+        if done {
+            out.push_str(&format!("[{stage}*] "));
         } else {
-            out.push_str(&format!("[{module} ] "));
+            out.push_str(&format!("[{stage} ] "));
         }
     }
     out.push('\n');
 
+    let state = session.state();
     out.push_str("Result panel:\n");
-    if let Some(ia) = &session.ia {
+    if let Some(ia) = &state.ia {
         out.push_str("  Impact Analysis:\n");
         for impact in &ia.impacts {
             out.push_str(&format!(
@@ -94,7 +96,7 @@ pub fn workflow_screen(session: &WorkflowSession<'_>) -> String {
                 impact.affected_operators.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
             ));
         }
-    } else if let Some(sd) = &session.sd {
+    } else if let Some(sd) = &state.sd {
         out.push_str("  Symptoms Database:\n");
         for cause in sd.causes.iter().take(5) {
             out.push_str(&format!(
@@ -104,7 +106,7 @@ pub fn workflow_screen(session: &WorkflowSession<'_>) -> String {
                 cause.cause_id
             ));
         }
-    } else if let Some(cr) = &session.cr {
+    } else if let Some(cr) = &state.cr {
         out.push_str(&format!(
             "  Correlated Record-counts: {}\n",
             if cr.changed.is_empty() {
@@ -113,17 +115,17 @@ pub fn workflow_screen(session: &WorkflowSession<'_>) -> String {
                 cr.changed.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
             }
         ));
-    } else if let Some(da) = &session.da {
+    } else if let Some(da) = &state.da {
         out.push_str("  Dependency Analysis (correlated components):\n");
         for c in &da.correlated_components {
             out.push_str(&format!("    {c}\n"));
         }
-    } else if let Some(cos) = &session.cos {
+    } else if let Some(cos) = &state.cos {
         out.push_str(&format!(
             "  Correlated Operators: {}\n",
             cos.correlated.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
         ));
-    } else if let Some(pd) = &session.pd {
+    } else if let Some(pd) = &state.pd {
         out.push_str(&format!(
             "  Plan Diffing: {}\n",
             if pd.same_plan { "same plan in both periods" } else { "plans differ" }

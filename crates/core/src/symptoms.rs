@@ -53,6 +53,33 @@ pub enum SymptomKind {
     BufferHitRatioDropped,
 }
 
+impl SymptomKind {
+    /// A stable identifier for serialized output (report evidence trails,
+    /// `DiagnosisReport::to_json`). Unlike the `Debug` representation, this is a
+    /// public contract: renaming an enum variant must not change it.
+    pub fn label(self) -> &'static str {
+        match self {
+            SymptomKind::PlanUnchanged => "PlanUnchanged",
+            SymptomKind::PlanChanged => "PlanChanged",
+            SymptomKind::VolumeMetricsAnomalous => "VolumeMetricsAnomalous",
+            SymptomKind::OperatorsOnContendedVolumeAnomalous => "OperatorsOnContendedVolumeAnomalous",
+            SymptomKind::NewVolumeOnSharedDisks => "NewVolumeOnSharedDisks",
+            SymptomKind::ZoningOrMappingChanged => "ZoningOrMappingChanged",
+            SymptomKind::ExternalWorkloadOnSharedDisks => "ExternalWorkloadOnSharedDisks",
+            SymptomKind::RecordCountsChanged => "RecordCountsChanged",
+            SymptomKind::DataPropertiesChangedEvent => "DataPropertiesChangedEvent",
+            SymptomKind::LockWaitHigh => "LockWaitHigh",
+            SymptomKind::LockContentionEvent => "LockContentionEvent",
+            SymptomKind::IndexDroppedEvent => "IndexDroppedEvent",
+            SymptomKind::ConfigParameterChangedEvent => "ConfigParameterChangedEvent",
+            SymptomKind::RaidRebuildEvent => "RaidRebuildEvent",
+            SymptomKind::DiskFailureEvent => "DiskFailureEvent",
+            SymptomKind::CpuSaturated => "CpuSaturated",
+            SymptomKind::BufferHitRatioDropped => "BufferHitRatioDropped",
+        }
+    }
+}
+
 /// One observed symptom.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Symptom {

@@ -1,4 +1,4 @@
-//! The DIADS diagnosis workflow (Figure 2).
+//! The DIADS diagnosis modules (Figure 2) and their shared scoring machinery.
 //!
 //! The workflow drills down progressively — Query → Plans → Operators → Components →
 //! Events → Symptoms → Impact — combining statistical machine learning (KDE anomaly
@@ -17,6 +17,17 @@
 //!   weighted codebook entries and confidence categories.
 //! * **IA — Impact Analysis**: for each high-confidence cause, how much of the
 //!   slowdown does it actually explain (inverse dependency analysis)?
+//!
+//! This module owns the *computation* of each drill-down step: [`DiagnosisWorkflow`]
+//! exposes exactly one method per module, every scoring method threading one
+//! [`DiagnosisCache`] (no cached/uncached duplicates). *Sequencing* lives elsewhere:
+//! the composable [`crate::pipeline::DiagnosisPipeline`] is the single execution
+//! path — batch diagnosis ([`DiagnosisWorkflow::run`] is a thin wrapper over
+//! [`crate::pipeline::DiagnosisPipeline::standard`]), the fleet-level
+//! [`crate::engine::DiagnosisEngine`] (which checks a KDE-fit slot out of the
+//! engine per diagnosis and reports warm/cold provenance), and the interactive
+//! [`crate::session::WorkflowSession`] all drive the same stage list over the same
+//! typed evidence ledger ([`crate::pipeline::DiagnosisState`]).
 
 use std::collections::BTreeMap;
 
@@ -229,7 +240,7 @@ pub struct PlanDiffResult {
 }
 
 /// Result of module CO.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CorrelatedOperatorsResult {
     /// Anomaly score of every operator.
     pub scores: BTreeMap<OperatorId, f64>,
@@ -249,7 +260,7 @@ pub struct ComponentMetricScore {
 }
 
 /// Result of module DA.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DependencyAnalysisResult {
     /// Every scored (component, metric) pair.
     pub metric_scores: Vec<ComponentMetricScore>,
@@ -268,7 +279,7 @@ impl DependencyAnalysisResult {
 }
 
 /// Result of module CR.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RecordCountResult {
     /// Two-sided change score of every correlated operator's record counts.
     pub scores: BTreeMap<OperatorId, f64>,
@@ -277,7 +288,7 @@ pub struct RecordCountResult {
 }
 
 /// Result of module SD.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SymptomsResult {
     /// Every symptom extracted from the earlier modules, the events and the metrics.
     pub symptoms: Vec<Symptom>,
@@ -377,13 +388,10 @@ impl DiagnosisWorkflow {
     // ----- Module CO -----
 
     /// Module CO: KDE anomaly scores over operator running times.
-    pub fn correlated_operators(&self, ctx: &DiagnosisContext<'_>) -> CorrelatedOperatorsResult {
-        self.correlated_operators_cached(ctx, &mut DiagnosisCache::new())
-    }
-
-    /// Module CO with a shared scoring cache (fits are reused across modules and
-    /// interactive re-executions).
-    pub fn correlated_operators_cached(
+    ///
+    /// `cache` is the diagnosis's scoring cache: fits are reused across modules and
+    /// re-executions (pass a fresh [`DiagnosisCache`] for a one-shot scoring).
+    pub fn correlated_operators(
         &self,
         ctx: &DiagnosisContext<'_>,
         cache: &mut DiagnosisCache,
@@ -412,21 +420,6 @@ impl DiagnosisWorkflow {
 
     // ----- Module DA -----
 
-    /// Module DA: anomaly scores for the performance metrics of components on the
-    /// correlated operators' dependency paths (or of every component when pruning is
-    /// disabled — the ablation the paper's §1.1 argues against).
-    ///
-    /// With the `parallel` feature enabled, large component sets are scored on a
-    /// scoped thread pool; the merge order is deterministic and the result identical
-    /// to the sequential path.
-    pub fn dependency_analysis(
-        &self,
-        ctx: &DiagnosisContext<'_>,
-        cos: &CorrelatedOperatorsResult,
-    ) -> DependencyAnalysisResult {
-        self.dependency_analysis_cached(ctx, cos, &mut DiagnosisCache::new())
-    }
-
     /// The component set DA scores, in deterministic order.
     fn dependency_components(
         &self,
@@ -444,10 +437,15 @@ impl DiagnosisWorkflow {
         }
     }
 
-    /// Module DA with a shared scoring cache. Dispatches to the thread pool when the
-    /// `parallel` feature is enabled, the machine has more than one core, and the
-    /// component set is large enough to amortise the spawns.
-    pub fn dependency_analysis_cached(
+    /// Module DA: anomaly scores for the performance metrics of components on the
+    /// correlated operators' dependency paths (or of every component when pruning is
+    /// disabled — the ablation the paper's §1.1 argues against).
+    ///
+    /// Dispatches to the scoped thread pool when the `parallel` feature is enabled,
+    /// the machine has more than one core, and the component set is large enough to
+    /// amortise the spawns; the merge order is deterministic and the result identical
+    /// to the sequential path.
+    pub fn dependency_analysis(
         &self,
         ctx: &DiagnosisContext<'_>,
         cos: &CorrelatedOperatorsResult,
@@ -646,15 +644,6 @@ impl DiagnosisWorkflow {
 
     /// Module CR: two-sided change scores of the correlated operators' record counts.
     pub fn record_counts(
-        &self,
-        ctx: &DiagnosisContext<'_>,
-        cos: &CorrelatedOperatorsResult,
-    ) -> RecordCountResult {
-        self.record_counts_cached(ctx, cos, &mut DiagnosisCache::new())
-    }
-
-    /// Module CR with a shared scoring cache.
-    pub fn record_counts_cached(
         &self,
         ctx: &DiagnosisContext<'_>,
         cos: &CorrelatedOperatorsResult,
@@ -1085,34 +1074,21 @@ impl DiagnosisWorkflow {
 
     /// Runs the whole workflow in batch mode (Figure 2) and assembles the report.
     ///
-    /// One [`DiagnosisCache`] is shared across all modules, so every variable's
-    /// satisfactory history is fitted at most once per diagnosis.
+    /// A convenience for [`crate::pipeline::DiagnosisPipeline::standard`] with this
+    /// workflow: one [`DiagnosisCache`] is shared across all stages, so every
+    /// variable's satisfactory history is fitted at most once per diagnosis.
     pub fn run(&self, ctx: &DiagnosisContext<'_>) -> DiagnosisReport {
         self.run_with_cache(ctx, &mut DiagnosisCache::new())
     }
 
-    /// Runs the whole workflow with a caller-supplied cache. Callers that diagnose the
-    /// **same context** repeatedly (interactive sessions, benchmarks) keep the fits
-    /// warm across runs; pass [`DiagnosisCache::disabled`] to measure the
-    /// per-call-refit baseline. The cache must not be reused across different
-    /// contexts — see [`DiagnosisCache`].
+    /// Runs the whole workflow with a caller-supplied cache, through the standard
+    /// [`crate::pipeline::DiagnosisPipeline`] — there is no second batch execution
+    /// path. Callers that diagnose the **same context** repeatedly (interactive
+    /// sessions, benchmarks) keep the fits warm across runs; pass
+    /// [`DiagnosisCache::disabled`] to measure the per-call-refit baseline. The cache
+    /// must not be reused across different contexts — see [`DiagnosisCache`].
     pub fn run_with_cache(&self, ctx: &DiagnosisContext<'_>, cache: &mut DiagnosisCache) -> DiagnosisReport {
-        let pd = self.plan_diffing(ctx);
-        let (cos, da, cr) = if pd.same_plan {
-            let cos = self.correlated_operators_cached(ctx, cache);
-            let da = self.dependency_analysis_cached(ctx, &cos, cache);
-            let cr = self.record_counts_cached(ctx, &cos, cache);
-            (cos, da, cr)
-        } else {
-            (
-                CorrelatedOperatorsResult { scores: BTreeMap::new(), correlated: vec![] },
-                DependencyAnalysisResult { metric_scores: vec![], correlated_components: vec![] },
-                RecordCountResult { scores: BTreeMap::new(), changed: vec![] },
-            )
-        };
-        let sd = self.symptoms(ctx, &pd, &cos, &da, &cr);
-        let ia = self.impact_analysis(ctx, &cos, &da, &cr, &sd);
-        self.assemble_report(ctx, &pd, &cos, &da, &cr, &sd, &ia)
+        crate::pipeline::run_standard_with(self, ctx, cache)
     }
 
     /// Builds the final report from the module results.
@@ -1130,13 +1106,38 @@ impl DiagnosisWorkflow {
         let mut causes: Vec<RankedCause> = sd
             .causes
             .iter()
-            .map(|c| RankedCause {
-                cause_id: c.cause_id.clone(),
-                description: c.description.clone(),
-                subject: c.subject.clone(),
-                confidence_score: c.confidence_score,
-                confidence: c.confidence,
-                impact_pct: ia.impact_of(&c.cause_id),
+            .map(|c| {
+                // The evidence trail: the SD-side symptom matches, then the operator
+                // set IA attributed the impact over. Both are deterministic, so they
+                // participate in report equality.
+                let mut evidence: Vec<String> = c
+                    .supporting_symptoms
+                    .iter()
+                    .map(|s| format!("{}: {} (strength {:.2})", s.kind.label(), s.detail, s.strength))
+                    .collect();
+                let impact = ia.impacts.iter().find(|i| i.cause_id == c.cause_id);
+                if let Some(impact) = impact {
+                    if !impact.affected_operators.is_empty() {
+                        evidence.push(format!(
+                            "impact computed over operators {}",
+                            impact
+                                .affected_operators
+                                .iter()
+                                .map(|o| o.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+                RankedCause {
+                    cause_id: c.cause_id.clone(),
+                    description: c.description.clone(),
+                    subject: c.subject.clone(),
+                    confidence_score: c.confidence_score,
+                    confidence: c.confidence,
+                    impact_pct: impact.map(|i| i.impact_pct).unwrap_or(0.0),
+                    evidence,
+                }
             })
             .collect();
         causes.sort_by(|a, b| {
@@ -1154,176 +1155,8 @@ impl DiagnosisWorkflow {
             correlated_components: da.correlated_components.clone(),
             record_count_changes: cr.changed.iter().map(|o| o.to_string()).collect(),
             causes,
+            provenance: Default::default(),
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Interactive mode (Figure 7)
-// ---------------------------------------------------------------------------
-
-/// A step-by-step workflow session: modules are executed one at a time, results can be
-/// inspected and edited before the next module consumes them, and modules can be
-/// re-executed — the paper's interactive mode.
-#[derive(Debug)]
-pub struct WorkflowSession<'a> {
-    workflow: DiagnosisWorkflow,
-    ctx: DiagnosisContext<'a>,
-    /// KDE fits shared across modules and re-executions. The cached samples depend
-    /// only on the (immutable) context, so edits to module results never stale it.
-    cache: DiagnosisCache,
-    /// Result of module PD, once executed.
-    pub pd: Option<PlanDiffResult>,
-    /// Result of module CO, once executed.
-    pub cos: Option<CorrelatedOperatorsResult>,
-    /// Result of module DA, once executed.
-    pub da: Option<DependencyAnalysisResult>,
-    /// Result of module CR, once executed.
-    pub cr: Option<RecordCountResult>,
-    /// Result of module SD, once executed.
-    pub sd: Option<SymptomsResult>,
-    /// Result of module IA, once executed.
-    pub ia: Option<ImpactResult>,
-}
-
-impl<'a> WorkflowSession<'a> {
-    /// Starts a session.
-    pub fn new(workflow: DiagnosisWorkflow, ctx: DiagnosisContext<'a>) -> Self {
-        WorkflowSession {
-            workflow,
-            ctx,
-            cache: DiagnosisCache::new(),
-            pd: None,
-            cos: None,
-            da: None,
-            cr: None,
-            sd: None,
-            ia: None,
-        }
-    }
-
-    /// Names of the modules that have been executed so far, in workflow order.
-    pub fn completed_modules(&self) -> Vec<&'static str> {
-        let mut out = Vec::new();
-        if self.pd.is_some() {
-            out.push("PD");
-        }
-        if self.cos.is_some() {
-            out.push("CO");
-        }
-        if self.da.is_some() {
-            out.push("DA");
-        }
-        if self.cr.is_some() {
-            out.push("CR");
-        }
-        if self.sd.is_some() {
-            out.push("SD");
-        }
-        if self.ia.is_some() {
-            out.push("IA");
-        }
-        out
-    }
-
-    /// Executes (or re-executes) module PD.
-    pub fn run_plan_diffing(&mut self) -> &PlanDiffResult {
-        self.pd = Some(self.workflow.plan_diffing(&self.ctx));
-        self.pd.as_ref().expect("just set")
-    }
-
-    /// Executes (or re-executes) module CO. Re-executions reuse the session's cached
-    /// KDE fits.
-    pub fn run_correlated_operators(&mut self) -> &CorrelatedOperatorsResult {
-        self.cos = Some(self.workflow.correlated_operators_cached(&self.ctx, &mut self.cache));
-        self.cos.as_ref().expect("just set")
-    }
-
-    /// Replaces the correlated-operator set (the administrator editing module CO's
-    /// result before the next module runs); downstream results are invalidated.
-    pub fn edit_correlated_operators(&mut self, operators: Vec<OperatorId>) {
-        if let Some(cos) = &mut self.cos {
-            cos.correlated = operators;
-        }
-        self.da = None;
-        self.cr = None;
-        self.sd = None;
-        self.ia = None;
-    }
-
-    /// Executes (or re-executes) module DA; runs CO first if needed.
-    pub fn run_dependency_analysis(&mut self) -> &DependencyAnalysisResult {
-        if self.cos.is_none() {
-            self.run_correlated_operators();
-        }
-        let cos = self.cos.take().expect("ensured above");
-        self.da = Some(self.workflow.dependency_analysis_cached(&self.ctx, &cos, &mut self.cache));
-        self.cos = Some(cos);
-        self.da.as_ref().expect("just set")
-    }
-
-    /// Executes (or re-executes) module CR; runs CO first if needed.
-    pub fn run_record_counts(&mut self) -> &RecordCountResult {
-        if self.cos.is_none() {
-            self.run_correlated_operators();
-        }
-        let cos = self.cos.take().expect("ensured above");
-        self.cr = Some(self.workflow.record_counts_cached(&self.ctx, &cos, &mut self.cache));
-        self.cos = Some(cos);
-        self.cr.as_ref().expect("just set")
-    }
-
-    /// Executes (or re-executes) module SD; runs the prerequisite modules first if needed.
-    pub fn run_symptoms(&mut self) -> &SymptomsResult {
-        if self.pd.is_none() {
-            self.run_plan_diffing();
-        }
-        if self.cos.is_none() {
-            self.run_correlated_operators();
-        }
-        if self.da.is_none() {
-            self.run_dependency_analysis();
-        }
-        if self.cr.is_none() {
-            self.run_record_counts();
-        }
-        let (pd, cos, da, cr) = (
-            self.pd.as_ref().expect("ensured"),
-            self.cos.as_ref().expect("ensured"),
-            self.da.as_ref().expect("ensured"),
-            self.cr.as_ref().expect("ensured"),
-        );
-        self.sd = Some(self.workflow.symptoms(&self.ctx, pd, cos, da, cr));
-        self.sd.as_ref().expect("just set")
-    }
-
-    /// Executes (or re-executes) module IA; runs the prerequisite modules first if needed.
-    pub fn run_impact_analysis(&mut self) -> &ImpactResult {
-        if self.sd.is_none() {
-            self.run_symptoms();
-        }
-        let (cos, da, cr, sd) = (
-            self.cos.as_ref().expect("ensured"),
-            self.da.as_ref().expect("ensured"),
-            self.cr.as_ref().expect("ensured"),
-            self.sd.as_ref().expect("ensured"),
-        );
-        self.ia = Some(self.workflow.impact_analysis(&self.ctx, cos, da, cr, sd));
-        self.ia.as_ref().expect("just set")
-    }
-
-    /// Finishes the session: runs anything missing and assembles the report.
-    pub fn finish(&mut self) -> DiagnosisReport {
-        self.run_impact_analysis();
-        self.workflow.assemble_report(
-            &self.ctx,
-            self.pd.as_ref().expect("ensured"),
-            self.cos.as_ref().expect("ensured"),
-            self.da.as_ref().expect("ensured"),
-            self.cr.as_ref().expect("ensured"),
-            self.sd.as_ref().expect("ensured"),
-            self.ia.as_ref().expect("ensured"),
-        )
     }
 }
 

@@ -1,12 +1,14 @@
 //! The interactive mode of Figures 3/6/7: browse the run history, look at the APG and a
-//! component's metrics, then drive the workflow module by module — editing module CO's
-//! result before the downstream modules consume it, exactly as the paper's
-//! administrator-in-the-loop mode allows.
+//! component's metrics, then drive the diagnosis pipeline stage by stage — editing
+//! module CO's result before the downstream stages consume it, exactly as the paper's
+//! administrator-in-the-loop mode allows. The session is a thin driver over the same
+//! [`DiagnosisPipeline`] batch diagnosis runs, so the finished report (and its stage
+//! provenance) is identical to a batch run over the edited evidence.
 //!
 //! Run with `cargo run --release --example interactive_workflow`.
 
 use diads::core::screens::{apg_visualization_screen, query_selection_screen, workflow_screen};
-use diads::core::{DiagnosisContext, DiagnosisWorkflow, Testbed, WorkflowSession};
+use diads::core::{DiagnosisContext, DiagnosisPipeline, DiagnosisWorkflow, Testbed, WorkflowSession};
 use diads::db::OperatorId;
 use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
 use diads::monitor::ComponentId;
@@ -37,14 +39,17 @@ fn main() {
         apg_visualization_screen(&apg, &outcome.testbed.store, &ComponentId::volume("V1"), window)
     );
 
-    // Figure 7: step through the workflow interactively.
+    // Figure 7: step through the standard pipeline interactively. The session owns
+    // the evidence ledger; each run_* executes that stage (plus any unmet
+    // prerequisites) against it.
     let mut session = WorkflowSession::new(DiagnosisWorkflow::new(), ctx);
     session.run_plan_diffing();
     session.run_correlated_operators();
     println!("{}", workflow_screen(&session));
 
     // The administrator trims the correlated-operator set down to the two partsupp
-    // scans before letting dependency analysis run.
+    // scans before letting dependency analysis run; downstream ledger slots are
+    // invalidated and recomputed from the edit.
     session.edit_correlated_operators(vec![OperatorId(8), OperatorId(22)]);
     session.run_dependency_analysis();
     session.run_record_counts();
@@ -54,4 +59,18 @@ fn main() {
 
     let report = session.finish();
     println!("{}", report.render());
+
+    // The same drill, recomposed: a SAN-only triage pipeline that skips Plan
+    // Diffing and record counts entirely — one of the scenario shapes the
+    // composable pipeline opens up. Stages the triage skips simply fall back to
+    // empty evidence; the report stays well-formed.
+    let triage = DiagnosisPipeline::standard()
+        .skip(diads::core::Stage::PlanDiffing)
+        .skip(diads::core::Stage::RecordCounts)
+        .run(&ctx);
+    println!(
+        "SAN-only triage (stages {:?}) still ranks: {}",
+        triage.provenance.stages.iter().map(|s| s.stage.as_str()).collect::<Vec<_>>(),
+        triage.primary_cause().expect("ranked").cause_id
+    );
 }

@@ -26,7 +26,8 @@ fn main() {
         outcome.history.mean_unsatisfactory_elapsed().unwrap_or(0.0),
     );
 
-    // 2. Diagnose: build the APG, run the workflow, print the report.
+    // 2. Diagnose: build the APG, run the standard diagnosis pipeline (PD → CO →
+    //    DA → CR → SD → IA) through the testbed's engine, print the report.
     let report = diads::diagnose_scenario_outcome(&outcome);
     println!("{}", report.render());
 
@@ -34,5 +35,22 @@ fn main() {
     println!(
         "\n==> Primary root cause: {} ({} confidence, {:.1}% of the slowdown)",
         primary.cause_id, primary.confidence, primary.impact_pct
+    );
+
+    // 3. The report is machine-readable too: per-stage provenance (timings, cache
+    //    hits, engine warm/cold) rides along with the findings.
+    println!("\nStage trail:");
+    for stage in &report.provenance.stages {
+        println!(
+            "  {:<3} {:>8.2}ms  (KDE fits: {} warm, {} fitted)",
+            stage.stage,
+            stage.elapsed_nanos as f64 / 1e6,
+            stage.cache_hits,
+            stage.cache_misses
+        );
+    }
+    println!(
+        "\nMachine-readable report: report.to_json() -> {} bytes of dependency-free JSON",
+        report.to_json().len()
     );
 }

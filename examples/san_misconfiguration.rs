@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example san_misconfiguration`.
 
-use diads::core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
+use diads::core::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, Testbed};
 use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
 use diads::monitor::{ComponentId, MetricName};
 
@@ -24,13 +24,16 @@ fn main() {
         workloads: outcome.testbed.san.workloads(),
     };
     let workflow = DiagnosisWorkflow::new();
+    // One scoring cache threads through every module: each variable's satisfactory
+    // history is fitted once across the whole drill-down.
+    let mut cache = DiagnosisCache::new();
 
     println!("== Annotated Plan Graph ==\n{}", apg.render());
 
     let pd = workflow.plan_diffing(&ctx);
     println!("== Module PD ==\nsame plan: {}\n", pd.same_plan);
 
-    let cos = workflow.correlated_operators(&ctx);
+    let cos = workflow.correlated_operators(&ctx, &mut cache);
     println!("== Module CO == (threshold 0.8)");
     for (op, score) in &cos.scores {
         if *score >= 0.5 {
@@ -41,7 +44,7 @@ fn main() {
         }
     }
 
-    let da = workflow.dependency_analysis(&ctx, &cos);
+    let da = workflow.dependency_analysis(&ctx, &cos, &mut cache);
     println!("\n== Module DA == (write metrics of the two pools)");
     for (component, metric) in [
         (ComponentId::pool("P1"), MetricName::WriteIo),
@@ -58,7 +61,7 @@ fn main() {
         da.correlated_components.iter().map(|c| c.to_string()).collect::<Vec<_>>()
     );
 
-    let cr = workflow.record_counts(&ctx, &cos);
+    let cr = workflow.record_counts(&ctx, &cos, &mut cache);
     println!("\n== Module CR ==\nrecord-count changes: {:?}", cr.changed);
 
     let sd = workflow.symptoms(&ctx, &pd, &cos, &da, &cr);

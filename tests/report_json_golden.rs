@@ -1,0 +1,199 @@
+//! Golden test for the machine-readable report format.
+//!
+//! [`DiagnosisReport::to_json`] is a public contract: downstream consumers parse it
+//! without this crate's types. This test pins the *shape* for scenario 1 — the
+//! top-level key order, the stage list, the cause ordering and the engine
+//! provenance — so the format cannot drift silently, while staying agnostic to
+//! wall-clock values (timings) and exact float digits. A minimal JSON syntax
+//! checker asserts the document is well-formed end to end.
+
+use diads::core::Testbed;
+use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
+
+/// Pinned top-level key order of the report document.
+const TOP_LEVEL_KEYS: [&str; 10] = [
+    "query",
+    "satisfactory_mean_secs",
+    "unsatisfactory_mean_secs",
+    "plan_changed",
+    "plan_change_causes",
+    "correlated_operators",
+    "correlated_components",
+    "record_count_changes",
+    "causes",
+    "provenance",
+];
+
+/// Pinned per-cause key order.
+const CAUSE_KEYS: [&str; 7] =
+    ["cause_id", "description", "subject", "confidence_score", "confidence", "impact_pct", "evidence"];
+
+/// Pinned cause ranking for scenario 1 (confidence desc, then impact desc) — the
+/// machine-readable twin of the render() golden.
+const SCENARIO_1_CAUSE_ORDER: [&str; 10] = [
+    "san-misconfiguration-contention",
+    "external-workload-contention",
+    "raid-rebuild",
+    "disk-failure",
+    "cpu-saturation",
+    "buffer-pool-misconfiguration",
+    "data-property-change",
+    "table-lock-contention",
+    "config-parameter-change",
+    "index-dropped",
+];
+
+/// Every `"<key>":"<value>"` (or start of a non-string value) occurrence of `key`,
+/// in document order. Keys never contain escapes in this format, so a plain scan is
+/// exact.
+fn string_values_of(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\":\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let value = &rest[at + needle.len()..];
+        let end = value.find('"').expect("terminated string");
+        out.push(value[..end].to_string());
+        rest = &value[end..];
+    }
+    out
+}
+
+fn key_positions(json: &str, keys: &[&str]) -> Vec<usize> {
+    keys.iter()
+        .map(|k| json.find(&format!("\"{k}\":")).unwrap_or_else(|| panic!("missing key {k:?} in {json}")))
+        .collect()
+}
+
+/// A minimal JSON well-formedness checker: strings (with escapes), numbers, the
+/// literals, and balanced/complete object & array structure. Panics with context on
+/// the first violation — enough to guarantee any real parser round-trips the
+/// document.
+fn assert_well_formed_json(json: &str) {
+    let bytes = json.as_bytes();
+    let mut i = 0usize;
+    // Stack entries: (opening byte, "expecting" flag progression handled inline).
+    let mut stack: Vec<u8> = Vec::new();
+    let mut expect_value = true;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' => i += 1,
+            b'{' | b'[' => {
+                assert!(expect_value, "unexpected open at byte {i}");
+                stack.push(bytes[i]);
+                expect_value = true;
+                i += 1;
+                // Allow immediate close.
+                if i < bytes.len() && (bytes[i] == b'}' || bytes[i] == b']') {
+                    expect_value = false;
+                }
+            }
+            b'}' => {
+                assert_eq!(stack.pop(), Some(b'{'), "mismatched }} at byte {i}");
+                expect_value = false;
+                i += 1;
+            }
+            b']' => {
+                assert_eq!(stack.pop(), Some(b'['), "mismatched ] at byte {i}");
+                expect_value = false;
+                i += 1;
+            }
+            b',' => {
+                assert!(!expect_value, "dangling , at byte {i}");
+                expect_value = true;
+                i += 1;
+            }
+            b':' => {
+                assert!(!expect_value, "dangling : at byte {i}");
+                expect_value = true;
+                i += 1;
+            }
+            b'"' => {
+                assert!(expect_value, "unexpected string at byte {i}");
+                i += 1;
+                loop {
+                    assert!(i < bytes.len(), "unterminated string");
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                expect_value = false;
+            }
+            b't' | b'f' | b'n' => {
+                assert!(expect_value, "unexpected literal at byte {i}");
+                for lit in ["true", "false", "null"] {
+                    if json[i..].starts_with(lit) {
+                        i += lit.len();
+                        expect_value = false;
+                        break;
+                    }
+                }
+                assert!(!expect_value, "bad literal at byte {i}");
+            }
+            b'0'..=b'9' | b'-' => {
+                assert!(expect_value, "unexpected number at byte {i}");
+                i += 1;
+                while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                    i += 1;
+                }
+                expect_value = false;
+            }
+            other => panic!("unexpected byte {other:?} at {i} in {json}"),
+        }
+    }
+    assert!(stack.is_empty(), "unbalanced structure");
+    assert!(!expect_value, "document ends expecting a value");
+}
+
+#[test]
+fn scenario_1_report_json_shape_is_pinned() {
+    let outcome = Testbed::run_scenario(&scenario_1(ScenarioTimeline::short()));
+    let cold = outcome.diagnose();
+    let json = cold.to_json();
+    assert_well_formed_json(&json);
+
+    // Top-level keys present, in pinned order.
+    let positions = key_positions(&json, &TOP_LEVEL_KEYS);
+    assert!(positions.windows(2).all(|w| w[0] < w[1]), "top-level key order drifted: {json}");
+    assert!(json.starts_with("{\"query\":\"TPC-H Q2\""));
+
+    // The stage list is the standard pipeline, in execution order.
+    assert_eq!(string_values_of(&json, "stage"), vec!["PD", "CO", "DA", "CR", "SD", "IA"]);
+    // Every stage entry reports timing and cache provenance keys.
+    assert_eq!(json.matches("\"elapsed_nanos\":").count(), 6);
+    assert_eq!(json.matches("\"cache_hits\":").count(), 6);
+    assert_eq!(json.matches("\"cache_misses\":").count(), 6);
+
+    // Cause ordering (confidence desc, impact desc) is pinned.
+    assert_eq!(string_values_of(&json, "cause_id"), SCENARIO_1_CAUSE_ORDER.to_vec());
+    // Per-cause key order pinned on the first cause object.
+    let first_cause = &json[json.find("\"causes\":[").expect("causes array")..];
+    let cause_positions = key_positions(first_cause, &CAUSE_KEYS);
+    assert!(cause_positions.windows(2).all(|w| w[0] < w[1]), "cause key order drifted");
+    assert_eq!(string_values_of(&json, "confidence")[0], "high");
+
+    // The top cause carries its evidence trail.
+    assert!(json.contains("\"evidence\":[\"VolumeMetricsAnomalous:"), "{json}");
+    assert!(json.contains("impact computed over operators O8, O22"), "{json}");
+
+    // Engine provenance: the cold diagnosis records a cold checkout; re-diagnosing
+    // the same outcome is warm. Findings stay identical either way.
+    assert!(json.contains(&format!("\"fingerprint\":\"{}\"", outcome.engine_fingerprint())));
+    assert!(json.contains("\"warm\":false"));
+    let warm = outcome.diagnose();
+    let warm_json = warm.to_json();
+    assert_well_formed_json(&warm_json);
+    assert!(warm_json.contains("\"warm\":true"), "second diagnosis must record a warm checkout");
+    assert_eq!(cold, warm, "warm/cold provenance must not change the findings");
+
+    // The findings half of the JSON (everything before provenance) is identical
+    // cold vs. warm — only provenance may differ.
+    let findings = &json[..json.find("\"provenance\":").expect("provenance key")];
+    let warm_findings = &warm_json[..warm_json.find("\"provenance\":").expect("provenance key")];
+    assert_eq!(findings, warm_findings);
+}

@@ -3,7 +3,9 @@
 
 use diads::core::baseline::{DbOnlyTool, SanOnlyTool};
 use diads::core::whatif::{evaluate, ProposedChange};
-use diads::core::{DiagnosisContext, DiagnosisWorkflow, Testbed, WorkflowConfig, WorkflowSession};
+use diads::core::{
+    DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, Testbed, WorkflowConfig, WorkflowSession,
+};
 use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
 use diads::monitor::{ComponentId, MetricName, Timestamp};
 
@@ -32,6 +34,7 @@ fn scenario_1_module_by_module_drilldown() {
     let events = outcome.testbed.all_events();
     let ctx = context(&outcome, &apg, &events);
     let workflow = DiagnosisWorkflow::new();
+    let mut cache = DiagnosisCache::new();
 
     // PD: same plan; CR will find no data change.
     let pd = workflow.plan_diffing(&ctx);
@@ -39,7 +42,7 @@ fn scenario_1_module_by_module_drilldown() {
     assert!(pd.change_causes.is_empty());
 
     // CO: the V1 leaves (O8, O22) and their ancestors are correlated; most V2 leaves are not.
-    let cos = workflow.correlated_operators(&ctx);
+    let cos = workflow.correlated_operators(&ctx, &mut cache);
     let o8 = diads::db::OperatorId(8);
     let o22 = diads::db::OperatorId(22);
     assert!(cos.correlated.contains(&o8), "scores: {:?}", cos.scores);
@@ -53,7 +56,7 @@ fn scenario_1_module_by_module_drilldown() {
     assert!(flagged_v2 <= 2, "V2 leaves flagged: {flagged_v2}");
 
     // DA: V1-side storage components are correlated; V2's volume is not.
-    let da = workflow.dependency_analysis(&ctx, &cos);
+    let da = workflow.dependency_analysis(&ctx, &cos, &mut cache);
     let v1_side = da.correlated_components.iter().any(|c| {
         c.name == "V1" || c.name == "P1" || ["ds-01", "ds-02", "ds-03", "ds-04"].contains(&c.name.as_str())
     });
@@ -69,7 +72,7 @@ fn scenario_1_module_by_module_drilldown() {
     assert!(p2_write < p1_write, "P2 writeTime {p2_write} vs P1 {p1_write}");
 
     // CR: no record-count changes.
-    let cr = workflow.record_counts(&ctx, &cos);
+    let cr = workflow.record_counts(&ctx, &cos, &mut cache);
     assert!(cr.changed.is_empty(), "{:?}", cr.changed);
 
     // SD: misconfiguration is the top cause with high confidence.
@@ -96,9 +99,12 @@ fn disabling_dependency_path_pruning_widens_the_search_space() {
     let mut unpruned = DiagnosisWorkflow::new();
     unpruned.config = WorkflowConfig { prune_by_dependency_paths: false, ..WorkflowConfig::default() };
 
-    let cos = pruned.correlated_operators(&ctx);
-    let da_pruned = pruned.dependency_analysis(&ctx, &cos);
-    let da_unpruned = unpruned.dependency_analysis(&ctx, &cos);
+    let mut cache = DiagnosisCache::new();
+    let cos = pruned.correlated_operators(&ctx, &mut cache);
+    let da_pruned = pruned.dependency_analysis(&ctx, &cos, &mut cache);
+    // The unpruned pass scores a strictly larger variable set; give it its own
+    // cache so the comparison below is about search-space width, not fit reuse.
+    let da_unpruned = unpruned.dependency_analysis(&ctx, &cos, &mut DiagnosisCache::new());
     // Without pruning, DA evaluates strictly more (component, metric) pairs.
     assert!(da_unpruned.metric_scores.len() > da_pruned.metric_scores.len());
 }
