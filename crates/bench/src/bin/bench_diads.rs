@@ -26,7 +26,9 @@ use diads_bench::hotpath;
 use diads_bench::microbench::{Criterion, Record};
 use diads_core::workflow::DiagnosisCache;
 use diads_core::{DiagnosisContext, DiagnosisWorkflow, Testbed};
-use diads_inject::scenarios::{scenario_1, scenario_3, scenario_5, ScenarioTimeline};
+use diads_inject::scenarios::{
+    compound_lock_and_interloper_scenario, scenario_1, scenario_3, scenario_5, ScenarioTimeline,
+};
 use diads_monitor::{ComponentId, MetricKey, MetricName, MetricStore, Timestamp};
 use diads_stats::ScoringCache;
 use std::hint::black_box;
@@ -189,11 +191,11 @@ fn main() {
     }
 
     // ----- Scenario matrix: the concurrent batch engine's hot path -----
-    // A mixed matrix (SAN contention, data-property change, lock contention) on the
-    // short timeline: one iteration simulates every scenario end to end and
-    // diagnoses each outcome.
+    // A mixed matrix (SAN contention, data-property change, lock contention, and a
+    // compound DB+SAN fault with staggered onsets) on the short timeline: one
+    // iteration simulates every scenario end to end and diagnoses each outcome.
     let t = ScenarioTimeline::short();
-    let matrix = vec![scenario_1(t), scenario_3(t), scenario_5(t)];
+    let matrix = vec![scenario_1(t), scenario_3(t), scenario_5(t), compound_lock_and_interloper_scenario(t)];
     {
         let mut group = c.benchmark_group("scenario_matrix");
         group.sample_size(samples(5));

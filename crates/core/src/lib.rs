@@ -36,6 +36,7 @@ pub mod baseline;
 pub mod diagnosis;
 pub mod engine;
 pub mod pipeline;
+pub mod planner;
 pub mod runs;
 pub mod screens;
 pub mod session;
@@ -50,6 +51,9 @@ pub use diagnosis::{
 };
 pub use engine::{DiagnosisEngine, EngineStats};
 pub use pipeline::{DiagnosisPipeline, DiagnosisStage, DiagnosisState, Stage, StageCtx};
+pub use planner::{
+    Planner, PlannerConfig, PlannerStage, RankedRemediation, RemediationCandidate, RemediationPlan,
+};
 pub use runs::{LabeledRun, RunHistory};
 pub use session::WorkflowSession;
 pub use symptoms::{Condition, RootCauseEntry, ScoredCause, Symptom, SymptomKind, SymptomsDatabase};

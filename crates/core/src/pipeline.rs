@@ -125,6 +125,11 @@ pub struct DiagnosisState {
     pub sd: Option<SymptomsResult>,
     /// Module IA's result, once executed.
     pub ia: Option<ImpactResult>,
+    /// The remediation planner's result, once a [`crate::planner::PlannerStage`]
+    /// has run. A custom-stage slot: it is not part of any standard stage's
+    /// completion tracking, and [`DiagnosisState::clear_after`] always clears it
+    /// (the plan is derived from SD's causes, so any upstream edit stales it).
+    pub remediation: Option<crate::planner::RemediationPlan>,
 }
 
 impl DiagnosisState {
@@ -174,6 +179,9 @@ impl DiagnosisState {
         for s in Stage::ALL.iter().skip(stage.index() + 1) {
             self.clear_slot(*s);
         }
+        // The remediation plan is downstream of everything it reads (SD): any
+        // standard-slot invalidation stales it.
+        self.remediation = None;
     }
 }
 

@@ -1,0 +1,464 @@
+//! The remediation planner — what-if analysis driven by a diagnosis.
+//!
+//! Section 7 proposes what-if analysis as the natural extension of integrated
+//! DB+SAN diagnosis; [`crate::whatif`] implements the evaluation primitive. This
+//! module closes the loop: a [`Planner`] takes the *output* of a diagnosis (the
+//! ranked causes of a [`DiagnosisReport`]), derives the candidate
+//! [`ProposedChange`]s that would address each sufficiently-confident cause,
+//! evaluates every candidate against a [`Testbed::fork`] of the deployment, and
+//! ranks them by predicted improvement — turning "here is what is wrong" into
+//! "here is what to do about it, cheapest-to-verify first".
+//!
+//! The planner is exposed two ways:
+//!
+//! * as a **library API** — [`Planner::plan`] over a report, or
+//!   [`Planner::plan_outcome`] straight off a [`ScenarioOutcome`];
+//! * as a **custom pipeline stage** — [`PlannerStage`] implements
+//!   [`crate::pipeline::DiagnosisStage`] and is appended after the standard
+//!   sequence (e.g. `DiagnosisPipeline::standard().insert_after(Stage::ImpactAnalysis, ..)`),
+//!   writing its [`RemediationPlan`] into the evidence ledger's
+//!   [`crate::pipeline::DiagnosisState::remediation`] slot, where observers and
+//!   interactive sessions can read it.
+//!
+//! Candidate derivation is deliberately conservative: only causes the what-if
+//! vocabulary can actually address produce candidates (contention → remove the
+//! workload / move the tablespace, pool degradation → move the tablespace,
+//! configuration regression → revert the configuration). Causes with no reversible
+//! counterpart — lock contention (the blocking transaction is not a deployment
+//! knob), a bulk data load, an already-dropped index — derive nothing rather than
+//! something misleading.
+
+use diads_inject::scenarios::cause_ids;
+use diads_monitor::{ComponentId, ComponentKind, Timestamp};
+
+use crate::diagnosis::{ConfidenceLevel, DiagnosisReport};
+use crate::pipeline::{DiagnosisStage, Stage, StageCtx};
+use crate::testbed::{ScenarioOutcome, Testbed, DB_SERVER};
+use crate::whatif::{self, ProposedChange, WhatIfOutcome};
+
+/// Tunables of the remediation planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// The instant the report query is (hypothetically) executed at. Pick a time
+    /// inside the unsatisfactory period when every injected/observed problem is
+    /// active — e.g. the start of the last report run.
+    pub evaluate_at: Timestamp,
+    /// Minimum confidence a ranked cause needs before candidates are derived from
+    /// it (default: [`ConfidenceLevel::Medium`] — low-confidence causes are noise).
+    pub min_confidence: ConfidenceLevel,
+}
+
+/// A candidate change derived from one ranked cause, before evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemediationCandidate {
+    /// The cause the candidate addresses.
+    pub cause_id: String,
+    /// The change to evaluate.
+    pub change: ProposedChange,
+    /// Why this change addresses the cause.
+    pub rationale: String,
+}
+
+/// One evaluated candidate: the change plus its what-if outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedRemediation {
+    /// The candidate that was evaluated.
+    pub candidate: RemediationCandidate,
+    /// The what-if evaluation of the candidate's change.
+    pub outcome: WhatIfOutcome,
+}
+
+impl RankedRemediation {
+    /// Predicted relative improvement of the change (positive = faster).
+    pub fn improvement(&self) -> f64 {
+        self.outcome.improvement()
+    }
+}
+
+/// The planner's output: evaluated candidates ranked by predicted improvement,
+/// plus the candidates whose evaluation failed (with the error).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemediationPlan {
+    /// Successfully evaluated candidates, best predicted improvement first (ties
+    /// keep cause-rank order).
+    pub ranked: Vec<RankedRemediation>,
+    /// Candidates whose what-if evaluation returned an error.
+    pub failed: Vec<(RemediationCandidate, String)>,
+}
+
+impl RemediationPlan {
+    /// The recommended change: the top-ranked remediation, if any was evaluated.
+    pub fn best(&self) -> Option<&RankedRemediation> {
+        self.ranked.first()
+    }
+
+    /// Whether the planner produced no candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty() && self.failed.is_empty()
+    }
+
+    /// Renders the plan as a text panel (the what-if counterpart of
+    /// [`DiagnosisReport::render`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== Remediation plan (what-if evaluated) ===\n");
+        if self.ranked.is_empty() {
+            out.push_str("No evaluable remediation candidates.\n");
+        }
+        for (i, r) in self.ranked.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}. [{:+6.1}%] {} — addresses {} ({:.0}s -> {:.0}s)\n",
+                i + 1,
+                r.improvement() * 100.0,
+                r.outcome.change,
+                r.candidate.cause_id,
+                r.outcome.baseline_secs,
+                r.outcome.predicted_secs,
+            ));
+        }
+        for (candidate, error) in &self.failed {
+            out.push_str(&format!("  [failed] {} — {}\n", candidate.change.describe(), error));
+        }
+        out
+    }
+}
+
+/// Derives and evaluates remediation candidates for a diagnosis.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// The planner's tunables.
+    pub config: PlannerConfig,
+}
+
+/// The slice of a ranked cause the planner derives candidates from.
+struct CauseView<'a> {
+    id: &'a str,
+    confidence: ConfidenceLevel,
+    subject: Option<&'a ComponentId>,
+}
+
+impl Planner {
+    /// A planner evaluating at `evaluate_at`, deriving candidates from causes of at
+    /// least [`ConfidenceLevel::Medium`].
+    pub fn new(evaluate_at: Timestamp) -> Self {
+        Planner { config: PlannerConfig { evaluate_at, min_confidence: ConfidenceLevel::Medium } }
+    }
+
+    /// A planner for a completed scenario: evaluates at the start of the last
+    /// scheduled report run, when every (possibly staggered) fault is active.
+    pub fn for_outcome(outcome: &ScenarioOutcome) -> Self {
+        Planner::new(outcome.scenario.timeline.last_run_start())
+    }
+
+    /// Derives the candidate changes for a report's ranked causes, without
+    /// evaluating them — cause-rank order, deduplicated by change.
+    pub fn candidates(&self, report: &DiagnosisReport, testbed: &Testbed) -> Vec<RemediationCandidate> {
+        self.derive(
+            report.causes.iter().map(|c| CauseView {
+                id: &c.cause_id,
+                confidence: c.confidence,
+                subject: c.subject.as_ref(),
+            }),
+            testbed,
+        )
+    }
+
+    /// Derives candidates from a report, evaluates each against a fork of
+    /// `testbed` ([`whatif::evaluate`]) and ranks them by predicted improvement.
+    pub fn plan(&self, report: &DiagnosisReport, testbed: &Testbed) -> RemediationPlan {
+        self.evaluate_candidates(self.candidates(report, testbed), testbed)
+    }
+
+    /// Convenience: diagnoses a scenario outcome (through its testbed's engine) and
+    /// plans remediations for the resulting report.
+    pub fn plan_outcome(&self, outcome: &ScenarioOutcome) -> RemediationPlan {
+        self.plan(&outcome.diagnose(), &outcome.testbed)
+    }
+
+    /// Evaluates pre-derived candidates and ranks them. The unmodified deployment
+    /// is executed once; every candidate then only pays for its own prediction.
+    fn evaluate_candidates(
+        &self,
+        candidates: Vec<RemediationCandidate>,
+        testbed: &Testbed,
+    ) -> RemediationPlan {
+        if candidates.is_empty() {
+            return RemediationPlan::default();
+        }
+        let baseline = match testbed.execute_once(self.config.evaluate_at) {
+            Ok(record) => record.elapsed_secs,
+            Err(e) => {
+                // No baseline, no predictions: every candidate fails with the
+                // executor's error instead of a misleading partial ranking.
+                let error = e.to_string();
+                return RemediationPlan {
+                    ranked: Vec::new(),
+                    failed: candidates.into_iter().map(|c| (c, error.clone())).collect(),
+                };
+            }
+        };
+        let mut ranked = Vec::new();
+        let mut failed = Vec::new();
+        for candidate in candidates {
+            match whatif::evaluate_with_baseline(
+                testbed,
+                &candidate.change,
+                self.config.evaluate_at,
+                baseline,
+            ) {
+                Ok(outcome) => ranked.push(RankedRemediation { candidate, outcome }),
+                Err(error) => failed.push((candidate, error)),
+            }
+        }
+        // Stable sort: ties keep cause-rank (derivation) order. Improvements are
+        // ratios of finite executor times, so the comparison is total in practice;
+        // NaN (if it ever appeared) sorts last rather than panicking.
+        ranked.sort_by(|a, b| {
+            b.improvement().partial_cmp(&a.improvement()).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        RemediationPlan { ranked, failed }
+    }
+
+    /// Candidate derivation over any cause iterator (report causes or the SD
+    /// ledger slot's scored causes).
+    fn derive<'a>(
+        &self,
+        causes: impl Iterator<Item = CauseView<'a>>,
+        testbed: &Testbed,
+    ) -> Vec<RemediationCandidate> {
+        let mut out: Vec<RemediationCandidate> = Vec::new();
+        let mut push = |cause_id: &str, change: ProposedChange, rationale: String| {
+            if !out.iter().any(|c| c.change == change) {
+                out.push(RemediationCandidate { cause_id: cause_id.to_string(), change, rationale });
+            }
+        };
+        for cause in causes {
+            if cause.confidence < self.config.min_confidence {
+                continue;
+            }
+            match cause.id {
+                cause_ids::SAN_MISCONFIGURATION | cause_ids::EXTERNAL_WORKLOAD_CONTENTION => {
+                    let pool = implicated_pool(testbed, cause.subject);
+                    // Remove every external workload hitting the implicated pool
+                    // (all workloads when the subject resolves to no pool).
+                    for workload in testbed.san.workloads() {
+                        let on_pool = match &pool {
+                            Some(pool) => testbed
+                                .san
+                                .topology()
+                                .pool_of_volume(&workload.volume)
+                                .is_some_and(|p| &p.name == pool),
+                            None => true,
+                        };
+                        if on_pool {
+                            push(
+                                cause.id,
+                                ProposedChange::RemoveExternalWorkload { workload: workload.name.clone() },
+                                format!(
+                                    "external workload {} contends on {}; move it off the shared disks",
+                                    workload.name, workload.volume
+                                ),
+                            );
+                        }
+                    }
+                    for (candidate, rationale) in move_tablespace_candidates(testbed, pool.as_deref()) {
+                        push(cause.id, candidate, rationale);
+                    }
+                }
+                cause_ids::RAID_REBUILD | cause_ids::DISK_FAILURE => {
+                    let pool = implicated_pool(testbed, cause.subject);
+                    for (candidate, rationale) in move_tablespace_candidates(testbed, pool.as_deref()) {
+                        push(cause.id, candidate, rationale);
+                    }
+                }
+                cause_ids::CONFIG_PARAMETER_CHANGE => {
+                    push(
+                        cause.id,
+                        ProposedChange::ChangeConfig {
+                            new_config: diads_db::DbConfig::paper_default(),
+                            description: "revert planner configuration to the defaults".into(),
+                        },
+                        "a recent configuration-parameter change regressed the plan; revert it".into(),
+                    );
+                }
+                // No reversible counterpart in the what-if vocabulary: lock
+                // contention (the blocker is a transaction, not a knob), bulk data
+                // changes (data is not un-loadable) and dropped indexes (no
+                // create-index change) derive nothing.
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Resolves a cause's subject to the storage pool it implicates: a volume to its
+/// pool, a pool to itself, a disk to the pool containing it, an external workload
+/// to its target volume's pool.
+fn implicated_pool(testbed: &Testbed, subject: Option<&ComponentId>) -> Option<String> {
+    let topology = testbed.san.topology();
+    let subject = subject?;
+    match subject.kind {
+        ComponentKind::StoragePool => Some(subject.name.clone()),
+        ComponentKind::StorageVolume => topology.pool_of_volume(&subject.name).map(|p| p.name.clone()),
+        ComponentKind::Disk => topology
+            .pool_names()
+            .into_iter()
+            .find(|p| topology.pool(p).is_some_and(|pp| pp.disks.contains(&subject.name))),
+        ComponentKind::ExternalWorkload => testbed
+            .san
+            .workloads()
+            .iter()
+            .find(|w| w.name == subject.name)
+            .and_then(|w| topology.pool_of_volume(&w.volume).map(|p| p.name.clone())),
+        _ => None,
+    }
+}
+
+/// For every tablespace on a volume of the implicated pool, the candidate move to
+/// the first volume on a *different* pool that the database server can reach
+/// (deterministic: topology volume order). With no implicated pool, no moves are
+/// derived — moving data around without a located problem is not a remediation.
+fn move_tablespace_candidates(testbed: &Testbed, pool: Option<&str>) -> Vec<(ProposedChange, String)> {
+    let Some(pool) = pool else { return Vec::new() };
+    let topology = testbed.san.topology();
+    let mut out = Vec::new();
+    for name in testbed.catalog.tablespace_names() {
+        let Some(ts) = testbed.catalog.tablespace(&name) else { continue };
+        let on_pool = topology.pool_of_volume(&ts.volume).is_some_and(|p| p.name == pool);
+        if !on_pool {
+            continue;
+        }
+        let destination = topology.volume_names().into_iter().find(|v| {
+            let other_pool = topology.pool_of_volume(v).map(|p| p.name.clone());
+            let reachable = topology
+                .pool_of_volume(v)
+                .map(|p| topology.zoning.can_access(DB_SERVER, &p.subsystem, v))
+                .unwrap_or(false);
+            other_pool.as_deref() != Some(pool) && reachable
+        });
+        if let Some(to_volume) = destination {
+            let rationale = format!(
+                "tablespace {name} sits on {} in the degraded/contended pool {pool}; \
+                 move it to {to_volume}",
+                ts.volume
+            );
+            out.push((ProposedChange::MoveTablespace { tablespace: name, to_volume }, rationale));
+        }
+    }
+    out
+}
+
+/// The remediation planner as a composable pipeline stage (named `"PLAN"`).
+///
+/// The stage captures a [`Testbed::fork`] at construction (stages are `'static`,
+/// the live testbed is not) and, when run, derives candidates from the SD ledger
+/// slot's scored causes, evaluates them against the fork, and writes the resulting
+/// [`RemediationPlan`] into [`crate::pipeline::DiagnosisState::remediation`].
+/// Append it after the standard sequence:
+///
+/// ```no_run
+/// use diads_core::{DiagnosisPipeline, Planner, PlannerStage, Stage, Testbed};
+/// # let outcome = Testbed::run_scenario(&diads_inject::scenarios::scenario_1(
+/// #     diads_inject::scenarios::ScenarioTimeline::short()));
+/// let stage = PlannerStage::new(Planner::for_outcome(&outcome), &outcome.testbed);
+/// let pipeline = DiagnosisPipeline::standard().insert_after(Stage::ImpactAnalysis, Box::new(stage));
+/// ```
+#[derive(Debug)]
+pub struct PlannerStage {
+    planner: Planner,
+    testbed: Testbed,
+}
+
+impl PlannerStage {
+    /// Builds the stage over a fork of `testbed` (the live deployment stays
+    /// untouched; every what-if evaluation forks the fork again).
+    pub fn new(planner: Planner, testbed: &Testbed) -> Self {
+        PlannerStage { planner, testbed: testbed.fork() }
+    }
+
+    /// The stage's pipeline name.
+    pub const NAME: &'static str = "PLAN";
+}
+
+impl DiagnosisStage for PlannerStage {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn prerequisites(&self) -> &[Stage] {
+        // The plan is derived from SD's scored causes (confidence + subject);
+        // impact enters the report but not the derivation.
+        &[Stage::Symptoms]
+    }
+
+    fn run(&self, s: &mut StageCtx<'_, '_>) {
+        let plan = match &s.state.sd {
+            Some(sd) => self.planner.evaluate_candidates(
+                self.planner.derive(
+                    sd.causes.iter().map(|c| CauseView {
+                        id: &c.cause_id,
+                        confidence: c.confidence,
+                        subject: c.subject.as_ref(),
+                    }),
+                    &self.testbed,
+                ),
+                &self.testbed,
+            ),
+            // SD skipped: an empty plan keeps the ledger well-formed.
+            None => RemediationPlan::default(),
+        };
+        s.state.remediation = Some(plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_handles_empty_and_failed_plans() {
+        let empty = RemediationPlan::default();
+        assert!(empty.is_empty());
+        assert!(empty.best().is_none());
+        assert!(empty.render().contains("No evaluable"));
+
+        let candidate = RemediationCandidate {
+            cause_id: "external-workload-contention".into(),
+            change: ProposedChange::RemoveExternalWorkload { workload: "ghost".into() },
+            rationale: "test".into(),
+        };
+        let plan = RemediationPlan { ranked: vec![], failed: vec![(candidate, "unknown workload".into())] };
+        assert!(!plan.is_empty());
+        let text = plan.render();
+        assert!(text.contains("[failed]"));
+        assert!(text.contains("ghost"));
+    }
+
+    #[test]
+    fn implicated_pool_resolves_every_subject_kind() {
+        let testbed = Testbed::paper_default(1.0);
+        assert_eq!(implicated_pool(&testbed, Some(&ComponentId::volume("V1"))), Some("P1".to_string()));
+        assert_eq!(implicated_pool(&testbed, Some(&ComponentId::pool("P2"))), Some("P2".to_string()));
+        assert_eq!(implicated_pool(&testbed, Some(&ComponentId::disk("ds-06"))), Some("P2".to_string()));
+        assert_eq!(implicated_pool(&testbed, Some(&ComponentId::server("db-server"))), None);
+        assert_eq!(implicated_pool(&testbed, None), None);
+    }
+
+    #[test]
+    fn move_candidates_target_reachable_volumes_off_the_pool() {
+        let testbed = Testbed::paper_default(1.0);
+        // Only ts_partsupp sits on P1 (via V1); V2 is the first db-server-reachable
+        // volume on another pool.
+        let candidates = move_tablespace_candidates(&testbed, Some("P1"));
+        assert_eq!(candidates.len(), 1);
+        for (change, rationale) in &candidates {
+            let ProposedChange::MoveTablespace { to_volume, .. } = change else {
+                panic!("unexpected candidate {change:?}");
+            };
+            assert_eq!(to_volume, "V2", "V3/V4 are zoned to app-server only");
+            assert!(rationale.contains("P1"));
+        }
+        assert!(move_tablespace_candidates(&testbed, None).is_empty());
+    }
+}

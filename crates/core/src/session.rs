@@ -175,6 +175,9 @@ impl<'a> WorkflowSession<'a> {
                         self.state.clear_slot(standard);
                     }
                 }
+                // The remediation slot belongs to a custom stage; clear it
+                // conservatively on any invalidation (its owner re-runs anyway).
+                self.state.remediation = None;
             }
             None => {
                 self.state.clear_after(stage);

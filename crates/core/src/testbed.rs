@@ -84,6 +84,36 @@ impl Testbed {
         }
     }
 
+    /// Forks the deployment for hypothetical evaluation (what-if analysis, the
+    /// remediation planner): a deep copy of every piece of *configuration and
+    /// simulation* state — SAN, catalog, database configuration, lock windows,
+    /// database events and the report query — that a proposed change could touch.
+    ///
+    /// Two fields are deliberately **not** copied:
+    ///
+    /// * the fork starts with an **empty [`MetricStore`]** — the recorded monitoring
+    ///   history describes the *real* deployment, and carrying it into a hypothetical
+    ///   one would let later diagnoses score the hypothesis against data it never
+    ///   produced;
+    /// * the fork gets a **private [`DiagnosisEngine`]**, never the original's
+    ///   (possibly fleet-shared) one — a hypothetical deployment must not warm, nor
+    ///   read, engine slots keyed by real outcomes.
+    ///
+    /// Adding a field to [`Testbed`] forces a decision here (the struct literal is
+    /// exhaustive), so a what-if copy can never silently drop state again.
+    pub fn fork(&self) -> Testbed {
+        Testbed {
+            san: self.san.clone(),
+            catalog: self.catalog.clone(),
+            config: self.config.clone(),
+            locks: self.locks.clone(),
+            db_events: self.db_events.clone(),
+            store: MetricStore::new(),
+            query: self.query.clone(),
+            engine: DiagnosisEngine::shared(),
+        }
+    }
+
     /// The merged event timeline (SAN configuration/system events + database events).
     pub fn all_events(&self) -> EventStore {
         let mut events = self.san.topology().events().clone();

@@ -40,6 +40,23 @@ pub enum ProposedChange {
     },
 }
 
+impl ProposedChange {
+    /// Human-readable description of the change (the `change` field of a
+    /// [`WhatIfOutcome`] evaluated from it).
+    pub fn describe(&self) -> String {
+        match self {
+            ProposedChange::MoveTablespace { tablespace, to_volume } => {
+                format!("move tablespace {tablespace} to {to_volume}")
+            }
+            ProposedChange::ChangeConfig { description, .. } => description.clone(),
+            ProposedChange::DropIndex { index } => format!("drop index {index}"),
+            ProposedChange::RemoveExternalWorkload { workload } => {
+                format!("remove external workload {workload}")
+            }
+        }
+    }
+}
+
 /// The outcome of a what-if evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WhatIfOutcome {
@@ -62,30 +79,56 @@ impl WhatIfOutcome {
 }
 
 /// Evaluates a proposed change against a testbed by executing the report query once on
-/// the current deployment and once on a modified copy.
+/// the current deployment and once on a modified [`Testbed::fork`].
 ///
 /// # Errors
-/// Propagates planner/executor errors (e.g. the change makes every candidate plan
-/// infeasible) as a human-readable message.
+/// Returns `Err` when the change names an unknown component — an unknown
+/// tablespace, destination volume or external workload would otherwise rebuild an
+/// *identical* deployment and report a ~0% "improvement", silently validating a
+/// change that can never be applied. Planner/executor errors (e.g. the change makes
+/// every candidate plan infeasible) propagate as human-readable messages.
 pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Result<WhatIfOutcome, String> {
     let baseline = testbed.execute_once(at).map_err(|e| e.to_string())?;
+    evaluate_with_baseline(testbed, change, at, baseline.elapsed_secs)
+}
 
-    // Build the modified copy.
-    let mut modified = Testbed {
-        san: testbed.san.clone(),
-        catalog: testbed.catalog.clone(),
-        config: testbed.config.clone(),
-        locks: testbed.locks.clone(),
-        db_events: testbed.db_events.clone(),
-        store: diads_monitor::MetricStore::new(),
-        query: testbed.query.clone(),
-        engine: crate::engine::DiagnosisEngine::shared(),
-    };
-    let description = match change {
+/// [`evaluate`] with a precomputed baseline running time — callers evaluating many
+/// candidates at one instant (the remediation planner) execute the unmodified
+/// deployment once instead of once per candidate. `baseline_secs` must be the
+/// elapsed time of `testbed.execute_once(at)`.
+///
+/// # Errors
+/// Same contract as [`evaluate`], minus the baseline execution.
+pub fn evaluate_with_baseline(
+    testbed: &Testbed,
+    change: &ProposedChange,
+    at: Timestamp,
+    baseline_secs: f64,
+) -> Result<WhatIfOutcome, String> {
+    // Validate names against the live testbed *before* paying for the fork: a
+    // rejected candidate must not cost a throwaway deep copy of the deployment.
+    match change {
         ProposedChange::MoveTablespace { tablespace, to_volume } => {
-            if modified.san.topology().volume(to_volume).is_none() {
+            if testbed.catalog.tablespace(tablespace).is_none() {
+                return Err(format!("unknown tablespace {tablespace}"));
+            }
+            if testbed.san.topology().volume(to_volume).is_none() {
                 return Err(format!("unknown destination volume {to_volume}"));
             }
+        }
+        ProposedChange::RemoveExternalWorkload { workload } => {
+            if !testbed.san.workloads().iter().any(|w| w.name == *workload) {
+                return Err(format!("unknown external workload {workload}"));
+            }
+        }
+        ProposedChange::ChangeConfig { .. } | ProposedChange::DropIndex { .. } => {}
+    }
+
+    // Build the modified copy: an empty-store, private-engine fork (see
+    // `Testbed::fork` for why those two fields are reset).
+    let mut modified = testbed.fork();
+    match change {
+        ProposedChange::MoveTablespace { tablespace, to_volume } => {
             // Rebuild the catalog with the tablespace remapped.
             let mut catalog = diads_db::Catalog::new();
             for name in modified.catalog.tablespace_names() {
@@ -110,15 +153,12 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
                     .map_err(|e| e.to_string())?;
             }
             modified.catalog = catalog;
-            format!("move tablespace {tablespace} to {to_volume}")
         }
-        ProposedChange::ChangeConfig { new_config, description } => {
+        ProposedChange::ChangeConfig { new_config, .. } => {
             modified.config = new_config.clone();
-            description.clone()
         }
         ProposedChange::DropIndex { index } => {
             modified.catalog.drop_index(index).map_err(|e| e.to_string())?;
-            format!("drop index {index}")
         }
         ProposedChange::RemoveExternalWorkload { workload } => {
             // The SAN simulator has no workload-removal API (workloads are append-only
@@ -131,14 +171,9 @@ pub fn evaluate(testbed: &Testbed, change: &ProposedChange, at: Timestamp) -> Re
                 }
             }
             modified.san = san;
-            format!("remove external workload {workload}")
         }
     };
 
     let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
-    Ok(WhatIfOutcome {
-        change: description,
-        baseline_secs: baseline.elapsed_secs,
-        predicted_secs: predicted.elapsed_secs,
-    })
+    Ok(WhatIfOutcome { change: change.describe(), baseline_secs, predicted_secs: predicted.elapsed_secs })
 }

@@ -106,6 +106,24 @@ impl Fault {
         }
     }
 
+    /// Whether the fault injects into the **database** layer (`true`) or the
+    /// **SAN** layer (`false`). The match is deliberately exhaustive — adding a
+    /// `Fault` variant forces a classification decision here, so compound-scenario
+    /// accounting ([`crate::Scenario::is_compound_db_san`]) can never silently
+    /// misfile a new fault.
+    pub fn is_database_side(&self) -> bool {
+        match self {
+            Fault::BulkDml { .. }
+            | Fault::TableLockContention { .. }
+            | Fault::IndexDrop { .. }
+            | Fault::ConfigParameterChange { .. } => true,
+            Fault::SanMisconfiguration { .. }
+            | Fault::ExternalVolumeContention { .. }
+            | Fault::DiskFailure { .. }
+            | Fault::RaidRebuild { .. } => false,
+        }
+    }
+
     /// When the fault first takes effect.
     pub fn effective_at(&self) -> Timestamp {
         match self {

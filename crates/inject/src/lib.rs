@@ -10,8 +10,10 @@
 //!
 //! * [`fault`] — the individual fault types and the [`fault::Injector`] that applies
 //!   them to a testbed's SAN simulator, catalog, lock manager and configuration.
-//! * [`scenarios`] — the five Table-1 scenarios (plus the bursty-V2 variant of
-//!   scenario 1 used for Table 2), each as a canned timeline of faults with the
+//! * [`scenarios`] — the scenario matrix: the five Table-1 scenarios (plus the
+//!   bursty-V2 variant of scenario 1 used for Table 2), the plan-change and
+//!   SAN-degradation scenarios, and the compound DB+SAN scenarios built with
+//!   [`scenarios::ScenarioComposer`], each as a canned timeline of faults with the
 //!   expected diagnosis outcome attached for verification.
 
 #![warn(missing_docs)]
@@ -21,7 +23,7 @@ pub mod fault;
 pub mod scenarios;
 
 pub use fault::{Fault, Injector, TimedFault};
-pub use scenarios::{all_scenarios, Scenario, ScenarioTimeline};
+pub use scenarios::{all_scenarios, Scenario, ScenarioComposer, ScenarioTimeline};
 
 #[cfg(test)]
 mod tests {
@@ -30,9 +32,11 @@ mod tests {
     #[test]
     fn scenario_catalog_is_complete() {
         let scenarios = all_scenarios();
-        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios.len(), 14);
         assert!(scenarios.iter().any(|s| s.id == "scenario-1"));
         assert!(scenarios.iter().any(|s| s.id == "scenario-1b"));
         assert!(scenarios.iter().any(|s| s.id == "scenario-5"));
+        assert!(scenarios.iter().any(|s| s.id == "compound-lock-interloper"));
+        assert!(scenarios.iter().filter(|s| s.is_compound_db_san()).count() >= 3);
     }
 }

@@ -1,12 +1,18 @@
-//! Scenario 4: a data-property change inside the database *and* a SAN misconfiguration
-//! hit the same report query at the same time. DIADS identifies both problems and uses
-//! impact analysis to rank them — the capability the paper calls unique to an
-//! integrated tool.
+//! Compound faults: database and SAN problems hitting the same report query at the
+//! same time — the capability the paper calls unique to an integrated tool. DIADS
+//! identifies both problems, impact analysis ranks them, and the remediation
+//! planner (appended to the diagnosis pipeline as a custom stage) turns the report
+//! into what-if-evaluated next steps.
 //!
 //! Run with `cargo run --release --example concurrent_db_san_problems`.
 
-use diads::core::{ConfidenceLevel, Testbed};
-use diads::inject::scenarios::{scenario_4, scenario_5, ScenarioTimeline};
+use diads::core::{
+    ConfidenceLevel, DiagnosisContext, DiagnosisPipeline, Planner, PlannerStage, Stage, Testbed,
+    WorkflowSession,
+};
+use diads::inject::scenarios::{
+    compound_lock_and_interloper_scenario, scenario_4, scenario_5, ScenarioTimeline,
+};
 
 fn main() {
     let timeline = ScenarioTimeline::short();
@@ -30,5 +36,37 @@ fn main() {
     println!(
         "Primary cause: {} (volume-contention causes, if any, carry little impact — the noise is filtered out)",
         report.primary_cause().map(|c| c.cause_id.clone()).unwrap_or_default()
+    );
+
+    // --- Compound scenario with independent onsets, planned end to end. ---
+    println!("\n=== Compound: lock contention during SAN interloper load (staggered onsets) ===\n");
+    let scenario = compound_lock_and_interloper_scenario(timeline);
+    let outcome = Testbed::run_scenario(&scenario);
+    let apg = outcome.apg();
+    let events = outcome.testbed.all_events();
+    let ctx = DiagnosisContext {
+        apg: &apg,
+        history: &outcome.history,
+        store: &outcome.testbed.store,
+        events: &events,
+        catalog: &outcome.testbed.catalog,
+        config: &outcome.testbed.config,
+        topology: outcome.testbed.san.topology(),
+        workloads: outcome.testbed.san.workloads(),
+    };
+    // The planner rides the pipeline as a custom stage appended after IA; the
+    // session exposes its ledger slot.
+    let stage = PlannerStage::new(Planner::for_outcome(&outcome), &outcome.testbed);
+    let pipeline = DiagnosisPipeline::standard().insert_after(Stage::ImpactAnalysis, Box::new(stage));
+    println!("Pipeline: {}\n", pipeline.stage_names().join(" -> "));
+    let mut session = WorkflowSession::with_pipeline(pipeline, ctx);
+    let report = session.finish();
+    println!("{}", report.render());
+    let plan = session.state().remediation.clone().expect("the PLAN stage filled the ledger slot");
+    print!("{}", plan.render());
+    println!(
+        "\nBoth layers are guilty (the lock window opened two hours into the interloper load);\n\
+         the planner's ranked changes address the SAN side — the lock holder is a running\n\
+         transaction, not a deployment knob, so no what-if change claims to fix it."
     );
 }

@@ -1,18 +1,20 @@
 //! The Section-7 what-if extension: after DIADS has diagnosed scenario 1, evaluate the
 //! remediation options an administrator might consider — remove the interfering
 //! workload, migrate the hot tablespace to the other pool, or shrink `work_mem` — and
-//! predict their effect on the report query before touching the real systems.
+//! predict their effect on the report query before touching the real systems. Then let
+//! the [`Planner`] do the same end to end: derive the candidates *from the diagnosis
+//! report itself*, evaluate each against a fork of the deployment, and rank them.
 //!
 //! Run with `cargo run --release --example whatif_analysis`.
 
 use diads::core::whatif::{evaluate, ProposedChange};
-use diads::core::Testbed;
+use diads::core::{Planner, Testbed};
 use diads::db::DbConfig;
 use diads::inject::scenarios::{scenario_1, ScenarioTimeline};
-use diads::monitor::Timestamp;
 
 fn main() {
-    let scenario = scenario_1(ScenarioTimeline::short());
+    let timeline = ScenarioTimeline::short();
+    let scenario = scenario_1(timeline);
     let outcome = Testbed::run_scenario(&scenario);
     let report = diads::diagnose_scenario_outcome(&outcome);
     println!(
@@ -21,7 +23,8 @@ fn main() {
         report.primary_cause().map(|c| c.impact_pct).unwrap_or(0.0)
     );
 
-    let at = Timestamp::new(scenario.timeline.end_time().as_secs() - 3_600);
+    // --- Manual what-if: the administrator proposes, DIADS predicts. ---
+    let at = timeline.last_run_start();
     let interloper = outcome.testbed.san.workloads()[0].name.clone();
     let changes = vec![
         ProposedChange::RemoveExternalWorkload { workload: interloper },
@@ -46,7 +49,19 @@ fn main() {
             Err(e) => println!("{change:?}: evaluation failed: {e}"),
         }
     }
+
+    // A change naming an unknown component is an error, never a silent ~0% no-op.
+    let bogus = ProposedChange::RemoveExternalWorkload { workload: "not-a-workload".into() };
+    println!("\nUnknown names fail loudly: {:?}", evaluate(&outcome.testbed, &bogus, at).unwrap_err());
+
+    // --- The remediation planner: candidates derived from the report itself. ---
+    let planner = Planner::for_outcome(&outcome);
+    let plan = planner.plan(&report, &outcome.testbed);
+    println!();
+    print!("{}", plan.render());
+
     println!("\nThe impact-analysis machinery predicts that removing the interloper (or moving the");
     println!("partsupp tablespace off the contended pool) recovers the slowdown, while the");
-    println!("database-side knobs the silo tools would suggest change little.");
+    println!("database-side knobs the silo tools would suggest change little — and the planner");
+    println!("reaches the same ranking automatically from the diagnosis report.");
 }

@@ -2,11 +2,13 @@
 //!
 //! These pin the *exact* top-ranked root cause and its confidence level for every
 //! scenario constructor in `diads_inject::scenarios` — the full Table-1 matrix
-//! (scenarios 1–5), the Table-2 bursty variant (1b), and the two plan-change
-//! scenarios (index drop, configuration change). Any sharding / caching /
-//! parallelism work in the hot path has to be behavior-preserving, and this is the
-//! tripwire that proves it. The same pins run under `--features parallel`, and the
-//! concurrent scenario engine is asserted bit-identical to the sequential loop.
+//! (scenarios 1–5), the Table-2 bursty variant (1b), the two plan-change
+//! scenarios (index drop, configuration change), the two SAN-degradation
+//! scenarios (RAID rebuild, disk failure) and the four compound DB+SAN scenarios.
+//! Any sharding / caching / parallelism work in the hot path has to be
+//! behavior-preserving, and this is the tripwire that proves it. The same pins run
+//! under `--features parallel`, and the concurrent scenario engine is asserted
+//! bit-identical to the sequential loop.
 //!
 //! **Recapture note (per-series noise streams).** The goldens were originally
 //! captured with a single ordered noise generator whose draws depended on the
@@ -22,8 +24,10 @@
 
 use diads::core::{ConfidenceLevel, Testbed};
 use diads::inject::scenarios::{
-    config_change_scenario, index_drop_scenario, scenario_1, scenario_1b, scenario_2, scenario_3, scenario_4,
-    scenario_5, Scenario, ScenarioTimeline,
+    compound_config_and_contention_scenario, compound_dml_and_contention_scenario,
+    compound_index_drop_and_raid_scenario, compound_lock_and_interloper_scenario, config_change_scenario,
+    disk_failure_scenario, index_drop_scenario, raid_rebuild_scenario, scenario_1, scenario_1b, scenario_2,
+    scenario_3, scenario_4, scenario_5, Scenario, ScenarioTimeline,
 };
 
 struct Golden {
@@ -127,6 +131,60 @@ fn golden_config_change_top_cause_and_confidence() {
     check(Golden {
         scenario: config_change_scenario(ScenarioTimeline::short()),
         top_cause: "config-parameter-change",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_raid_rebuild_top_cause_and_confidence() {
+    check(Golden {
+        scenario: raid_rebuild_scenario(ScenarioTimeline::short()),
+        top_cause: "raid-rebuild",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_disk_failure_top_cause_and_confidence() {
+    check(Golden {
+        scenario: disk_failure_scenario(ScenarioTimeline::short()),
+        top_cause: "disk-failure",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_compound_lock_interloper_top_cause_and_confidence() {
+    check(Golden {
+        scenario: compound_lock_and_interloper_scenario(ScenarioTimeline::short()),
+        top_cause: "san-misconfiguration-contention",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_compound_index_raid_top_cause_and_confidence() {
+    check(Golden {
+        scenario: compound_index_drop_and_raid_scenario(ScenarioTimeline::short()),
+        top_cause: "index-dropped",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_compound_config_contention_top_cause_and_confidence() {
+    check(Golden {
+        scenario: compound_config_and_contention_scenario(ScenarioTimeline::short()),
+        top_cause: "config-parameter-change",
+        confidence: ConfidenceLevel::High,
+    });
+}
+
+#[test]
+fn golden_compound_dml_contention_top_cause_and_confidence() {
+    check(Golden {
+        scenario: compound_dml_and_contention_scenario(ScenarioTimeline::short()),
+        top_cause: "data-property-change",
         confidence: ConfidenceLevel::High,
     });
 }

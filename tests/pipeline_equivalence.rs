@@ -216,6 +216,59 @@ fn interactive_session_and_batch_diagnosis_share_engine_fits() {
     assert_eq!(batch.provenance.engine.map(|e| e.warm), Some(true));
 }
 
+/// The remediation planner as a custom stage appended after the standard
+/// sequence — the `insert_after` consumer the machinery was built for. The stage
+/// list grows by `"PLAN"`, the report's findings are bit-identical to the plain
+/// standard pipeline (the planner only *reads* the ledger), and the
+/// [`diads::core::RemediationPlan`] lands in the ledger's `remediation` slot,
+/// where both observers and interactive sessions read it.
+#[test]
+fn planner_stage_appends_to_the_standard_pipeline_and_fills_the_ledger() {
+    use diads::core::{Planner, PlannerStage, RemediationPlan};
+
+    let outcome = Testbed::run_scenario(&scenario_1(ScenarioTimeline::short()));
+    let apg = outcome.apg();
+    let events = outcome.testbed.all_events();
+    let ctx = context(&outcome, &apg, &events);
+
+    let stage = PlannerStage::new(Planner::for_outcome(&outcome), &outcome.testbed);
+    let observed: Arc<Mutex<Option<RemediationPlan>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&observed);
+    let pipeline = DiagnosisPipeline::standard()
+        .insert_after(Stage::ImpactAnalysis, Box::new(stage))
+        .on_stage_complete(move |provenance, state| {
+            if provenance.stage == PlannerStage::NAME {
+                *sink.lock().unwrap() = state.remediation.clone();
+            }
+        });
+    assert_eq!(pipeline.stage_names(), vec!["PD", "CO", "DA", "CR", "SD", "IA", "PLAN"]);
+
+    let report = pipeline.run(&ctx);
+    assert_eq!(report.provenance.stages.len(), 7, "PLAN appears in the stage trail");
+    assert_eq!(report, DiagnosisPipeline::standard().run(&ctx), "the planner must not alter findings");
+
+    let plan = observed.lock().unwrap().take().expect("the PLAN observer fired with the ledger slot set");
+    let best = plan.best().expect("scenario 1 has evaluable remediations");
+    assert!(best.improvement() > 0.1, "{}", plan.render());
+    assert_eq!(best.candidate.cause_id, "san-misconfiguration-contention");
+
+    // The interactive route reads the same slot straight off the session ledger —
+    // running PLAN pulls its SD prerequisite chain in, but not IA.
+    let stage = PlannerStage::new(Planner::for_outcome(&outcome), &outcome.testbed);
+    let session_pipeline = DiagnosisPipeline::standard().insert_after(Stage::ImpactAnalysis, Box::new(stage));
+    let mut session = WorkflowSession::with_pipeline(session_pipeline, ctx);
+    assert!(session.run_stage(PlannerStage::NAME));
+    assert_eq!(session.completed_modules(), vec!["PD", "CO", "DA", "CR", "SD", "PLAN"]);
+    let session_plan = session.state().remediation.clone().expect("ledger slot filled");
+    assert_eq!(session_plan, plan, "session and batch derive the same plan");
+    // Editing an upstream result invalidates the plan along with the standard
+    // downstream slots; finishing recomputes both.
+    session.edit_correlated_operators(vec![diads::db::OperatorId(8)]);
+    assert!(session.state().remediation.is_none(), "edits stale the remediation slot");
+    session.finish();
+    assert!(session.state().remediation.is_some(), "finish re-runs the planner stage");
+}
+
 /// The pipeline gating must reproduce the legacy plan-change behaviour even with
 /// pruning disabled: a changed plan writes empty CO/DA/CR results instead of
 /// scoring every monitored component.
