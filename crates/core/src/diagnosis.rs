@@ -96,6 +96,9 @@ pub struct StageProvenance {
     pub cache_hits: u64,
     /// KDE-fit lookups the stage had to fit fresh (or negatively cache).
     pub cache_misses: u64,
+    /// Whether an incremental re-diagnosis replayed this stage's prior evidence
+    /// instead of executing it (`false` for every freshly-executed stage).
+    pub reused: bool,
 }
 
 /// How the diagnosis interacted with the fleet-level
@@ -121,6 +124,9 @@ pub struct DiagnosisProvenance {
     /// The engine checkout backing the diagnosis, when it ran through a
     /// [`crate::engine::DiagnosisEngine`]; `None` for private-cache runs.
     pub engine: Option<EngineProvenance>,
+    /// How many metric-store epochs an incremental re-diagnosis applied on top of
+    /// its watermark (0 for batch diagnoses and for incremental runs with no delta).
+    pub epochs_applied: u64,
 }
 
 impl DiagnosisProvenance {
@@ -301,9 +307,11 @@ impl DiagnosisReport {
             w.number_field("elapsed_nanos", stage.elapsed_nanos as f64);
             w.number_field("cache_hits", stage.cache_hits as f64);
             w.number_field("cache_misses", stage.cache_misses as f64);
+            w.bool_field("reused", stage.reused);
             w.close_object();
         }
         w.close_array();
+        w.number_field("epochs_applied", self.provenance.epochs_applied as f64);
         match &self.provenance.engine {
             Some(engine) => {
                 w.key("engine");
@@ -321,8 +329,9 @@ impl DiagnosisReport {
 }
 
 /// A minimal JSON emitter: just enough structure (comma tracking, string escaping,
-/// finite-number policy) to serialize [`DiagnosisReport`] without a dependency.
-mod json {
+/// finite-number policy) to serialize [`DiagnosisReport`] (and, in
+/// [`crate::snapshot`], engine snapshots) without a dependency.
+pub(crate) mod json {
     /// Streaming writer for one JSON document.
     pub struct Writer {
         out: String,
@@ -404,6 +413,22 @@ mod json {
             self.key(key);
             self.before_value();
             self.out.push_str("null");
+        }
+
+        /// Writes an array of finite numbers (non-finite values serialize as
+        /// `null`, mirroring [`Writer::number_field`]).
+        pub fn number_array_field(&mut self, key: &str, values: impl Iterator<Item = f64>) {
+            self.key(key);
+            self.open_array();
+            for value in values {
+                self.before_value();
+                if value.is_finite() {
+                    self.out.push_str(&value.to_string());
+                } else {
+                    self.out.push_str("null");
+                }
+            }
+            self.close_array();
         }
 
         pub fn string_array_field(&mut self, key: &str, values: impl Iterator<Item = impl AsRef<str>>) {
@@ -525,7 +550,9 @@ mod tests {
             elapsed_nanos: 12345,
             cache_hits: 1,
             cache_misses: 2,
+            reused: true,
         });
+        b.provenance.epochs_applied = 3;
         b.provenance.engine = Some(EngineProvenance { fingerprint: 7, warm: true });
         assert_eq!(a, b, "provenance must not affect report equality");
         b.causes.push(cause("x", 90.0, 10.0));
@@ -553,8 +580,10 @@ mod tests {
                     elapsed_nanos: 42,
                     cache_hits: 0,
                     cache_misses: 3,
+                    reused: false,
                 }],
                 engine: Some(EngineProvenance { fingerprint: u64::MAX, warm: false }),
+                epochs_applied: 2,
             },
         };
         let json = report.to_json();
@@ -564,6 +593,8 @@ mod tests {
         assert!(json.contains("\"cause_id\":\"a\""), "{json}");
         assert!(json.contains("\"evidence\":[\"symptom supporting a\"]"), "{json}");
         assert!(json.contains("\"stages\":[{\"stage\":\"PD\",\"elapsed_nanos\":42"), "{json}");
+        assert!(json.contains("\"reused\":false"), "{json}");
+        assert!(json.contains("\"epochs_applied\":2"), "{json}");
         // u64::MAX exceeds 2^53: the fingerprint must be emitted as a string.
         assert!(json.contains(&format!("\"fingerprint\":\"{}\"", u64::MAX)), "{json}");
         assert!(json.contains("\"warm\":false"), "{json}");

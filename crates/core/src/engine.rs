@@ -36,20 +36,39 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use crate::diagnosis::DiagnosisReport;
-use crate::pipeline::DiagnosisPipeline;
+use diads_monitor::{Duration, EpochId, Interner};
+
+use crate::diagnosis::{DiagnosisProvenance, DiagnosisReport, EngineProvenance, StageProvenance};
+use crate::pipeline::{self, DiagnosisPipeline, DiagnosisState, LedgerInputs, Stage};
 use crate::testbed::ScenarioOutcome;
-use crate::workflow::{DiagnosisCache, DiagnosisContext};
+use crate::workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, ScoreKey};
 
 /// Default bound on the number of warm slots — generous (a slot per distinct
 /// labelled history; fleets rarely track this many live labellings at once), but
 /// finite, so an unbounded stream of fingerprints cannot grow the engine forever.
 pub const DEFAULT_SLOT_CAPACITY: usize = 1024;
 
-/// One warm slot: the cached fits plus the recency stamp eviction orders by.
+/// What a standard engine-routed diagnosis records into its slot: the evidence
+/// ledger (stamped with input fingerprints) and the assembled report. The ledger
+/// seeds stage-level staleness decisions; the report is what a later incremental
+/// re-diagnosis with *no* stale stage replays wholesale — without rebuilding the
+/// APG or re-assembling findings.
+#[derive(Debug, Clone)]
+struct Evidence {
+    state: DiagnosisState,
+    report: DiagnosisReport,
+}
+
+/// One warm slot: the cached fits, the evidence of the last standard diagnosis
+/// recorded into it (the seed of incremental re-diagnosis), plus the recency
+/// stamp eviction orders by.
 #[derive(Debug)]
 struct Slot {
     cache: DiagnosisCache,
+    /// The last standard-pipeline diagnosis checked into this slot — what
+    /// [`DiagnosisEngine::diagnose_incremental`] replays. `None` until a standard
+    /// engine-routed diagnosis records one.
+    evidence: Option<Evidence>,
     /// Value of the engine's monotonic check-in counter when this slot was last
     /// checked in — higher is more recent.
     last_used: u64,
@@ -69,6 +88,11 @@ struct CacheSlots {
     /// Maximum number of warm slots kept; the least-recently-used slot is recycled
     /// when a check-in exceeds it.
     capacity: usize,
+    /// Optional bound on the *total fitted-KDE count* across all warm slots
+    /// (measured with [`diads_stats::ScoringCache::len`]): when a check-in pushes
+    /// the sum over it, least-recently-used slots are recycled until the sum fits
+    /// again — a memory bound proportional to actual fits rather than slot count.
+    fit_budget: Option<usize>,
     /// Checkouts that found a warm (previously checked-in) slot.
     warm_checkouts: u64,
     /// Checkouts that created a fresh slot.
@@ -84,11 +108,76 @@ impl Default for CacheSlots {
             generation: 0,
             tick: 0,
             capacity: DEFAULT_SLOT_CAPACITY,
+            fit_budget: None,
             warm_checkouts: 0,
             cold_checkouts: 0,
             evictions: 0,
         }
     }
+}
+
+impl CacheSlots {
+    /// Total fitted KDEs held across all warm slots.
+    fn total_fits(&self) -> usize {
+        self.map.values().map(|slot| slot.cache.len()).sum()
+    }
+
+    /// Recycles the least-recently-used slot. Callers guarantee the map is
+    /// non-empty.
+    fn evict_lru(&mut self) {
+        let lru = self
+            .map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(fp, _)| *fp)
+            .expect("eviction requires a non-empty map");
+        self.map.remove(&lru);
+        self.evictions += 1;
+    }
+
+    /// Applies the slot-count bound and, if configured, the fitted-cache budget.
+    /// The just-checked-in slot carries the newest tick, so it is never the LRU
+    /// victim of the capacity bound (capacity is at least 1); the fit budget stops
+    /// at one remaining slot, so a single over-budget slot is kept rather than
+    /// looping forever.
+    fn evict_over_bounds(&mut self) {
+        while self.map.len() > self.capacity {
+            self.evict_lru();
+        }
+        if let Some(budget) = self.fit_budget {
+            while self.map.len() > 1 && self.total_fits() > budget {
+                self.evict_lru();
+            }
+        }
+    }
+}
+
+/// Everything [`DiagnosisEngine::diagnose_incremental`] needs to resume from a
+/// sealed point in time: which engine slot holds the prior evidence, which store
+/// epoch the prior diagnosis observed (with its cumulative fingerprint for
+/// validation), the run-history prefix it was computed over, and the diagnosed
+/// plan's fingerprint. Obtain one from
+/// [`crate::testbed::ScenarioOutcome::seal_watermark`].
+///
+/// A watermark is only a *claim* about the past; every incremental entry point
+/// re-validates it against the live store and history and silently falls back to a
+/// cold batch diagnosis when anything fails to line up — results are always exactly
+/// what a cold diagnosis would produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosisWatermark {
+    /// The engine-slot fingerprint at seal time
+    /// ([`crate::testbed::ScenarioOutcome::engine_fingerprint`]).
+    pub fingerprint: u64,
+    /// The store epoch sealed when the watermark was taken.
+    pub epoch: EpochId,
+    /// The store's cumulative content fingerprint at that epoch.
+    pub store_fingerprint: u64,
+    /// Fingerprint of the run-history prefix the prior diagnosis was computed over.
+    pub history_fingerprint: u64,
+    /// Number of runs in that prefix.
+    pub runs: usize,
+    /// Fingerprint of the plan under diagnosis (plan drift forces a cold run).
+    pub plan_fingerprint: String,
 }
 
 /// Checkout statistics of a [`DiagnosisEngine`] — the observable that pins the
@@ -132,6 +221,19 @@ impl DiagnosisEngine {
         engine
     }
 
+    /// Creates an empty engine bounded by *fitted-cache size* rather than slot
+    /// count: whenever the total number of fitted KDEs across all warm slots
+    /// (summed with [`diads_stats::ScoringCache::len`]) exceeds `budget` (at least
+    /// one), least-recently-used slots are recycled until it fits — except that the
+    /// single most-recent slot is always kept, even when it alone exceeds the
+    /// budget. The slot-count bound stays at [`DEFAULT_SLOT_CAPACITY`] as a
+    /// backstop.
+    pub fn with_fit_budget(budget: usize) -> Self {
+        let engine = Self::new();
+        engine.slots.lock().expect("cache lock poisoned").fit_budget = Some(budget.max(1));
+        engine
+    }
+
     /// Creates an empty engine behind an `Arc`, ready to share across testbeds.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
@@ -140,6 +242,29 @@ impl DiagnosisEngine {
     /// The configured slot capacity.
     pub fn capacity(&self) -> usize {
         self.slots.lock().expect("cache lock poisoned").capacity
+    }
+
+    /// The configured fitted-cache budget, when bounded by
+    /// [`DiagnosisEngine::with_fit_budget`].
+    pub fn fit_budget(&self) -> Option<usize> {
+        self.slots.lock().expect("cache lock poisoned").fit_budget
+    }
+
+    /// Total fitted KDEs currently held across all warm slots.
+    pub fn total_cached_fits(&self) -> usize {
+        self.slots.lock().expect("cache lock poisoned").total_fits()
+    }
+
+    /// Whether the slot of `fingerprint` holds a recorded evidence ledger (i.e. a
+    /// standard engine-routed diagnosis was checked into it) — the precondition
+    /// for [`DiagnosisEngine::diagnose_incremental`] taking the replay path.
+    pub fn has_evidence(&self, fingerprint: u64) -> bool {
+        self.slots
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .get(&fingerprint)
+            .is_some_and(|slot| slot.evidence.is_some())
     }
 
     /// Diagnoses a scenario outcome through this engine (rather than through the
@@ -153,6 +278,12 @@ impl DiagnosisEngine {
     /// [`DiagnosisEngine::diagnose`] with a caller-composed pipeline (skipped,
     /// inserted or custom stages); the engine slot and warm/cold provenance work the
     /// same way.
+    ///
+    /// When the pipeline is the unmodified standard sequence, the run additionally
+    /// records its evidence ledger (stamped with the input fingerprints it was
+    /// computed from) into the engine slot — the seed a later
+    /// [`DiagnosisEngine::diagnose_incremental`] replays. Recomposed pipelines skip
+    /// the recording; their reports are unchanged.
     pub fn diagnose_with(&self, pipeline: &DiagnosisPipeline, outcome: &ScenarioOutcome) -> DiagnosisReport {
         let apg = outcome.apg();
         let events = outcome.testbed.all_events();
@@ -166,7 +297,158 @@ impl DiagnosisEngine {
             topology: outcome.testbed.san.topology(),
             workloads: outcome.testbed.san.workloads(),
         };
-        pipeline.run_with_engine(&ctx, self, outcome.engine_fingerprint())
+        let fingerprint = outcome.engine_fingerprint();
+        if !pipeline.is_standard() {
+            return pipeline.run_with_engine(&ctx, self, fingerprint);
+        }
+        let inputs = LedgerInputs {
+            history: outcome.history.fingerprint(),
+            events: events.fingerprint(),
+            store: outcome.testbed.store.content_fingerprint(),
+        };
+        let (mut cache, _prior_evidence, generation, warm) = self.checkout(fingerprint);
+        let (mut report, state) =
+            pipeline::run_standard_recorded(pipeline.workflow(), &ctx, &mut cache, inputs);
+        report.provenance.engine = Some(EngineProvenance { fingerprint, warm });
+        self.checkin(fingerprint, cache, Some(Evidence { state, report: report.clone() }), generation);
+        report
+    }
+
+    /// Re-diagnoses an outcome *incrementally* against the evidence recorded at
+    /// `since` (see [`crate::testbed::ScenarioOutcome::seal_watermark`]): the engine
+    /// validates the watermark against the live store and history, brings the
+    /// slot's cached fits up to date with any appended runs, and re-executes only
+    /// the stages whose inputs actually changed — every other stage replays its
+    /// prior result, marked `reused` in the report's provenance. The refreshed
+    /// evidence is checked back in under the outcome's *current* engine
+    /// fingerprint, so chained incrementals keep working.
+    ///
+    /// Falls back to a cold [`DiagnosisEngine::diagnose`] (bit-identical by
+    /// construction) whenever the watermark cannot be validated: the store was
+    /// rebuilt or its epochs compacted away, the recorded run prefix was relabelled,
+    /// the plan drifted, appended metrics intrude into the monitored window of a
+    /// pre-watermark run, or the slot's evidence was evicted.
+    pub fn diagnose_incremental(
+        &self,
+        outcome: &ScenarioOutcome,
+        since: &DiagnosisWatermark,
+    ) -> DiagnosisReport {
+        let store = &outcome.testbed.store;
+        let history = &outcome.history;
+        let valid = store.epoch_cumulative_fingerprint(since.epoch) == Some(since.store_fingerprint)
+            && history.prefix_fingerprint(since.runs) == Some(since.history_fingerprint)
+            && outcome.diagnosed_plan().fingerprint() == since.plan_fingerprint;
+        if !valid {
+            return self.diagnose(outcome);
+        }
+        let Some(delta) = store.delta_since(since.epoch) else {
+            return self.diagnose(outcome);
+        };
+        // Runs are monitored over [start - pad, end + pad); cached per-run samples
+        // (operator stats, per-run metric means) for the pre-watermark runs stay
+        // valid only while appended points land strictly after every such window.
+        let pad = Duration::from_mins(5);
+        let prior_cutoff = history.runs[..since.runs].iter().map(|r| r.record.end.plus(pad)).max();
+        if let (Some(earliest), Some(cutoff)) = (delta.earliest_time(), prior_cutoff) {
+            if earliest < cutoff {
+                return self.diagnose(outcome);
+            }
+        }
+        let sealed_after = store.epoch_count() as u64 - (since.epoch.index() as u64 + 1);
+        let epochs_applied = sealed_after.max(u64::from(!delta.is_empty()));
+        // Whether the delta is visible to any *current* run's monitored window — if
+        // not, the store DA/SD observe is unchanged even though its content hash
+        // moved, and the prior observed-store fingerprint is carried forward.
+        let full_cutoff = history.runs.iter().map(|r| r.record.end.plus(pad)).max();
+        let delta_visible = match (delta.earliest_time(), full_cutoff) {
+            (Some(earliest), Some(cutoff)) => earliest < cutoff,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+
+        let events = outcome.testbed.all_events();
+
+        let (mut cache, evidence, generation, warm) = self.checkout(since.fingerprint);
+        let Some(prior) = evidence else {
+            // Nothing recorded (or the slot was recycled): put the fits back and
+            // run cold.
+            self.checkin(since.fingerprint, cache, None, generation);
+            return self.diagnose(outcome);
+        };
+        let Some(prior_inputs) = prior.state.inputs else {
+            self.checkin(since.fingerprint, cache, Some(prior), generation);
+            return self.diagnose(outcome);
+        };
+
+        let inputs = LedgerInputs {
+            history: history.fingerprint(),
+            events: events.fingerprint(),
+            store: if delta_visible { store.content_fingerprint() } else { prior_inputs.store },
+        };
+
+        // Fast path — the steady-state "more metrics landed, nothing else moved"
+        // append: no run joined the history and no ledger input changed, so every
+        // stage would replay its prior slot verbatim and re-assemble the identical
+        // findings. Skip the APG rebuild, the stage loop and the report assembly
+        // and hand back the recorded report with fresh provenance.
+        if since.runs == history.len() && inputs == prior_inputs {
+            let fingerprint = outcome.engine_fingerprint();
+            let mut report = prior.report.clone();
+            report.provenance = DiagnosisProvenance {
+                stages: Stage::ALL
+                    .iter()
+                    .map(|stage| StageProvenance {
+                        stage: stage.name().to_string(),
+                        elapsed_nanos: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        reused: true,
+                    })
+                    .collect(),
+                engine: Some(EngineProvenance { fingerprint, warm }),
+                epochs_applied,
+            };
+            let mut state = prior.state;
+            state.inputs = Some(inputs);
+            self.checkin(fingerprint, cache, Some(Evidence { state, report: report.clone() }), generation);
+            return report;
+        }
+
+        let apg = outcome.apg();
+        let ctx = DiagnosisContext {
+            apg: &apg,
+            history,
+            store,
+            events: &events,
+            catalog: &outcome.testbed.catalog,
+            config: &outcome.testbed.config,
+            topology: outcome.testbed.san.topology(),
+            workloads: outcome.testbed.san.workloads(),
+        };
+
+        // Fold the satisfactory samples of any appended runs into the cached fits
+        // so warm scores match what a cold fit over the full history would produce.
+        crate::workflow::extend_cache_for_new_runs(&mut cache, &ctx, since.runs);
+
+        let workflow = DiagnosisWorkflow::new();
+        match pipeline::run_incremental_standard(&workflow, &ctx, &mut cache, &prior.state, inputs) {
+            Some((mut report, state)) => {
+                let fingerprint = outcome.engine_fingerprint();
+                report.provenance.engine = Some(EngineProvenance { fingerprint, warm });
+                report.provenance.epochs_applied = epochs_applied;
+                self.checkin(
+                    fingerprint,
+                    cache,
+                    Some(Evidence { state, report: report.clone() }),
+                    generation,
+                );
+                report
+            }
+            None => {
+                self.checkin(since.fingerprint, cache, Some(prior), generation);
+                self.diagnose(outcome)
+            }
+        }
     }
 
     /// Runs `f` with the slot of `fingerprint` checked out (created empty on first
@@ -188,49 +470,60 @@ impl DiagnosisEngine {
         fingerprint: u64,
         f: impl FnOnce(&mut DiagnosisCache, bool) -> R,
     ) -> R {
-        let (mut cache, generation, warm) = {
-            let mut slots = self.slots.lock().expect("cache lock poisoned");
-            let (cache, warm) = match slots.map.remove(&fingerprint) {
-                Some(slot) => {
-                    slots.warm_checkouts += 1;
-                    (slot.cache, true)
-                }
-                None => {
-                    slots.cold_checkouts += 1;
-                    (DiagnosisCache::default(), false)
-                }
-            };
-            (cache, slots.generation, warm)
-        };
+        let (mut cache, evidence, generation, warm) = self.checkout(fingerprint);
         let out = f(&mut cache, warm);
+        // The evidence ledger rides along untouched: stage-level users (interactive
+        // sessions, custom pipelines) neither read nor invalidate it.
+        self.checkin(fingerprint, cache, evidence, generation);
+        out
+    }
+
+    /// Removes the slot of `fingerprint` from the map (creating an empty cache on a
+    /// cold checkout), returning its cache, its recorded evidence, the generation
+    /// the checkout observed, and whether it was warm.
+    fn checkout(&self, fingerprint: u64) -> (DiagnosisCache, Option<Evidence>, u64, bool) {
         let mut slots = self.slots.lock().expect("cache lock poisoned");
-        if slots.generation == generation {
-            slots.tick += 1;
-            let tick = slots.tick;
-            match slots.map.entry(fingerprint) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let slot = e.get_mut();
-                    slot.cache.absorb(cache);
-                    slot.last_used = tick;
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(Slot { cache, last_used: tick });
-                }
+        let (cache, evidence, warm) = match slots.map.remove(&fingerprint) {
+            Some(slot) => {
+                slots.warm_checkouts += 1;
+                (slot.cache, slot.evidence, true)
             }
-            // The just-checked-in slot carries the newest tick, so it can never be
-            // the LRU victim (capacity is at least 1).
-            while slots.map.len() > slots.capacity {
-                let lru = slots
-                    .map
-                    .iter()
-                    .min_by_key(|(_, slot)| slot.last_used)
-                    .map(|(fp, _)| *fp)
-                    .expect("over-capacity map is non-empty");
-                slots.map.remove(&lru);
-                slots.evictions += 1;
+            None => {
+                slots.cold_checkouts += 1;
+                (DiagnosisCache::default(), None, false)
+            }
+        };
+        (cache, evidence, slots.generation, warm)
+    }
+
+    /// Re-inserts a checked-out slot (possibly under a *different* fingerprint than
+    /// it was checked out with — that is how an incremental re-diagnosis moves a
+    /// slot forward to the new engine fingerprint). Dropped entirely when an
+    /// invalidation bumped the generation meanwhile. On a concurrent check-in to the
+    /// same fingerprint the caches are merged and a `Some` incoming evidence ledger
+    /// replaces the resident one (latest recording wins). Applies the LRU bounds
+    /// afterwards.
+    fn checkin(&self, fingerprint: u64, cache: DiagnosisCache, evidence: Option<Evidence>, generation: u64) {
+        let mut slots = self.slots.lock().expect("cache lock poisoned");
+        if slots.generation != generation {
+            return;
+        }
+        slots.tick += 1;
+        let tick = slots.tick;
+        match slots.map.entry(fingerprint) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                slot.cache.absorb(cache);
+                if evidence.is_some() {
+                    slot.evidence = evidence;
+                }
+                slot.last_used = tick;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Slot { cache, evidence, last_used: tick });
             }
         }
-        out
+        slots.evict_over_bounds();
     }
 
     /// Drops the slot of one fingerprint (call when the labelling it was fitted for
@@ -259,6 +552,76 @@ impl DiagnosisEngine {
     /// Number of distinct history fingerprints with a warm slot.
     pub fn slot_count(&self) -> usize {
         self.slots.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Serializes every warm slot — fingerprint plus all cache entries, fitted
+    /// and negative — to dependency-free JSON (see [`crate::snapshot`]), in least-
+    /// to most-recently-used order so a restore preserves LRU eviction order.
+    /// `interner` must be the one the cached metric keys were issued by (for
+    /// testbed-built stores that is [`Interner::global`]); it resolves interned
+    /// symbols to the portable component/metric identities the snapshot stores.
+    ///
+    /// Evidence ledgers are not serialized: after a restore, plain
+    /// [`DiagnosisEngine::diagnose`] calls start warm, while the first
+    /// [`DiagnosisEngine::diagnose_incremental`] against a pre-restart watermark
+    /// falls back to a cold-path (but warm-fit) run and re-records its evidence.
+    pub fn snapshot(&self, interner: &Interner) -> String {
+        let slots = self.slots.lock().expect("cache lock poisoned");
+        let mut ordered: Vec<(&u64, &Slot)> = slots.map.iter().collect();
+        ordered.sort_by_key(|(_, slot)| slot.last_used);
+        let data: Vec<crate::snapshot::SlotData> = ordered
+            .into_iter()
+            .map(|(fp, slot)| {
+                let mut entries: Vec<crate::snapshot::FitEntry> = slot
+                    .cache
+                    .entries()
+                    .map(|(key, fit)| (*key, fit.map(|kde| (kde.samples().to_vec(), kde.bandwidth()))))
+                    .collect();
+                // The cache map iterates in hash order; sort on the resolved
+                // identity so identical engines produce identical snapshots.
+                entries.sort_by_cached_key(|(key, _)| match key {
+                    ScoreKey::OperatorElapsed(op) => (0u8, op.0, String::new(), false, String::new()),
+                    ScoreKey::OperatorRows(op) => (1, op.0, String::new(), false, String::new()),
+                    ScoreKey::Metric(mk) => {
+                        let component = interner.component(mk.component);
+                        let metric = interner.metric(mk.metric);
+                        (
+                            2,
+                            0,
+                            format!("{}/{}", component.kind.label(), component.name),
+                            // A custom metric may share a builtin's short name;
+                            // the flag breaks the tie deterministically.
+                            matches!(metric, diads_monitor::MetricName::Custom(_)),
+                            metric.short_name().to_string(),
+                        )
+                    }
+                });
+                (*fp, entries)
+            })
+            .collect();
+        drop(slots);
+        crate::snapshot::serialize_slots(&data, interner)
+    }
+
+    /// Rebuilds an engine (default capacity, no fit budget) from a
+    /// [`DiagnosisEngine::snapshot`], re-interning metric identities against
+    /// `interner`. Fitted entries rebuild bit-identically
+    /// ([`diads_stats::Kde::from_parts`] with the recorded bandwidth); negative
+    /// entries stay negative. Fails on malformed documents, unknown versions, or
+    /// identities the current build does not know.
+    pub fn restore(json: &str, interner: &Interner) -> Result<Self, String> {
+        let parsed = crate::snapshot::parse_slots(json, interner)?;
+        let engine = Self::new();
+        {
+            let mut slots = engine.slots.lock().expect("cache lock poisoned");
+            for (fingerprint, cache) in parsed {
+                slots.tick += 1;
+                let tick = slots.tick;
+                slots.map.insert(fingerprint, Slot { cache, evidence: None, last_used: tick });
+            }
+            slots.evict_over_bounds();
+        }
+        Ok(engine)
     }
 
     /// Checkout statistics since the engine was created.
@@ -363,6 +726,89 @@ mod tests {
         // A recycled fingerprint simply checks out cold again.
         let warm = engine.with_slot_tracked(1, |_, warm| warm);
         assert!(!warm);
+    }
+
+    #[test]
+    fn snapshot_round_trips_warm_slots() {
+        use diads_monitor::{ComponentId, MetricKey, MetricName};
+        let interner = Interner::global();
+        let metric_key = MetricKey {
+            component: interner.intern_component(&ComponentId::volume("snap-vol")),
+            metric: interner.intern_metric(&MetricName::WriteIo),
+        };
+        let custom_key = MetricKey {
+            component: interner.intern_component(&ComponentId::volume("snap-vol")),
+            metric: interner.intern_metric(&MetricName::Custom("writeIO".into())),
+        };
+        let engine = DiagnosisEngine::new();
+        warm_slot(&engine, 11);
+        engine.with_slot(11, |c| {
+            // A negative entry (too few samples) and two metric fits, one of them a
+            // custom metric whose spelling collides with a builtin short name.
+            c.fit_or_insert_with(ScoreKey::OperatorRows(OperatorId(2)), || None);
+            c.fit_or_insert_with(ScoreKey::Metric(metric_key), || Some(vec![4.0, 4.5, 3.5, 4.25, 3.75]));
+            c.fit_or_insert_with(ScoreKey::Metric(custom_key), || Some(vec![9.0, 9.5, 8.5, 9.25, 8.75]));
+        });
+        warm_slot(&engine, u64::MAX); // fingerprints beyond 2^53 must survive JSON
+        let json = engine.snapshot(interner);
+        let restored = DiagnosisEngine::restore(&json, interner).expect("snapshot must restore");
+        // Determinism check first: later inspections refresh slot recency, which
+        // legitimately reorders a subsequent snapshot.
+        assert_eq!(restored.snapshot(interner), json, "snapshots are deterministic");
+        assert!(restored.is_warm(11));
+        assert!(restored.is_warm(u64::MAX));
+        assert_eq!(restored.total_cached_fits(), engine.total_cached_fits());
+        restored.with_slot(11, |c| {
+            assert!(
+                matches!(c.probe(&ScoreKey::OperatorRows(OperatorId(2))), Some(None)),
+                "negative entries stay negative"
+            );
+            let original = engine.with_slot(11, |o| {
+                let kde = o.get(&ScoreKey::Metric(metric_key)).unwrap();
+                (kde.samples().to_vec(), kde.bandwidth())
+            });
+            let kde = c.get(&ScoreKey::Metric(metric_key)).expect("builtin metric fit restored");
+            assert_eq!((kde.samples().to_vec(), kde.bandwidth()), original, "bit-identical rebuild");
+            assert!(c.get(&ScoreKey::Metric(custom_key)).is_some(), "custom metric fit restored");
+            assert!(c.get(&ScoreKey::OperatorElapsed(OperatorId(1))).is_some());
+        });
+        // Restored evidence is absent by design; plain diagnoses still start warm.
+        assert!(!restored.has_evidence(11));
+        assert!(DiagnosisEngine::restore("{\"version\":9,\"slots\":[]}", interner).is_err());
+        assert!(DiagnosisEngine::restore("not json", interner).is_err());
+    }
+
+    #[test]
+    fn fit_budget_recycles_by_total_fits() {
+        let engine = DiagnosisEngine::with_fit_budget(1);
+        assert_eq!(engine.fit_budget(), Some(1));
+        assert_eq!(DiagnosisEngine::new().fit_budget(), None);
+        warm_slot(&engine, 1);
+        assert_eq!(engine.total_cached_fits(), 1);
+        // A second one-fit slot pushes the total to 2 > 1: the older slot is
+        // recycled, the just-checked-in one survives.
+        warm_slot(&engine, 2);
+        assert!(!engine.is_warm(1), "over-budget fits recycle the LRU slot");
+        assert!(engine.is_warm(2), "the most recent slot is always kept");
+        assert_eq!(engine.total_cached_fits(), 1);
+        assert_eq!(engine.stats().evictions, 1);
+    }
+
+    #[test]
+    fn single_over_budget_slot_is_kept() {
+        let engine = DiagnosisEngine::with_fit_budget(1);
+        engine.with_slot(9, |c| {
+            for op in 1..=3 {
+                c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(op)), || {
+                    Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+                });
+            }
+        });
+        // One slot holding three fits exceeds the budget, but evicting it would
+        // leave the engine permanently cold — the last slot is exempt.
+        assert!(engine.is_warm(9));
+        assert_eq!(engine.total_cached_fits(), 3);
+        assert_eq!(engine.stats().evictions, 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod planner;
 pub mod runs;
 pub mod screens;
 pub mod session;
+pub(crate) mod snapshot;
 pub mod symptoms;
 pub mod testbed;
 pub mod whatif;
@@ -49,8 +50,8 @@ pub use apg::Apg;
 pub use diagnosis::{
     ConfidenceLevel, DiagnosisProvenance, DiagnosisReport, EngineProvenance, RankedCause, StageProvenance,
 };
-pub use engine::{DiagnosisEngine, EngineStats};
-pub use pipeline::{DiagnosisPipeline, DiagnosisStage, DiagnosisState, Stage, StageCtx};
+pub use engine::{DiagnosisEngine, DiagnosisWatermark, EngineStats};
+pub use pipeline::{DiagnosisPipeline, DiagnosisStage, DiagnosisState, LedgerInputs, Stage, StageCtx};
 pub use planner::{
     Planner, PlannerConfig, PlannerStage, RankedRemediation, RemediationCandidate, RemediationPlan,
 };

@@ -105,6 +105,81 @@ impl Stage {
     fn index(self) -> usize {
         Stage::ALL.iter().position(|s| *s == self).expect("every stage is in ALL")
     }
+
+    /// The stages whose *results* feed this stage during incremental re-diagnosis.
+    ///
+    /// Broader than [`Stage::prerequisites`]: CO, DA and CR additionally consult
+    /// PD's verdict through [`DiagnosisState::plan_changed`] (a changed plan empties
+    /// their results), so a changed PD result must re-run them even though their
+    /// declared prerequisites omit PD.
+    fn staleness_deps(self) -> &'static [Stage] {
+        match self {
+            Stage::PlanDiffing => &[],
+            Stage::CorrelatedOperators => &[Stage::PlanDiffing],
+            Stage::DependencyAnalysis => &[Stage::PlanDiffing, Stage::CorrelatedOperators],
+            Stage::RecordCounts => &[Stage::PlanDiffing, Stage::CorrelatedOperators],
+            Stage::Symptoms => &[
+                Stage::PlanDiffing,
+                Stage::CorrelatedOperators,
+                Stage::DependencyAnalysis,
+                Stage::RecordCounts,
+            ],
+            Stage::ImpactAnalysis => {
+                &[Stage::CorrelatedOperators, Stage::DependencyAnalysis, Stage::RecordCounts, Stage::Symptoms]
+            }
+        }
+    }
+
+    /// Whether this stage's execution reads the given input component at all.
+    ///
+    /// The sensitivity map behind incremental re-diagnosis: a stage only goes stale
+    /// when a component it actually reads changed (or a dependency's result did).
+    /// PD reads the run history and the event timeline; CO/CR/IA score run records
+    /// only; DA additionally scores per-run metric-store means; SD reads all three.
+    fn reads(self, component: InputComponent) -> bool {
+        use InputComponent::*;
+        match self {
+            Stage::PlanDiffing => matches!(component, History | Events),
+            Stage::CorrelatedOperators => matches!(component, History),
+            Stage::DependencyAnalysis => matches!(component, History | Store),
+            Stage::RecordCounts => matches!(component, History),
+            Stage::Symptoms => true,
+            Stage::ImpactAnalysis => matches!(component, History),
+        }
+    }
+}
+
+/// One of the three inputs a standard stage may read (see [`Stage::reads`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputComponent {
+    /// The labelled run history.
+    History,
+    /// The event timeline.
+    Events,
+    /// The metric store.
+    Store,
+}
+
+/// Content fingerprints of the three diagnosis inputs a ledger's results were
+/// computed from. Recorded into [`DiagnosisState::inputs`] by evidence-recording
+/// runs; incremental re-diagnosis diffs them component-by-component to decide which
+/// stages went stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerInputs {
+    /// [`crate::runs::RunHistory::fingerprint`] of the diagnosed history.
+    pub history: u64,
+    /// [`diads_monitor::EventStore::fingerprint`] of the merged event timeline.
+    pub events: u64,
+    /// `MetricStore::content_fingerprint` of the metric store.
+    pub store: u64,
+}
+
+impl LedgerInputs {
+    fn stage_stale(&self, prior: &LedgerInputs, stage: Stage) -> bool {
+        (self.history != prior.history && stage.reads(InputComponent::History))
+            || (self.events != prior.events && stage.reads(InputComponent::Events))
+            || (self.store != prior.store && stage.reads(InputComponent::Store))
+    }
 }
 
 /// The typed evidence ledger of one diagnosis: every standard module result that the
@@ -130,6 +205,10 @@ pub struct DiagnosisState {
     /// completion tracking, and [`DiagnosisState::clear_after`] always clears it
     /// (the plan is derived from SD's causes, so any upstream edit stales it).
     pub remediation: Option<crate::planner::RemediationPlan>,
+    /// Fingerprints of the inputs the standard results were computed from, when the
+    /// ledger was produced by an evidence-recording run (engine-backed diagnoses).
+    /// `None` for plain pipeline runs; incremental re-diagnosis requires it.
+    pub inputs: Option<LedgerInputs>,
 }
 
 impl DiagnosisState {
@@ -158,8 +237,11 @@ impl DiagnosisState {
         Stage::ALL.iter().filter(|s| self.is_complete(**s)).map(|s| s.name()).collect()
     }
 
-    /// Empties one standard stage's ledger slot.
+    /// Empties one standard stage's ledger slot. Also drops the recorded input
+    /// fingerprints: an edited ledger no longer describes one consistent run, so it
+    /// must not seed incremental replay.
     pub fn clear_slot(&mut self, stage: Stage) {
+        self.inputs = None;
         match stage {
             Stage::PlanDiffing => self.pd = None,
             Stage::CorrelatedOperators => self.cos = None,
@@ -320,6 +402,11 @@ pub struct DiagnosisPipeline {
     workflow: DiagnosisWorkflow,
     stages: Vec<Box<dyn DiagnosisStage>>,
     observers: Vec<StageObserver>,
+    /// Whether this is still the unmodified standard Figure-2 sequence with no
+    /// observers. Any recomposition (skip/insert/push/observe) clears it; the
+    /// engine's evidence-recording fast path requires it, because that path runs
+    /// [`Stage::ALL`] directly and would bypass custom stages and observers.
+    standard: bool,
 }
 
 impl Default for DiagnosisPipeline {
@@ -340,13 +427,20 @@ impl DiagnosisPipeline {
     pub fn with_workflow(workflow: DiagnosisWorkflow) -> Self {
         let stages: Vec<Box<dyn DiagnosisStage>> =
             Stage::ALL.iter().map(|s| Box::new(*s) as Box<dyn DiagnosisStage>).collect();
-        DiagnosisPipeline { workflow, stages, observers: Vec::new() }
+        DiagnosisPipeline { workflow, stages, observers: Vec::new(), standard: true }
     }
 
     /// An empty pipeline over a workflow — the starting point for fully custom
     /// stage lists (`empty().push(..)`).
     pub fn empty(workflow: DiagnosisWorkflow) -> Self {
-        DiagnosisPipeline { workflow, stages: Vec::new(), observers: Vec::new() }
+        DiagnosisPipeline { workflow, stages: Vec::new(), observers: Vec::new(), standard: false }
+    }
+
+    /// Whether this pipeline is the unmodified standard sequence with no
+    /// observers — the precondition for the engine's evidence-recording and
+    /// incremental-replay paths.
+    pub(crate) fn is_standard(&self) -> bool {
+        self.standard
     }
 
     /// The workflow the stages consult.
@@ -393,6 +487,7 @@ impl DiagnosisPipeline {
     /// Removes the stage named `name` (standard or custom); a no-op when absent.
     pub fn skip_named(mut self, name: &str) -> Self {
         self.stages.retain(|s| s.name() != name);
+        self.standard = false;
         self
     }
 
@@ -409,12 +504,14 @@ impl DiagnosisPipeline {
             Some(i) => self.stages.insert(i + 1, stage),
             None => self.stages.push(stage),
         }
+        self.standard = false;
         self
     }
 
     /// Appends a stage at the end of the pipeline.
     pub fn push(mut self, stage: Box<dyn DiagnosisStage>) -> Self {
         self.stages.push(stage);
+        self.standard = false;
         self
     }
 
@@ -426,6 +523,7 @@ impl DiagnosisPipeline {
         observer: impl Fn(&StageProvenance, &DiagnosisState) + 'static,
     ) -> Self {
         self.observers.push(Box::new(observer));
+        self.standard = false;
         self
     }
 
@@ -444,7 +542,7 @@ impl DiagnosisPipeline {
         for index in 0..self.stages.len() {
             stages.push(self.run_stage_at(index, ctx, cache, &mut state));
         }
-        self.assemble(ctx, &state, DiagnosisProvenance { stages, engine: None })
+        self.assemble(ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 })
     }
 
     /// Runs the pipeline through a fleet-level [`DiagnosisEngine`]: the KDE-fit slot
@@ -511,6 +609,7 @@ fn execute_stage(
         elapsed_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
+        reused: false,
     }
 }
 
@@ -556,7 +655,101 @@ pub(crate) fn run_standard_with(
     for stage in &Stage::ALL {
         stages.push(execute_stage(workflow, stage, ctx, cache, &mut state));
     }
-    assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None })
+    assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 })
+}
+
+/// Like [`run_standard_with`], but stamps the ledger with the given input
+/// fingerprints and hands it back next to the report — the evidence-recording path
+/// engine-backed diagnoses use so a later `diagnose_incremental` can replay it.
+pub(crate) fn run_standard_recorded(
+    workflow: &DiagnosisWorkflow,
+    ctx: &DiagnosisContext<'_>,
+    cache: &mut DiagnosisCache,
+    inputs: LedgerInputs,
+) -> (DiagnosisReport, DiagnosisState) {
+    let mut state = DiagnosisState::default();
+    let mut stages = Vec::with_capacity(Stage::ALL.len());
+    for stage in &Stage::ALL {
+        stages.push(execute_stage(workflow, stage, ctx, cache, &mut state));
+    }
+    state.inputs = Some(inputs);
+    let report =
+        assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 });
+    (report, state)
+}
+
+/// Whether `stage`'s result in `state` differs from the prior ledger's — the
+/// result-equality edge of staleness propagation.
+fn result_changed(stage: Stage, state: &DiagnosisState, prior: &DiagnosisState) -> bool {
+    match stage {
+        Stage::PlanDiffing => state.pd != prior.pd,
+        Stage::CorrelatedOperators => state.cos != prior.cos,
+        Stage::DependencyAnalysis => state.da != prior.da,
+        Stage::RecordCounts => state.cr != prior.cr,
+        Stage::Symptoms => state.sd != prior.sd,
+        Stage::ImpactAnalysis => state.ia != prior.ia,
+    }
+}
+
+/// Copies `stage`'s prior result into `state` — the replay edge of incremental
+/// re-diagnosis. Callers have already verified the slot is filled.
+fn replay_slot(stage: Stage, state: &mut DiagnosisState, prior: &DiagnosisState) {
+    match stage {
+        Stage::PlanDiffing => state.pd = prior.pd.clone(),
+        Stage::CorrelatedOperators => state.cos = prior.cos.clone(),
+        Stage::DependencyAnalysis => state.da = prior.da.clone(),
+        Stage::RecordCounts => state.cr = prior.cr.clone(),
+        Stage::Symptoms => state.sd = prior.sd.clone(),
+        Stage::ImpactAnalysis => state.ia = prior.ia.clone(),
+    }
+}
+
+/// Runs the standard sequence *incrementally* against a prior evidence ledger: a
+/// stage re-executes only when an input component it reads changed (per
+/// [`LedgerInputs`]) or a dependency's result actually changed; otherwise its prior
+/// result is replayed and its provenance marked `reused`.
+///
+/// Returns `None` when the prior ledger cannot seed a replay (a standard slot or
+/// the input fingerprints are missing) — the caller falls back to a cold batch run.
+/// The caches handed in must already reflect `inputs` (the engine's extension
+/// pre-pass guarantees this), which is what makes replayed-or-not results
+/// bit-identical to a cold batch diagnosis.
+pub(crate) fn run_incremental_standard(
+    workflow: &DiagnosisWorkflow,
+    ctx: &DiagnosisContext<'_>,
+    cache: &mut DiagnosisCache,
+    prior: &DiagnosisState,
+    inputs: LedgerInputs,
+) -> Option<(DiagnosisReport, DiagnosisState)> {
+    let prior_inputs = prior.inputs?;
+    if !Stage::ALL.iter().all(|s| prior.is_complete(*s)) {
+        return None;
+    }
+    let mut state = DiagnosisState::default();
+    let mut changed = [false; Stage::ALL.len()];
+    let mut stages = Vec::with_capacity(Stage::ALL.len());
+    for stage in Stage::ALL {
+        let stale = inputs.stage_stale(&prior_inputs, stage)
+            || stage.staleness_deps().iter().any(|d| changed[d.index()]);
+        if stale {
+            stages.push(execute_stage(workflow, &stage, ctx, cache, &mut state));
+            changed[stage.index()] = result_changed(stage, &state, prior);
+        } else {
+            let started = Instant::now();
+            replay_slot(stage, &mut state, prior);
+            stages.push(StageProvenance {
+                stage: stage.name().to_string(),
+                elapsed_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                cache_hits: 0,
+                cache_misses: 0,
+                reused: true,
+            });
+        }
+    }
+    state.inputs = Some(inputs);
+    let report =
+        assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 });
+    Some((report, state))
 }
 
 #[cfg(test)]

@@ -23,10 +23,9 @@
 //! Candidate derivation is deliberately conservative: only causes the what-if
 //! vocabulary can actually address produce candidates (contention → remove the
 //! workload / move the tablespace, pool degradation → move the tablespace,
-//! configuration regression → revert the configuration). Causes with no reversible
-//! counterpart — lock contention (the blocking transaction is not a deployment
-//! knob), a bulk data load, an already-dropped index — derive nothing rather than
-//! something misleading.
+//! configuration regression → revert the configuration, lock contention → clear
+//! the lock windows). Causes with no reversible counterpart — a bulk data load,
+//! an already-dropped index — derive nothing rather than something misleading.
 
 use diads_inject::scenarios::cause_ids;
 use diads_monitor::{ComponentId, ComponentKind, Timestamp};
@@ -281,8 +280,16 @@ impl Planner {
                         "a recent configuration-parameter change regressed the plan; revert it".into(),
                     );
                 }
-                // No reversible counterpart in the what-if vocabulary: lock
-                // contention (the blocker is a transaction, not a knob), bulk data
+                cause_ids::TABLE_LOCK_CONTENTION => {
+                    push(
+                        cause.id,
+                        ProposedChange::ClearLockWindows,
+                        "a blocking transaction holds table locks on the query's tables; \
+                         kill or commit it to clear the contention windows"
+                            .into(),
+                    );
+                }
+                // No reversible counterpart in the what-if vocabulary: bulk data
                 // changes (data is not un-loadable) and dropped indexes (no
                 // create-index change) derive nothing.
                 _ => {}

@@ -140,6 +140,17 @@ impl RunHistory {
     /// [`crate::engine::DiagnosisEngine`]. Relabelling any run changes the
     /// fingerprint.
     pub fn fingerprint(&self) -> u64 {
+        Self::fingerprint_runs(&self.runs)
+    }
+
+    /// The fingerprint the history *would* have with only its first `len` runs —
+    /// what an incremental re-diagnosis validates a watermark's recorded history
+    /// prefix against. `None` when the history has fewer than `len` runs.
+    pub fn prefix_fingerprint(&self, len: usize) -> Option<u64> {
+        self.runs.get(..len).map(Self::fingerprint_runs)
+    }
+
+    fn fingerprint_runs(runs: &[LabeledRun]) -> u64 {
         // FNV-1a over the label-relevant fields; dependency-free and deterministic
         // across runs and platforms.
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -151,8 +162,8 @@ impl RunHistory {
             }
         }
         let mut hash = OFFSET;
-        mix(&mut hash, &self.runs.len().to_le_bytes());
-        for run in &self.runs {
+        mix(&mut hash, &runs.len().to_le_bytes());
+        for run in runs {
             mix(&mut hash, &run.index.to_le_bytes());
             mix(&mut hash, &[u8::from(run.satisfactory)]);
             mix(&mut hash, &run.record.start.as_secs().to_le_bytes());
@@ -237,6 +248,17 @@ mod tests {
         let mut shorter = history();
         shorter.runs.pop();
         assert_ne!(shorter.fingerprint(), a, "run set is part of the fingerprint");
+    }
+
+    #[test]
+    fn prefix_fingerprint_matches_a_truncated_history() {
+        let h = history();
+        assert_eq!(h.prefix_fingerprint(h.len()), Some(h.fingerprint()));
+        let mut shorter = history();
+        shorter.runs.truncate(3);
+        assert_eq!(h.prefix_fingerprint(3), Some(shorter.fingerprint()));
+        assert_eq!(h.prefix_fingerprint(0), Some(RunHistory::default().fingerprint()));
+        assert_eq!(h.prefix_fingerprint(h.len() + 1), None, "prefix longer than the history");
     }
 
     #[test]

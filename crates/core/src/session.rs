@@ -263,7 +263,7 @@ impl<'a> WorkflowSession<'a> {
         self.pipeline.assemble(
             &self.ctx,
             &self.state,
-            DiagnosisProvenance { stages: self.trail.clone(), engine },
+            DiagnosisProvenance { stages: self.trail.clone(), engine, epochs_applied: 0 },
         )
     }
 }

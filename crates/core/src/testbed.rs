@@ -29,7 +29,7 @@ use diads_workload::{q2_plan_candidates, tpch_catalog, ReportQuery, TpchLayout};
 
 use crate::apg::Apg;
 use crate::diagnosis::DiagnosisReport;
-use crate::engine::DiagnosisEngine;
+use crate::engine::{DiagnosisEngine, DiagnosisWatermark};
 use crate::runs::RunHistory;
 
 /// Name of the simulated database instance.
@@ -492,6 +492,39 @@ impl ScenarioOutcome {
     /// identical either way: the engine is purely a latency optimisation.
     pub fn diagnose(&self) -> DiagnosisReport {
         self.testbed.engine.diagnose(self)
+    }
+
+    /// Seals the store's open append window and captures a [`DiagnosisWatermark`]
+    /// describing the outcome as it stands: the engine slot key, the sealed epoch
+    /// with its cumulative fingerprint, the run-history prefix, and the diagnosed
+    /// plan's fingerprint. Diagnose first (warming the slot and recording its
+    /// evidence), seal the watermark, append new metrics — then
+    /// [`ScenarioOutcome::diagnose_incremental`] re-scores only what changed.
+    pub fn seal_watermark(&mut self) -> DiagnosisWatermark {
+        let fingerprint = self.engine_fingerprint();
+        let epoch = self.testbed.store.seal_epoch();
+        let store_fingerprint = self
+            .testbed
+            .store
+            .epoch_cumulative_fingerprint(epoch)
+            .expect("just-sealed epoch has a cumulative fingerprint");
+        DiagnosisWatermark {
+            fingerprint,
+            epoch,
+            store_fingerprint,
+            history_fingerprint: self.history.fingerprint(),
+            runs: self.history.len(),
+            plan_fingerprint: self.diagnosed_plan().fingerprint(),
+        }
+    }
+
+    /// Incrementally re-diagnoses the outcome against the evidence recorded at
+    /// `since`, through the testbed's [`DiagnosisEngine`] — see
+    /// [`DiagnosisEngine::diagnose_incremental`] for the replay/fallback contract.
+    /// The report is always exactly what [`ScenarioOutcome::diagnose`] would
+    /// produce; replay is purely a latency optimisation.
+    pub fn diagnose_incremental(&self, since: &DiagnosisWatermark) -> DiagnosisReport {
+        self.testbed.engine.diagnose_incremental(self, since)
     }
 
     /// Relabels the run history and explicitly invalidates the engine slots

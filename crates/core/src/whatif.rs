@@ -38,6 +38,10 @@ pub enum ProposedChange {
         /// Name of the workload to remove.
         workload: String,
     },
+    /// Clear every table-lock contention window (the administrator kills or
+    /// commits the blocking transactions). Lock windows are testbed state, so this
+    /// is the what-if counterpart of a lock-contention diagnosis.
+    ClearLockWindows,
 }
 
 impl ProposedChange {
@@ -53,6 +57,7 @@ impl ProposedChange {
             ProposedChange::RemoveExternalWorkload { workload } => {
                 format!("remove external workload {workload}")
             }
+            ProposedChange::ClearLockWindows => "clear table-lock contention windows".into(),
         }
     }
 }
@@ -121,6 +126,11 @@ pub fn evaluate_with_baseline(
                 return Err(format!("unknown external workload {workload}"));
             }
         }
+        ProposedChange::ClearLockWindows => {
+            if testbed.locks.windows().is_empty() {
+                return Err("no lock-contention windows to clear".to_string());
+            }
+        }
         ProposedChange::ChangeConfig { .. } | ProposedChange::DropIndex { .. } => {}
     }
 
@@ -171,6 +181,9 @@ pub fn evaluate_with_baseline(
                 }
             }
             modified.san = san;
+        }
+        ProposedChange::ClearLockWindows => {
+            modified.locks = diads_db::LockManager::new();
         }
     };
 

@@ -1160,6 +1160,52 @@ impl DiagnosisWorkflow {
     }
 }
 
+/// Brings an engine slot's cached fits up to date after runs were appended to the
+/// history — the pre-pass of incremental re-diagnosis.
+///
+/// For every cached variable: a *positive* fit is grown by merge-inserting the
+/// samples the new plan-filtered satisfactory runs (`index >= prior_runs`)
+/// contribute, exactly mirroring how each module derives its satisfactory sample
+/// (CO: operator elapsed times, CR: operator record counts, DA: per-run metric
+/// means); a *negative* entry is dropped, because the new runs may have pushed the
+/// variable over [`MIN_SATISFACTORY_SAMPLES`] — the next lookup re-derives it from
+/// the full sample. [`diads_stats::Kde::extended`] is bit-identical to a cold refit
+/// of the concatenated sample, so diagnosing with the extended cache matches a cold
+/// batch diagnosis exactly.
+pub(crate) fn extend_cache_for_new_runs(
+    cache: &mut DiagnosisCache,
+    ctx: &DiagnosisContext<'_>,
+    prior_runs: usize,
+) {
+    if prior_runs >= ctx.history.len() {
+        // No runs were appended: every cached sample is already exact.
+        return;
+    }
+    let new_satisfactory: Vec<&LabeledRun> =
+        ctx.satisfactory_runs().into_iter().filter(|r| r.index >= prior_runs).collect();
+    let keys: Vec<ScoreKey> = cache.entries().map(|(k, _)| *k).collect();
+    for key in keys {
+        if cache.get(&key).is_none() {
+            cache.remove(&key);
+            continue;
+        }
+        let delta: Vec<f64> = match key {
+            ScoreKey::OperatorElapsed(op) => {
+                samples(&new_satisfactory, |r| r.operator(op).map(|o| o.elapsed_secs))
+            }
+            ScoreKey::OperatorRows(op) => {
+                samples(&new_satisfactory, |r| r.operator(op).map(|o| o.actual_rows))
+            }
+            ScoreKey::Metric(metric_key) => {
+                per_run_metric_means_by_key(ctx.store, metric_key, &new_satisfactory)
+            }
+        };
+        if !cache.extend_fit(&key, &delta) {
+            cache.remove(&key);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Small shared helpers
 // ---------------------------------------------------------------------------

@@ -186,6 +186,32 @@ impl EventStore {
             self.record(e.clone());
         }
     }
+
+    /// Order-sensitive FNV-1a fingerprint of the full event timeline.
+    ///
+    /// Incremental re-diagnosis uses this to decide whether the event-sensitive
+    /// stages (PD, SD) saw the same timeline they were last scored against; any
+    /// recorded, merged or mutated event changes the digest.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(hash: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *hash ^= u64::from(*b);
+                *hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        let mut hash = OFFSET;
+        mix(&mut hash, &self.events.len().to_le_bytes());
+        for e in &self.events {
+            mix(&mut hash, &e.time.as_secs().to_le_bytes());
+            mix(&mut hash, e.component.kind.label().as_bytes());
+            mix(&mut hash, e.component.name.as_bytes());
+            mix(&mut hash, e.kind.label().as_bytes());
+            mix(&mut hash, e.detail.as_bytes());
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +272,20 @@ mod tests {
         assert_eq!(a.all()[0].component, ComponentId::volume("V2"));
         let s = a.all()[0].to_string();
         assert!(s.contains("index-dropped") && s.contains("volume:V2"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_timeline_content() {
+        let mut a = EventStore::new();
+        a.record(ev(10, "V1", EventKind::VolumeCreated));
+        a.record(ev(20, "V2", EventKind::DiskFailure));
+        let mut b = EventStore::new();
+        b.record(ev(10, "V1", EventKind::VolumeCreated));
+        b.record(ev(20, "V2", EventKind::DiskFailure));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(EventStore::new().fingerprint(), a.fingerprint());
+        b.record(ev(30, "V2", EventKind::RaidRebuildStarted));
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -121,6 +121,12 @@ impl ComponentKind {
         }
     }
 
+    /// Resolves a kind from its [`ComponentKind::label`] spelling — the inverse used
+    /// when deserialising rendered identities (e.g. engine snapshots).
+    pub fn from_label(label: &str) -> Option<ComponentKind> {
+        Self::all().iter().copied().find(|k| k.label() == label)
+    }
+
     /// All component kinds (useful for catalog enumeration and property tests).
     pub fn all() -> &'static [ComponentKind] {
         &[
@@ -242,6 +248,14 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for k in ComponentKind::all() {
+            assert_eq!(ComponentKind::from_label(k.label()), Some(*k));
+        }
+        assert_eq!(ComponentKind::from_label("nonsense"), None);
     }
 
     #[test]

@@ -297,6 +297,43 @@ mod tests {
         assert_eq!(Interner::global().component_sym(&ComponentId::volume("global-intern-test")), Some(sym));
     }
 
+    /// Guardrail for unbounded `Custom` metric names. Interned identities are
+    /// leaked for the process lifetime, and every default store shares
+    /// [`Interner::global`] — so a workload that mints an unbounded stream of
+    /// distinct `MetricName::Custom` values (per-request names, session-tagged
+    /// counters) would grow the global symbol universe, and everything densely
+    /// indexed by it, forever. The supported pattern is a *scoped* interner via
+    /// [`crate::store::MetricStore::with_interner`]: the cardinality is absorbed
+    /// by an interner whose tables die with the workload, and the global universe
+    /// does not grow at all. This test documents the pattern and pins the
+    /// isolation.
+    #[test]
+    fn unbounded_custom_names_belong_in_a_scoped_interner() {
+        use crate::time::Timestamp;
+
+        let scoped = Arc::new(Interner::new());
+
+        // Simulated high-cardinality workload: every "request" mints a new name.
+        let mut store = crate::store::MetricStore::with_interner(Arc::clone(&scoped));
+        let host = ComponentId::server("cardinality-probe-host");
+        for request in 0..256u64 {
+            let name = MetricName::Custom(format!("reqLatency.{request}"));
+            store.record(&host, &name, Timestamp::new(request), 1.0);
+        }
+
+        // The scoped universe absorbed the cardinality (and keys still resolve)...
+        assert_eq!(scoped.metric_count(), 256);
+        assert_eq!(scoped.component_count(), 1);
+        let key = store.key_of(&host, &MetricName::Custom("reqLatency.0".into())).expect("interned");
+        assert_eq!(store.resolve(key).0, &host);
+        // ...while none of it leaked into the process-global universe: the damage
+        // is bounded by this workload's lifetime instead of poisoning every store
+        // sharing the global interner. (Membership, not counts — unrelated tests
+        // intern into the global interner concurrently.)
+        assert_eq!(Interner::global().component_sym(&host), None);
+        assert_eq!(Interner::global().metric_sym(&MetricName::Custom("reqLatency.0".into())), None);
+    }
+
     #[test]
     fn concurrent_interning_is_race_free() {
         let i = Interner::new();

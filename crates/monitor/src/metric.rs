@@ -239,6 +239,71 @@ impl MetricName {
         }
     }
 
+    /// Resolves a builtin metric from its [`MetricName::short_name`] spelling.
+    ///
+    /// Returns `None` for anything that is not a builtin short name — callers that
+    /// round-trip [`MetricName::Custom`] metrics (e.g. engine snapshots) must encode
+    /// the custom/builtin distinction out of band, since a custom metric may shadow
+    /// any spelling.
+    pub fn from_short_name(name: &str) -> Option<MetricName> {
+        use MetricName::*;
+        let m = match name {
+            "opElapsedTime" => OperatorElapsedTime,
+            "opSelfTime" => OperatorSelfTime,
+            "opRecordCount" => OperatorRecordCount,
+            "opEstimatedRecords" => OperatorEstimatedRecords,
+            "planElapsedTime" => PlanElapsedTime,
+            "locksHeld" => LocksHeld,
+            "lockWaitTime" => LockWaitTime,
+            "spaceUsage" => SpaceUsage,
+            "blocksRead" => BlocksRead,
+            "bufferHits" => BufferHits,
+            "bufferHitRatio" => BufferHitRatio,
+            "indexScans" => IndexScans,
+            "indexReads" => IndexReads,
+            "indexFetches" => IndexFetches,
+            "sequentialScans" => SequentialScans,
+            "randomIOs" => RandomIos,
+            "cpuUsagePct" => CpuUsagePercent,
+            "cpuUsageMhz" => CpuUsageMhz,
+            "handles" => Handles,
+            "threads" => Threads,
+            "processes" => Processes,
+            "heapMemoryKB" => HeapMemoryKb,
+            "physMemoryPct" => PhysicalMemoryPercent,
+            "kernelMemoryKB" => KernelMemoryKb,
+            "swappedMemoryKB" => SwappedMemoryKb,
+            "reservedMemoryKB" => ReservedMemoryKb,
+            "bytesTx" => BytesTransmitted,
+            "bytesRx" => BytesReceived,
+            "packetsTx" => PacketsTransmitted,
+            "packetsRx" => PacketsReceived,
+            "lipCount" => LipCount,
+            "nosCount" => NosCount,
+            "errorFrames" => ErrorFrames,
+            "dumpedFrames" => DumpedFrames,
+            "linkFailures" => LinkFailures,
+            "crcErrors" => CrcErrors,
+            "addressErrors" => AddressErrors,
+            "bytesRead" => BytesRead,
+            "bytesWritten" => BytesWritten,
+            "contaminatingWrites" => ContaminatingWrites,
+            "readIO" => ReadIo,
+            "writeIO" => WriteIo,
+            "readTime" => ReadTime,
+            "writeTime" => WriteTime,
+            "readRespMs" => ReadResponseTimeMs,
+            "writeRespMs" => WriteResponseTimeMs,
+            "seqReadHits" => SequentialReadHits,
+            "seqReadReqs" => SequentialReadRequests,
+            "seqWriteReqs" => SequentialWriteRequests,
+            "totalIOs" => TotalIos,
+            "utilization" => Utilization,
+            _ => return None,
+        };
+        Some(m)
+    }
+
     /// Whether higher values of this metric indicate *more load or worse performance*
     /// (true for most counters and times) as opposed to metrics where a drop is the
     /// suspicious direction (e.g. cache-hit ratios and free memory).
@@ -330,6 +395,23 @@ mod tests {
         let c = store.intern(&ComponentId::new(ComponentKind::StorageVolume, "V2"), &MetricName::ReadIo);
         assert!(a < c, "keys group by component before metric");
         assert_eq!(store.display_key(a), "volume:V1/writeIO");
+    }
+
+    #[test]
+    fn short_names_round_trip_for_builtins() {
+        let builtins = [
+            MetricName::OperatorElapsedTime,
+            MetricName::BufferHitRatio,
+            MetricName::CpuUsagePercent,
+            MetricName::CrcErrors,
+            MetricName::WriteIo,
+            MetricName::Utilization,
+        ];
+        for m in builtins {
+            assert_eq!(MetricName::from_short_name(m.short_name()), Some(m));
+        }
+        assert_eq!(MetricName::from_short_name("queue_depth"), None);
+        assert_eq!(MetricName::from_short_name(""), None);
     }
 
     #[test]

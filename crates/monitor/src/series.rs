@@ -55,14 +55,25 @@ impl TimeSeries {
     }
 
     /// Appends an observation, keeping the series sorted.
-    pub fn push(&mut self, time: Timestamp, value: f64) {
+    ///
+    /// Returns `true` when the observation extended the tail (it was in timestamp
+    /// order) and `false` when it had to be inserted before existing points — the
+    /// signal epoch-aware stores use to detect that suffix-based deltas went stale.
+    pub fn push(&mut self, time: Timestamp, value: f64) -> bool {
         let point = DataPoint::new(time, value);
         match self.points.last() {
-            Some(last) if last.time <= time => self.points.push(point),
-            None => self.points.push(point),
+            Some(last) if last.time <= time => {
+                self.points.push(point);
+                true
+            }
+            None => {
+                self.points.push(point);
+                true
+            }
             _ => {
                 let idx = self.points.partition_point(|p| p.time <= time);
                 self.points.insert(idx, point);
+                false
             }
         }
     }
@@ -152,10 +163,10 @@ mod tests {
     #[test]
     fn push_keeps_order_even_when_out_of_order() {
         let mut s = TimeSeries::new();
-        s.push(Timestamp::new(20), 2.0);
-        s.push(Timestamp::new(10), 1.0);
-        s.push(Timestamp::new(30), 3.0);
-        s.push(Timestamp::new(25), 2.5);
+        assert!(s.push(Timestamp::new(20), 2.0), "first push is a tail append");
+        assert!(!s.push(Timestamp::new(10), 1.0), "earlier timestamp is an insert");
+        assert!(s.push(Timestamp::new(30), 3.0));
+        assert!(!s.push(Timestamp::new(25), 2.5));
         let times: Vec<u64> = s.points().iter().map(|p| p.time.as_secs()).collect();
         assert_eq!(times, vec![10, 20, 25, 30]);
         assert_eq!(s.latest().unwrap().value, 3.0);

@@ -38,14 +38,24 @@ struct Shard {
     /// shard lock when recording through the sharded writer), so reading it is
     /// O(1) and identical no matter how the writers interleaved.
     content: u64,
+    /// Set once the store seals its first epoch; from then on a non-tail insert can
+    /// land *before* a recorded watermark.
+    sealed: bool,
+    /// Sticky: an out-of-order (non-tail) insert happened after sealing, so suffix
+    /// slices past a watermark no longer cover exactly the post-seal observations.
+    /// Poisoned shards force delta consumers back onto the batch path.
+    delta_poisoned: bool,
 }
 
 impl Shard {
     /// The single insert path: every recorded observation lands here, keeping the
-    /// content hash in sync with the series maps.
+    /// content hash (and the epoch-delta validity flag) in sync with the series maps.
     fn push(&mut self, key: MetricKey, time: Timestamp, value: f64) {
         self.content = self.content.wrapping_add(point_hash(key, time, value));
-        self.series.entry(key).or_default().push(time, value);
+        let tail = self.series.entry(key).or_default().push(time, value);
+        if !tail && self.sealed {
+            self.delta_poisoned = true;
+        }
     }
 }
 
@@ -70,6 +80,77 @@ fn point_hash(key: MetricKey, time: Timestamp, value: f64) -> u64 {
 pub struct MetricStore {
     interner: Arc<Interner>,
     shards: Vec<Shard>,
+    sealed: Vec<SealedEpoch>,
+}
+
+/// Identifier of one sealed epoch of a [`MetricStore`] (the zero-based seal order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpochId(u64);
+
+impl EpochId {
+    /// The zero-based seal index of the epoch.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from its raw seal index (e.g. when restoring a persisted
+    /// watermark). The id is only meaningful against the store that sealed it —
+    /// consumers must re-validate via
+    /// [`MetricStore::epoch_cumulative_fingerprint`] before trusting it.
+    pub fn from_index(index: u64) -> Self {
+        EpochId(index)
+    }
+}
+
+/// Snapshot taken by [`MetricStore::seal_epoch`]: the cumulative content
+/// fingerprints and per-series lengths at the moment the append window closed.
+///
+/// Because the content hash is a wrapping (commutative, associative) sum over
+/// observations, the per-epoch fingerprint is simply the difference between two
+/// consecutive cumulative snapshots — sealing costs O(series), never a re-hash.
+#[derive(Debug, Clone)]
+struct SealedEpoch {
+    /// The store-wide [`MetricStore::content_fingerprint`] at seal time.
+    cumulative: u64,
+    /// The per-shard cumulative content hashes at seal time.
+    shard_contents: Vec<u64>,
+    /// Length of every series at seal time, one map per shard: the suffix past a
+    /// watermark is exactly the data recorded after the epoch closed (as long as
+    /// appends stayed in time order — see [`MetricStore::deltas_intact`]). Shards
+    /// whose content hash did not move between seals share the previous epoch's map
+    /// via the `Arc`, so sealing costs O(dirty series + shards), not O(all series).
+    watermarks: Vec<Arc<BTreeMap<MetricKey, usize>>>,
+}
+
+/// The per-key observations recorded after a sealed epoch, borrowed straight from
+/// the store (see [`MetricStore::delta_since`]). Entries are in key order and only
+/// keys with at least one new point appear.
+#[derive(Debug, Clone)]
+pub struct MetricDelta<'a> {
+    entries: Vec<(MetricKey, &'a [DataPoint])>,
+}
+
+impl<'a> MetricDelta<'a> {
+    /// Per-key new points, in key (symbol) order.
+    pub fn entries(&self) -> &[(MetricKey, &'a [DataPoint])] {
+        &self.entries
+    }
+
+    /// Whether nothing was recorded since the epoch sealed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of new observations.
+    pub fn point_count(&self) -> usize {
+        self.entries.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// The earliest new observation time, if any — lets a consumer prove the delta
+    /// cannot intersect read windows that end before it.
+    pub fn earliest_time(&self) -> Option<Timestamp> {
+        self.entries.iter().filter_map(|(_, p)| p.first()).map(|p| p.time).min()
+    }
 }
 
 impl Default for MetricStore {
@@ -96,7 +177,11 @@ impl MetricStore {
     /// Creates an empty store over an explicitly-shared interner (for fleets that
     /// want an identity universe isolated from the global one, e.g. property tests).
     pub fn with_interner(interner: Arc<Interner>) -> Self {
-        MetricStore { interner, shards: (0..Self::SHARD_COUNT).map(|_| Shard::default()).collect() }
+        MetricStore {
+            interner,
+            shards: (0..Self::SHARD_COUNT).map(|_| Shard::default()).collect(),
+            sealed: Vec::new(),
+        }
     }
 
     fn shard(&self, component: ComponentSym) -> &Shard {
@@ -182,6 +267,132 @@ impl MetricStore {
     /// done at record time.
     pub fn content_fingerprint(&self) -> u64 {
         self.shards.iter().fold(0u64, |acc, s| acc.wrapping_add(s.content))
+    }
+
+    // ----- Epochs -----
+
+    /// Seals the open append window and returns its [`EpochId`].
+    ///
+    /// Sealing snapshots the cumulative content fingerprints (store-wide and
+    /// per-shard) and every series' length. The snapshot makes two queries cheap:
+    /// [`Self::epoch_fingerprint`] (what was recorded *during* an epoch) is a
+    /// wrapping difference of consecutive snapshots, and [`Self::delta_since`] (what
+    /// was recorded *after* an epoch) is a suffix slice per series. Sealing is
+    /// O(dirty series + shards) — shards untouched since the previous seal share
+    /// its watermark snapshot — and does not interrupt recording; the next
+    /// observation simply starts the next open window.
+    pub fn seal_epoch(&mut self) -> EpochId {
+        let prev = self.sealed.last();
+        let watermarks: Vec<Arc<BTreeMap<MetricKey, usize>>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| match prev {
+                // The content hash is a wrapping sum over observations, so an equal
+                // hash means no appends landed here: the lengths are the previous
+                // snapshot's.
+                Some(p) if p.shard_contents[i] == shard.content => Arc::clone(&p.watermarks[i]),
+                _ => Arc::new(shard.series.iter().map(|(k, s)| (*k, s.len())).collect()),
+            })
+            .collect();
+        let shard_contents: Vec<u64> = self.shards.iter().map(|s| s.content).collect();
+        let cumulative = self.content_fingerprint();
+        for shard in &mut self.shards {
+            shard.sealed = true;
+        }
+        self.sealed.push(SealedEpoch { cumulative, shard_contents, watermarks });
+        EpochId(self.sealed.len() as u64 - 1)
+    }
+
+    /// Number of sealed epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// The most recently sealed epoch, if any.
+    pub fn latest_epoch(&self) -> Option<EpochId> {
+        self.sealed.len().checked_sub(1).map(|i| EpochId(i as u64))
+    }
+
+    /// The cumulative store fingerprint at the moment `epoch` sealed — by
+    /// construction equal to what [`Self::content_fingerprint`] returned right then.
+    /// This is the validation anchor for persisted watermarks: a store "contains"
+    /// a watermark iff the epoch exists and this snapshot matches.
+    pub fn epoch_cumulative_fingerprint(&self, epoch: EpochId) -> Option<u64> {
+        self.sealed.get(epoch.index()).map(|e| e.cumulative)
+    }
+
+    /// The content fingerprint of exactly the observations recorded *during*
+    /// `epoch` — the same order-independent mixing as
+    /// [`Self::content_fingerprint`], recovered as the wrapping difference of the
+    /// cumulative snapshots bracketing the epoch. "What changed since fingerprint
+    /// F" is therefore an O(#epochs) scan over these diffs, not a re-hash.
+    pub fn epoch_fingerprint(&self, epoch: EpochId) -> Option<u64> {
+        let sealed = self.sealed.get(epoch.index())?;
+        let prev = epoch.index().checked_sub(1).map(|i| self.sealed[i].cumulative).unwrap_or(0);
+        Some(sealed.cumulative.wrapping_sub(prev))
+    }
+
+    /// Per-shard fingerprints of the observations recorded during `epoch` (index
+    /// `i` covers shard `i`). Lets a consumer localise a change to the shards — and
+    /// hence the component groups — that actually received data.
+    pub fn epoch_shard_fingerprints(&self, epoch: EpochId) -> Option<Vec<u64>> {
+        let sealed = self.sealed.get(epoch.index())?;
+        let prev = epoch.index().checked_sub(1).map(|i| self.sealed[i].shard_contents.as_slice());
+        Some(
+            sealed
+                .shard_contents
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.wrapping_sub(prev.map(|p| p[i]).unwrap_or(0)))
+                .collect(),
+        )
+    }
+
+    /// The most recent sealed epoch whose cumulative fingerprint equals
+    /// `fingerprint`, if any — O(#epochs).
+    pub fn epoch_at_fingerprint(&self, fingerprint: u64) -> Option<EpochId> {
+        self.sealed.iter().rposition(|e| e.cumulative == fingerprint).map(|i| EpochId(i as u64))
+    }
+
+    /// Whether suffix-based deltas are still exact. Turns `false` (permanently) once
+    /// any series receives an out-of-order observation after the first seal: a
+    /// non-tail insert can land before a watermark, so the suffix past it would no
+    /// longer be "everything recorded since".
+    pub fn deltas_intact(&self) -> bool {
+        self.shards.iter().all(|s| !s.delta_poisoned)
+    }
+
+    /// Everything recorded after `epoch` sealed, as per-key borrowed suffix slices
+    /// (later sealed epochs and the open window included). Returns `None` when the
+    /// epoch is unknown or when a post-seal out-of-order insert made suffixes
+    /// inexact ([`Self::deltas_intact`]) — consumers then fall back to a full pass.
+    pub fn delta_since(&self, epoch: EpochId) -> Option<MetricDelta<'_>> {
+        let sealed = self.sealed.get(epoch.index())?;
+        if !self.deltas_intact() {
+            return None;
+        }
+        let mut entries = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            // A shard whose content hash still matches the seal snapshot received
+            // nothing since — skip it wholesale. The scan is O(changed series +
+            // shards), not O(all series).
+            if shard.content == sealed.shard_contents[i] {
+                continue;
+            }
+            let watermarks = &sealed.watermarks[i];
+            for (key, series) in &shard.series {
+                let watermark = watermarks.get(key).copied().unwrap_or(0);
+                let suffix = &series.points()[watermark..];
+                if !suffix.is_empty() {
+                    entries.push((*key, suffix));
+                }
+            }
+        }
+        // Shards interleave key ranges, so re-establish the documented global key
+        // order (deltas are small; this is cheaper than a k-way merge setup).
+        entries.sort_unstable_by_key(|(key, _)| *key);
+        Some(MetricDelta { entries })
     }
 
     /// Splits the store into a lock-per-shard concurrent writer.
@@ -693,5 +904,92 @@ mod tests {
         let batch: Vec<DataPoint> = (0..5).map(|t| DataPoint::new(Timestamp::new(t), t as f64)).collect();
         store.sharded_writer().record_points(key, &batch);
         assert_eq!(store.series_by_key(key).unwrap().points(), &batch[..]);
+    }
+
+    #[test]
+    fn epoch_fingerprints_fold_to_the_content_fingerprint() {
+        let mut store = isolated_store();
+        let k1 = store.intern(&volume("V1"), &MetricName::WriteIo);
+        let k2 = store.intern(&volume("V2"), &MetricName::ReadIo);
+        assert_eq!(store.epoch_count(), 0);
+        assert!(store.latest_epoch().is_none());
+
+        store.record_key(k1, Timestamp::new(10), 1.0);
+        let e0 = store.seal_epoch();
+        store.record_key(k1, Timestamp::new(20), 2.0);
+        store.record_key(k2, Timestamp::new(30), 3.0);
+        let e1 = store.seal_epoch();
+        store.record_key(k2, Timestamp::new(40), 4.0);
+
+        assert_eq!(store.epoch_count(), 2);
+        assert_eq!(store.latest_epoch(), Some(e1));
+        // The cumulative snapshot at each seal matches the live fingerprint then,
+        // and the per-epoch diffs plus the open window fold back to the total.
+        let open = store.content_fingerprint().wrapping_sub(store.epoch_cumulative_fingerprint(e1).unwrap());
+        let folded = store
+            .epoch_fingerprint(e0)
+            .unwrap()
+            .wrapping_add(store.epoch_fingerprint(e1).unwrap())
+            .wrapping_add(open);
+        assert_eq!(folded, store.content_fingerprint());
+        // Per-shard diffs fold to the per-epoch diff.
+        let shard_sum =
+            store.epoch_shard_fingerprints(e1).unwrap().into_iter().fold(0u64, |acc, f| acc.wrapping_add(f));
+        assert_eq!(shard_sum, store.epoch_fingerprint(e1).unwrap());
+        // Fingerprint lookup resolves the seal point.
+        let f0 = store.epoch_cumulative_fingerprint(e0).unwrap();
+        assert_eq!(store.epoch_at_fingerprint(f0), Some(e0));
+        assert_eq!(store.epoch_at_fingerprint(0xdead_beef), None);
+        assert!(store.epoch_fingerprint(EpochId::from_index(9)).is_none());
+    }
+
+    #[test]
+    fn delta_since_exposes_only_new_points() {
+        let mut store = isolated_store();
+        let k1 = store.intern(&volume("V1"), &MetricName::WriteIo);
+        let k2 = store.intern(&volume("V2"), &MetricName::ReadIo);
+        store.record_key(k1, Timestamp::new(10), 1.0);
+        let e0 = store.seal_epoch();
+        assert!(store.delta_since(e0).unwrap().is_empty());
+
+        store.record_key(k1, Timestamp::new(20), 2.0);
+        store.record_key(k2, Timestamp::new(30), 3.0);
+        let delta = store.delta_since(e0).unwrap();
+        assert_eq!(delta.point_count(), 2);
+        assert_eq!(delta.entries().len(), 2);
+        let (dk1, pts1) = delta.entries()[0];
+        assert_eq!(dk1, k1);
+        assert_eq!(pts1, &[DataPoint::new(Timestamp::new(20), 2.0)]);
+        let (dk2, pts2) = delta.entries()[1];
+        assert_eq!(dk2, k2);
+        assert_eq!(pts2.len(), 1, "brand-new series appears in full");
+        assert_eq!(delta.earliest_time(), Some(Timestamp::new(20)));
+        assert!(store.delta_since(EpochId::from_index(5)).is_none(), "unknown epoch");
+
+        // A later epoch's delta starts past its own watermark.
+        let e1 = store.seal_epoch();
+        assert!(store.delta_since(e1).unwrap().is_empty());
+        assert_eq!(store.delta_since(e0).unwrap().point_count(), 2, "older epochs keep their view");
+    }
+
+    #[test]
+    fn out_of_order_append_after_seal_poisons_deltas() {
+        let mut store = isolated_store();
+        let k = store.intern(&volume("V1"), &MetricName::WriteIo);
+        // Out-of-order before any seal is fine: no watermark can be invalidated.
+        store.record_key(k, Timestamp::new(100), 1.0);
+        store.record_key(k, Timestamp::new(50), 0.5);
+        let e0 = store.seal_epoch();
+        assert!(store.deltas_intact());
+
+        // In-order appends after the seal keep deltas exact.
+        store.record_key(k, Timestamp::new(200), 2.0);
+        assert!(store.deltas_intact());
+        assert_eq!(store.delta_since(e0).unwrap().point_count(), 1);
+
+        // An insert landing before the watermark invalidates suffix deltas for good.
+        store.record_key(k, Timestamp::new(60), 0.6);
+        assert!(!store.deltas_intact());
+        assert!(store.delta_since(e0).is_none());
     }
 }

@@ -137,6 +137,51 @@ impl<K: Eq + Hash> ScoringCache<K> {
     pub fn probe(&self, key: &K) -> Option<Option<&Kde>> {
         self.entries.get(key).map(|e| e.as_ref())
     }
+
+    /// Every cached entry — fitted (`Some`) or negative (`None`) — in arbitrary
+    /// (hash-map) order. The enumeration seam for snapshotting a cache and for
+    /// planning an incremental extension pass.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, Option<&Kde>)> {
+        self.entries.iter().map(|(k, e)| (k, e.as_ref()))
+    }
+
+    /// Inserts (or replaces) an entry directly — the restore counterpart of
+    /// [`Self::entries`]. No-op on a disabled cache (its "never caches" contract
+    /// holds even when fed deserialised fits).
+    pub fn insert_fit(&mut self, key: K, fit: Option<Kde>) {
+        if self.enabled {
+            self.entries.insert(key, fit);
+        }
+    }
+
+    /// Removes the entry for `key`, returning whether one existed. Used to evict
+    /// negative entries whose variable may have become scoreable after new data
+    /// arrived — the next lookup re-derives them from the full sample.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Grows the fitted sample of `key` by merge-inserting `delta` — the sorted
+    /// sample vector behind the fit is extended in O(new log new + merge) and the
+    /// bandwidth re-derived exactly, bit-identical to a cold refit over the
+    /// concatenated sample (see [`Kde::extended`]).
+    ///
+    /// Returns `false`, leaving the entry untouched, when the key has no positive
+    /// fit or the delta fails validation: negative entries must be re-derived by
+    /// the caller, which alone knows the full sample.
+    pub fn extend_fit(&mut self, key: &K, delta: &[f64]) -> bool {
+        let Some(Some(kde)) = self.entries.get_mut(key) else { return false };
+        if delta.is_empty() {
+            return true;
+        }
+        match kde.extended(delta) {
+            Ok(next) => {
+                *kde = next;
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +260,55 @@ mod tests {
         assert_eq!(a.get(&1).unwrap().len(), a_kde_len);
         assert!(a.get(&2).is_some());
         assert_eq!(a.misses(), 3);
+    }
+
+    #[test]
+    fn extend_fit_matches_a_cold_refit() {
+        let old: Vec<f64> = sample();
+        let delta = [97.0, 103.5, 101.0];
+        let mut cache: ScoringCache<u32> = ScoringCache::new();
+        cache.fit_or_insert_with(1, || Some(old.clone()));
+        cache.fit_or_insert_with(2, || None);
+        assert!(cache.extend_fit(&1, &delta));
+        assert!(!cache.extend_fit(&2, &delta), "negative entries are not extendable");
+        assert!(!cache.extend_fit(&3, &delta), "unknown keys are not extendable");
+        assert!(!cache.extend_fit(&1, &[f64::NAN]), "bad deltas leave the fit untouched");
+
+        let mut concat = old;
+        concat.extend_from_slice(&delta);
+        let cold = Kde::fit(&concat).unwrap();
+        let grown = cache.get(&1).unwrap();
+        assert_eq!(grown.samples(), cold.samples());
+        assert_eq!(grown.bandwidth().to_bits(), cold.bandwidth().to_bits());
+    }
+
+    #[test]
+    fn entries_insert_and_remove_round_trip() {
+        let mut cache: ScoringCache<u32> = ScoringCache::new();
+        cache.fit_or_insert_with(1, || Some(sample()));
+        cache.fit_or_insert_with(2, || None);
+        let mut keys: Vec<(u32, bool)> = cache.entries().map(|(k, e)| (*k, e.is_some())).collect();
+        keys.sort();
+        assert_eq!(keys, vec![(1, true), (2, false)]);
+
+        // Round trip through from_parts, as snapshot/restore does.
+        let kde = cache.get(&1).unwrap();
+        let rebuilt = Kde::from_parts(kde.samples().to_vec(), kde.bandwidth()).unwrap();
+        let mut restored: ScoringCache<u32> = ScoringCache::new();
+        restored.insert_fit(1, Some(rebuilt));
+        restored.insert_fit(2, None);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(&1).unwrap().samples(), cache.get(&1).unwrap().samples());
+        assert!(matches!(restored.probe(&2), Some(None)), "negative entry restored");
+
+        assert!(restored.remove(&2));
+        assert!(!restored.remove(&2));
+        assert_eq!(restored.len(), 1);
+
+        // Disabled caches refuse direct inserts.
+        let mut disabled: ScoringCache<u32> = ScoringCache::disabled();
+        disabled.insert_fit(1, None);
+        assert_eq!(disabled.len(), 0);
     }
 
     #[test]

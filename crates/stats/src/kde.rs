@@ -74,20 +74,83 @@ impl Kde {
             return Err(StatsError::EmptySample);
         }
         ensure_finite(samples)?;
-        let h = match bandwidth {
-            Bandwidth::Fixed(h) => {
-                if h <= 0.0 || !h.is_finite() {
-                    return Err(StatsError::InvalidParameter("bandwidth must be positive"));
-                }
-                h
-            }
-            Bandwidth::Silverman => silverman_bandwidth(samples),
-            Bandwidth::Scott => scott_bandwidth(samples),
-        };
-        let h = h.max(bandwidth_floor(samples));
+        // Canonicalise *before* bandwidth selection: the data-driven rules run a
+        // Welford pass whose floating-point result is sensitive to input order in
+        // the last ULPs. Deriving them from the sorted sample makes a fit a pure
+        // function of the sample multiset — the property that lets an incremental
+        // merge-extension ([`Kde::extended`]) reproduce a cold fit bit for bit.
         let mut sorted = samples.to_vec();
         sorted.sort_unstable_by(f64::total_cmp);
+        let h = resolve_bandwidth(&sorted, bandwidth)?;
         Ok(Kde { samples: sorted, bandwidth: h })
+    }
+
+    /// Rebuilds an estimate from a previously fitted (sorted ascending) sample and
+    /// bandwidth — the deserialisation counterpart of [`Kde::samples`] and
+    /// [`Kde::bandwidth`], used to restore persisted scoring caches.
+    ///
+    /// # Errors
+    /// Rejects empty or non-finite samples, unsorted input, and a non-positive or
+    /// non-finite bandwidth.
+    pub fn from_parts(samples: Vec<f64>, bandwidth: f64) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        ensure_finite(&samples)?;
+        if samples.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+            return Err(StatsError::InvalidParameter("samples must be sorted ascending"));
+        }
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
+            return Err(StatsError::InvalidParameter("bandwidth must be positive"));
+        }
+        Ok(Kde { samples, bandwidth })
+    }
+
+    /// Grows the estimate with `delta` under the default (Silverman) rule — the
+    /// incremental counterpart of [`Kde::fit`].
+    ///
+    /// # Errors
+    /// Returns an error if `delta` contains non-finite values.
+    pub fn extended(&self, delta: &[f64]) -> Result<Self> {
+        self.extended_with(delta, Bandwidth::Silverman)
+    }
+
+    /// Grows the estimate by merge-inserting `delta` into the sorted sample and
+    /// re-deriving the bandwidth over the merged sample: O(new log new + n) instead
+    /// of the O((n+new) log (n+new)) full re-sort.
+    ///
+    /// **Bit-identical to `Kde::fit_with(&concat, rule)`** over the concatenated
+    /// sample: a `total_cmp` merge of two `total_cmp`-sorted halves yields the same
+    /// vector as sorting the concatenation (equal keys have equal bit patterns),
+    /// and the bandwidth is re-derived exactly over that vector — when the
+    /// bandwidth would change, it is recomputed, never approximated, so there is no
+    /// drift for a fallback to correct.
+    ///
+    /// # Errors
+    /// Returns an error if `delta` contains non-finite values (or `rule` carries an
+    /// invalid fixed bandwidth).
+    pub fn extended_with(&self, delta: &[f64], rule: Bandwidth) -> Result<Self> {
+        ensure_finite(delta)?;
+        if delta.is_empty() {
+            return Ok(self.clone());
+        }
+        let mut sorted_delta = delta.to_vec();
+        sorted_delta.sort_unstable_by(f64::total_cmp);
+        let mut merged = Vec::with_capacity(self.samples.len() + sorted_delta.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.samples.len() && j < sorted_delta.len() {
+            if self.samples[i].total_cmp(&sorted_delta[j]).is_gt() {
+                merged.push(sorted_delta[j]);
+                j += 1;
+            } else {
+                merged.push(self.samples[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&self.samples[i..]);
+        merged.extend_from_slice(&sorted_delta[j..]);
+        let h = resolve_bandwidth(&merged, rule)?;
+        Ok(Kde { samples: merged, bandwidth: h })
     }
 
     /// The bandwidth actually used by this estimate.
@@ -199,6 +262,23 @@ impl Kde {
     pub fn two_sided_score(&self, u: f64) -> f64 {
         (2.0 * (self.cdf(u) - 0.5)).abs()
     }
+}
+
+/// Resolves a [`Bandwidth`] strategy over an already-canonicalised (sorted) sample,
+/// applying the degenerate-sample floor. The single bandwidth path shared by cold
+/// fits and incremental extensions — both must agree bit for bit.
+fn resolve_bandwidth(sorted: &[f64], bandwidth: Bandwidth) -> Result<f64> {
+    let h = match bandwidth {
+        Bandwidth::Fixed(h) => {
+            if h <= 0.0 || !h.is_finite() {
+                return Err(StatsError::InvalidParameter("bandwidth must be positive"));
+            }
+            h
+        }
+        Bandwidth::Silverman => silverman_bandwidth(sorted),
+        Bandwidth::Scott => scott_bandwidth(sorted),
+    };
+    Ok(h.max(bandwidth_floor(sorted)))
 }
 
 /// Silverman's rule-of-thumb bandwidth.
@@ -330,6 +410,46 @@ mod tests {
         assert!(h_silverman > 0.0 && h_scott > 0.0);
         // Scott uses sd with a larger constant; Silverman uses min(sd, iqr/1.34) * 0.9.
         assert!(h_scott >= h_silverman);
+    }
+
+    #[test]
+    fn fit_is_order_independent() {
+        let a = Kde::fit(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = Kde::fit(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.bandwidth().to_bits(), b.bandwidth().to_bits());
+    }
+
+    #[test]
+    fn extended_matches_cold_fit_bit_for_bit() {
+        let old = [3.0, 1.0, 2.0, 5.0, 4.0, 4.0];
+        let delta = [2.5, 0.5, 9.0, 4.0];
+        let kde = Kde::fit(&old).unwrap();
+        let ext = kde.extended(&delta).unwrap();
+        let mut concat = old.to_vec();
+        concat.extend_from_slice(&delta);
+        let cold = Kde::fit(&concat).unwrap();
+        assert_eq!(ext.samples(), cold.samples());
+        assert_eq!(ext.bandwidth().to_bits(), cold.bandwidth().to_bits());
+        // Empty delta is the identity extension.
+        let same = kde.extended(&[]).unwrap();
+        assert_eq!(same.samples(), kde.samples());
+        assert_eq!(same.bandwidth().to_bits(), kde.bandwidth().to_bits());
+        // Non-finite deltas are rejected.
+        assert!(kde.extended(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_fit() {
+        let kde = Kde::fit(&sample_normal_like()).unwrap();
+        let rebuilt = Kde::from_parts(kde.samples().to_vec(), kde.bandwidth()).unwrap();
+        assert_eq!(rebuilt.samples(), kde.samples());
+        assert_eq!(rebuilt.bandwidth().to_bits(), kde.bandwidth().to_bits());
+        assert_eq!(rebuilt.cdf(101.0).to_bits(), kde.cdf(101.0).to_bits());
+        assert!(Kde::from_parts(vec![], 1.0).is_err());
+        assert!(Kde::from_parts(vec![2.0, 1.0], 1.0).is_err(), "unsorted rejected");
+        assert!(Kde::from_parts(vec![1.0, 2.0], 0.0).is_err());
+        assert!(Kde::from_parts(vec![1.0, f64::INFINITY], 1.0).is_err());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! End-to-end tests for the Section-7 what-if extension and the remediation
 //! planner built on it.
 //!
-//! The what-if half covers all four [`ProposedChange`] variants against real
-//! scenario outcomes — including the two error paths that used to be silent
-//! no-ops (an unknown tablespace or workload rebuilt an *identical* deployment
-//! and reported ~0% improvement) — plus the [`Testbed::fork`] contract the
-//! evaluations rely on. The planner half pins, for every compound DB+SAN
-//! scenario, that the top-ranked remediation targets a fault the scenario
-//! actually injected and predicts a strictly positive improvement.
+//! The what-if half covers every [`ProposedChange`] variant against real
+//! scenario outcomes — including the error paths that used to be silent
+//! no-ops (an unknown tablespace or workload, or clearing lock windows when
+//! none exist, rebuilt an *identical* deployment and reported ~0% improvement)
+//! — plus the [`Testbed::fork`] contract the evaluations rely on. The planner
+//! half pins, for every compound DB+SAN scenario, that the top-ranked
+//! remediation targets a fault the scenario actually injected and predicts a
+//! strictly positive improvement.
 
 use diads::core::whatif::{evaluate, ProposedChange};
 use diads::core::{ConfidenceLevel, Planner, Testbed};
@@ -78,6 +79,11 @@ fn unknown_names_are_errors_not_zero_improvement_successes() {
     )
     .unwrap_err();
     assert!(err.contains("unknown destination volume V9"), "{err}");
+
+    // Clearing lock windows on a deployment that has none is the same class of
+    // silent no-op: scenario 1 injects no lock contention, so it must error.
+    let err = evaluate(&outcome.testbed, &ProposedChange::ClearLockWindows, at).unwrap_err();
+    assert!(err.contains("no lock-contention windows"), "{err}");
 }
 
 #[test]
@@ -216,9 +222,10 @@ fn planner_top_change_targets_an_injected_fault_on_every_compound_scenario() {
     }
 }
 
-/// Exact pins for the flagship compound scenario: both layer's causes are
-/// high-confidence, and the ranked remediations lead with the SAN-side fixes (the
-/// lock holder is not a deployment knob, so no candidate claims to fix it).
+/// Exact pins for the flagship compound scenario: both layers' causes are
+/// high-confidence, and the planner now derives a remediation for *each* layer —
+/// the dominant lock contention leads the ranking (clear the lock windows), with
+/// the SAN-side fixes evaluated right behind it.
 #[test]
 fn planner_pins_for_the_lock_plus_interloper_scenario() {
     let scenario = compound_lock_and_interloper_scenario(short());
@@ -233,14 +240,23 @@ fn planner_pins_for_the_lock_plus_interloper_scenario() {
 
     let planner = Planner::for_outcome(&outcome);
     let plan = planner.plan(&report, &outcome.testbed);
-    assert!(plan.ranked.len() >= 2, "{}", plan.render());
+    assert!(plan.ranked.len() >= 3, "{}", plan.render());
+    // The 90s/scan lock dominates the slowdown, so clearing the lock windows is
+    // the top-ranked remediation.
     let best = plan.best().unwrap();
-    assert_eq!(
-        best.candidate.change,
-        ProposedChange::MoveTablespace { tablespace: "ts_partsupp".into(), to_volume: "V2".into() }
-    );
+    assert_eq!(best.candidate.change, ProposedChange::ClearLockWindows);
+    assert_eq!(best.candidate.cause_id, cause_ids::TABLE_LOCK_CONTENTION);
     assert!(best.improvement() > 0.1, "{:+.3}", best.improvement());
-    // The interloper removal is evaluated too, and also predicted to help.
+    // The SAN-side fixes are evaluated too, and also predicted to help.
+    let moved = plan
+        .ranked
+        .iter()
+        .find(|r| {
+            r.candidate.change
+                == ProposedChange::MoveTablespace { tablespace: "ts_partsupp".into(), to_volume: "V2".into() }
+        })
+        .expect("tablespace move evaluated");
+    assert!(moved.improvement() > 0.1, "{:+.3}", moved.improvement());
     let removal = plan
         .ranked
         .iter()
@@ -250,8 +266,6 @@ fn planner_pins_for_the_lock_plus_interloper_scenario() {
         })
         .expect("interloper removal evaluated");
     assert!(removal.improvement() > 0.1);
-    // No candidate pretends to remediate the lock contention.
-    assert!(plan.ranked.iter().all(|r| r.candidate.cause_id != cause_ids::TABLE_LOCK_CONTENTION));
 }
 
 /// Candidate derivation is driven by the report: scenario 1's report yields both
