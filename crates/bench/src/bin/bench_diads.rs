@@ -15,7 +15,9 @@
 //!   single-threaded (lock overhead) and threaded (scaling on multi-core hosts).
 //! * **Scenario matrix** — the batch engine's hot path: simulate + diagnose a
 //!   matrix of injected-fault scenarios, sequential loop vs. concurrent engine,
-//!   plus warm re-diagnosis through the testbed-level cache.
+//!   plus warm re-diagnosis through the testbed-level cache; and the post-PD
+//!   re-drill hot path on `compound_config_contention` (the flagship plan-change
+//!   compound scenario) through the cold, warm and incremental diagnosis paths.
 //! * **Incremental re-diagnosis** — the steady-state interactive loop: after a
 //!   one-epoch metric append, a full cold re-diagnosis (what an invalidated
 //!   engine slot costs) vs. `diagnose_incremental` over a sealed watermark; and
@@ -31,7 +33,8 @@ use diads_bench::microbench::{Criterion, Record};
 use diads_core::workflow::DiagnosisCache;
 use diads_core::{DiagnosisContext, DiagnosisEngine, DiagnosisWorkflow, Testbed};
 use diads_inject::scenarios::{
-    compound_lock_and_interloper_scenario, scenario_1, scenario_3, scenario_5, ScenarioTimeline,
+    compound_config_and_contention_scenario, compound_lock_and_interloper_scenario, scenario_1, scenario_3,
+    scenario_5, ScenarioTimeline,
 };
 use diads_monitor::{ComponentId, Duration, MetricKey, MetricName, MetricStore, Timestamp};
 use diads_stats::ScoringCache;
@@ -199,7 +202,13 @@ fn main() {
     // compound DB+SAN fault with staggered onsets) on the short timeline: one
     // iteration simulates every scenario end to end and diagnoses each outcome.
     let t = ScenarioTimeline::short();
-    let matrix = vec![scenario_1(t), scenario_3(t), scenario_5(t), compound_lock_and_interloper_scenario(t)];
+    let matrix = vec![
+        scenario_1(t),
+        scenario_3(t),
+        scenario_5(t),
+        compound_lock_and_interloper_scenario(t),
+        compound_config_and_contention_scenario(t),
+    ];
     {
         let mut group = c.benchmark_group("scenario_matrix");
         group.sample_size(samples(5));
@@ -221,6 +230,39 @@ fn main() {
         let outcomes = Testbed::run_scenarios(&matrix);
         group.bench_function("rediagnose_warm", |b| {
             b.iter(|| black_box(outcomes.iter().map(|o| o.diagnose()).collect::<Vec<_>>()))
+        });
+
+        // The post-PD re-drill hot path: the flagship plan-change compound
+        // scenario (config change flips the plan, SAN contention runs
+        // concurrently) re-runs CO/DA/CR/SD against the new plan's APG, so its
+        // cost differs from the gated path this bench used to exercise. Cold =
+        // fresh engine per iteration; warm = testbed-cache re-diagnosis;
+        // incremental = one-epoch append replayed over a sealed watermark (the
+        // extend-fit path under a changed plan).
+        let mut compound = Testbed::run_scenario(&compound_config_and_contention_scenario(t));
+        let _ = compound.diagnose();
+        group.bench_function("compound_config_contention_cold", |b| {
+            b.iter(|| black_box(DiagnosisEngine::new().diagnose(black_box(&compound))))
+        });
+        group
+            .bench_function("compound_config_contention_warm", |b| b.iter(|| black_box(compound.diagnose())));
+        let cc_host = ComponentId::server("bench-compound-host");
+        let cc_metric = MetricName::Custom("benchCompoundProbe".into());
+        let mut cc_time = compound
+            .history
+            .runs
+            .iter()
+            .map(|r| r.record.end)
+            .max()
+            .expect("runs")
+            .plus(Duration::from_mins(10));
+        group.bench_function("compound_config_contention_incremental", |b| {
+            b.iter(|| {
+                let wm = compound.seal_watermark();
+                cc_time = cc_time.plus(Duration::from_secs(30));
+                compound.testbed.store.record(&cc_host, &cc_metric, cc_time, 1.0);
+                black_box(compound.diagnose_incremental(black_box(&wm)))
+            })
         });
         group.finish();
     }
@@ -300,6 +342,9 @@ fn main() {
     let matrix_seq = median_of(r, "scenario_matrix", "sequential");
     let matrix_conc = if parallel_enabled { median_of(r, "scenario_matrix", "concurrent") } else { f64::NAN };
     let matrix_warm = median_of(r, "scenario_matrix", "rediagnose_warm");
+    let cc_cold = median_of(r, "scenario_matrix", "compound_config_contention_cold");
+    let cc_warm = median_of(r, "scenario_matrix", "compound_config_contention_warm");
+    let cc_inc = median_of(r, "scenario_matrix", "compound_config_contention_incremental");
     let inc_full = median_of(r, "incremental", "full_rediagnosis");
     let inc_incremental = median_of(r, "incremental", "incremental_rediagnosis");
     let snap_cold = median_of(r, "snapshot", "cold_start_diagnosis");
@@ -332,11 +377,14 @@ fn main() {
         "  \"store_recording\": {{\"series\": {RECORD_COMPONENTS}, \"points_per_series\": {RECORD_POINTS_PER_KEY}, \"direct_ns\": {rec_direct:.1}, \"sharded_1thread_ns\": {rec_sharded:.1}, \"sharded_threads_ns\": {rec_threads:.1}}},\n",
     ));
     json.push_str(&format!(
-        "  \"scenario_matrix\": {{\"scenarios\": {}, \"timeline\": \"short\", \"sequential_ms\": {:.1}, \"concurrent_ms\": {}, \"rediagnose_warm_ms\": {:.3}}},\n",
+        "  \"scenario_matrix\": {{\"scenarios\": {}, \"timeline\": \"short\", \"sequential_ms\": {:.1}, \"concurrent_ms\": {}, \"rediagnose_warm_ms\": {:.3}, \"compound_config_contention\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"incremental_ms\": {:.3}}}}},\n",
         matrix.len(),
         matrix_seq / 1e6,
         if matrix_conc.is_nan() { "null".to_string() } else { format!("{:.1}", matrix_conc / 1e6) },
-        matrix_warm / 1e6
+        matrix_warm / 1e6,
+        cc_cold / 1e6,
+        cc_warm / 1e6,
+        cc_inc / 1e6
     ));
     json.push_str(&format!(
         "  \"incremental\": {{\"scenario\": \"scenario-1 (short timeline)\", \"append\": \"1 epoch, 1 point beyond every run window\", \"full_rediagnosis_ms\": {:.3}, \"incremental_rediagnosis_ms\": {:.3}, \"incremental_speedup\": {:.2}}},\n",

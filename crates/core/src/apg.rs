@@ -127,6 +127,14 @@ impl Apg {
         self.leaf_volumes.iter().filter(|(_, v)| v.as_str() == volume).map(|(op, _)| *op).collect()
     }
 
+    /// Every distinct volume read by a leaf operator of this plan, sorted. This is the
+    /// re-drill fallback for module SD: under a plan change there are no correlated
+    /// operators to narrow the volume set, so symptom extraction considers every
+    /// volume the *new* plan touches.
+    pub fn leaf_volume_names(&self) -> BTreeSet<String> {
+        self.leaf_volumes.values().cloned().collect()
+    }
+
     /// Every distinct component appearing on the inner dependency path of any of the
     /// given operators (this is the search space of module DA).
     pub fn components_on_paths(&self, operators: &[OperatorId]) -> BTreeSet<ComponentId> {

@@ -99,6 +99,10 @@ pub struct StageProvenance {
     /// Whether an incremental re-diagnosis replayed this stage's prior evidence
     /// instead of executing it (`false` for every freshly-executed stage).
     pub reused: bool,
+    /// Whether the stage ran (or was replayed) in **re-drill** mode: PD reported a
+    /// plan change, so the drill-down re-ran against the new plan's APG instead of
+    /// recording empty results (`false` for PD/IA and for same-plan diagnoses).
+    pub redrilled: bool,
 }
 
 /// How the diagnosis interacted with the fleet-level
@@ -216,6 +220,14 @@ impl DiagnosisReport {
             for cause in &self.plan_change_causes {
                 out.push_str(&format!("  plan-change cause: {cause}\n"));
             }
+            out.push_str(&format!(
+                "Re-drill against the new plan — correlated components: {}\n",
+                if self.correlated_components.is_empty() {
+                    "none".to_string()
+                } else {
+                    self.correlated_components.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+                }
+            ));
         } else {
             out.push_str("Plan Diffing: the same plan was used in both periods.\n");
             out.push_str(&format!(
@@ -308,6 +320,7 @@ impl DiagnosisReport {
             w.number_field("cache_hits", stage.cache_hits as f64);
             w.number_field("cache_misses", stage.cache_misses as f64);
             w.bool_field("reused", stage.reused);
+            w.bool_field("redrilled", stage.redrilled);
             w.close_object();
         }
         w.close_array();
@@ -551,6 +564,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 2,
             reused: true,
+            redrilled: false,
         });
         b.provenance.epochs_applied = 3;
         b.provenance.engine = Some(EngineProvenance { fingerprint: 7, warm: true });
@@ -581,6 +595,7 @@ mod tests {
                     cache_hits: 0,
                     cache_misses: 3,
                     reused: false,
+                    redrilled: true,
                 }],
                 engine: Some(EngineProvenance { fingerprint: u64::MAX, warm: false }),
                 epochs_applied: 2,
@@ -593,7 +608,7 @@ mod tests {
         assert!(json.contains("\"cause_id\":\"a\""), "{json}");
         assert!(json.contains("\"evidence\":[\"symptom supporting a\"]"), "{json}");
         assert!(json.contains("\"stages\":[{\"stage\":\"PD\",\"elapsed_nanos\":42"), "{json}");
-        assert!(json.contains("\"reused\":false"), "{json}");
+        assert!(json.contains("\"reused\":false,\"redrilled\":true"), "{json}");
         assert!(json.contains("\"epochs_applied\":2"), "{json}");
         // u64::MAX exceeds 2^53: the fingerprint must be emitted as a string.
         assert!(json.contains(&format!("\"fingerprint\":\"{}\"", u64::MAX)), "{json}");

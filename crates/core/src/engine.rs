@@ -393,6 +393,7 @@ impl DiagnosisEngine {
         // and hand back the recorded report with fresh provenance.
         if since.runs == history.len() && inputs == prior_inputs {
             let fingerprint = outcome.engine_fingerprint();
+            let plan_changed = prior.state.plan_changed();
             let mut report = prior.report.clone();
             report.provenance = DiagnosisProvenance {
                 stages: Stage::ALL
@@ -403,6 +404,7 @@ impl DiagnosisEngine {
                         cache_hits: 0,
                         cache_misses: 0,
                         reused: true,
+                        redrilled: plan_changed && pipeline::stage_redrills(stage.name()),
                     })
                     .collect(),
                 engine: Some(EngineProvenance { fingerprint, warm }),
@@ -425,6 +427,19 @@ impl DiagnosisEngine {
             topology: outcome.testbed.san.topology(),
             workloads: outcome.testbed.san.workloads(),
         };
+
+        // Re-drill scope guard: metric fits are baselined on the plan-filtered
+        // satisfactory runs when any exist, else on the full satisfactory history
+        // ([`crate::workflow::DiagnosisContext::baseline_runs`]). If the appended
+        // runs flip that emptiness, the slot's cached fits were derived under the
+        // other scope and cannot be extended — fall back to a cold diagnosis.
+        let plan_filtered_empty = |runs: &[crate::runs::LabeledRun]| {
+            !runs.iter().any(|r| r.satisfactory && r.record.plan_fingerprint == since.plan_fingerprint)
+        };
+        if plan_filtered_empty(&history.runs[..since.runs]) != plan_filtered_empty(&history.runs) {
+            self.checkin(since.fingerprint, cache, Some(prior), generation);
+            return self.diagnose(outcome);
+        }
 
         // Fold the satisfactory samples of any appended runs into the cached fits
         // so warm scores match what a cold fit over the full history would produce.

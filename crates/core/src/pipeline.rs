@@ -16,7 +16,15 @@
 //!   (SAN-only triage that skips PD/CR, a re-scoring stage, …). Per-stage observer
 //!   hooks ([`DiagnosisPipeline::on_stage_complete`]) stream progress, and every run
 //!   emits a [`crate::diagnosis::DiagnosisReport`] carrying per-stage provenance
-//!   (timings, cache hit/miss deltas, engine warm/cold) next to the findings.
+//!   (timings, cache hit/miss deltas, engine warm/cold, re-drill markers) next to
+//!   the findings.
+//!
+//! When PD reports a plan change the pipeline does **not** stop at the plan-change
+//! causes: the drill-down stages re-run against the *new* plan's APG (the
+//! **re-drill** pass — DA widens to every component the new plan depends on, SD
+//! falls back to its leaf volumes, both baselined on the full satisfactory
+//! history), so a concurrent SAN-side cause surfaces next to the plan change
+//! instead of being masked by it (the paper's "my-problem-or-yours" syndrome).
 //!
 //! Every driver in the crate — batch ([`crate::workflow::DiagnosisWorkflow::run`]),
 //! fleet ([`crate::engine::DiagnosisEngine::diagnose`]) and interactive
@@ -109,9 +117,9 @@ impl Stage {
     /// The stages whose *results* feed this stage during incremental re-diagnosis.
     ///
     /// Broader than [`Stage::prerequisites`]: CO, DA and CR additionally consult
-    /// PD's verdict through [`DiagnosisState::plan_changed`] (a changed plan empties
-    /// their results), so a changed PD result must re-run them even though their
-    /// declared prerequisites omit PD.
+    /// PD's verdict through [`DiagnosisState::plan_changed`] (a changed plan flips
+    /// DA — and SD, via `pd` — into re-drill mode), so a changed PD result must
+    /// re-run them even though their declared prerequisites omit PD.
     fn staleness_deps(self) -> &'static [Stage] {
         match self {
             Stage::PlanDiffing => &[],
@@ -212,10 +220,15 @@ pub struct DiagnosisState {
 }
 
 impl DiagnosisState {
-    /// Whether PD ran and found a plan change. The scoring stages (CO/DA/CR) gate on
-    /// this: a changed plan makes operator-level correlation meaningless, so they
-    /// record empty results — exactly the monolithic workflow's behaviour. A skipped
-    /// PD reads as "no plan-change evidence" and the drill-down proceeds.
+    /// Whether PD ran and found a plan change. The scoring stages consult this to
+    /// pick their **re-drill** mode: a changed plan makes operator-level correlation
+    /// meaningless (operator ids are per-plan structural positions), so CO/CR still
+    /// run but their plan-filtered satisfactory sample is empty and they score
+    /// nothing, while DA widens to every component of the new plan's APG and SD
+    /// falls back to the new plan's leaf volumes — both baselined against the full
+    /// satisfactory history, so concurrent SAN-side causes surface alongside the
+    /// plan-change causes instead of being masked by them. A skipped PD reads as
+    /// "no plan-change evidence" and the ordinary drill-down proceeds.
     pub fn plan_changed(&self) -> bool {
         self.pd.as_ref().is_some_and(|pd| !pd.same_plan)
     }
@@ -327,17 +340,19 @@ impl DiagnosisStage for Stage {
             Stage::PlanDiffing => {
                 s.state.pd = Some(s.workflow.plan_diffing(s.ctx));
             }
+            // CO/CR always execute: under a plan change their plan-filtered
+            // satisfactory sample is empty and they score nothing, which is the
+            // honest result (operator ids are per-plan structural positions, so a
+            // cross-plan baseline would be meaningless). DA switches to the
+            // re-drill entry point, widening to the new plan's whole APG against
+            // the plan-independent metric baseline — this is what surfaces a
+            // concurrent SAN-side cause that the old plan-change gating masked.
             Stage::CorrelatedOperators => {
-                let result = if s.state.plan_changed() {
-                    CorrelatedOperatorsResult::default()
-                } else {
-                    s.workflow.correlated_operators(s.ctx, s.cache)
-                };
-                s.state.cos = Some(result);
+                s.state.cos = Some(s.workflow.correlated_operators(s.ctx, s.cache));
             }
             Stage::DependencyAnalysis => {
                 let result = if s.state.plan_changed() {
-                    DependencyAnalysisResult::default()
+                    s.workflow.dependency_analysis_redrill(s.ctx, s.cache)
                 } else {
                     let fallback = CorrelatedOperatorsResult::default();
                     let cos = s.state.cos.as_ref().unwrap_or(&fallback);
@@ -346,9 +361,7 @@ impl DiagnosisStage for Stage {
                 s.state.da = Some(result);
             }
             Stage::RecordCounts => {
-                let result = if s.state.plan_changed() {
-                    RecordCountResult::default()
-                } else {
+                let result = {
                     let fallback = CorrelatedOperatorsResult::default();
                     let cos = s.state.cos.as_ref().unwrap_or(&fallback);
                     s.workflow.record_counts(s.ctx, cos, s.cache)
@@ -610,7 +623,15 @@ fn execute_stage(
         cache_hits: cache.hits() - hits_before,
         cache_misses: cache.misses() - misses_before,
         reused: false,
+        redrilled: state.plan_changed() && stage_redrills(stage.name()),
     }
+}
+
+/// Whether a standard stage runs in re-drill mode under a plan change (see
+/// [`DiagnosisState::plan_changed`]). PD derives the change itself and IA works
+/// off whatever causes SD produced, so neither re-drills.
+pub(crate) fn stage_redrills(name: &str) -> bool {
+    matches!(name, "CO" | "DA" | "CR" | "SD")
 }
 
 /// Assembles the v2 report from a ledger over a borrowed workflow (see
@@ -743,6 +764,7 @@ pub(crate) fn run_incremental_standard(
                 cache_hits: 0,
                 cache_misses: 0,
                 reused: true,
+                redrilled: state.plan_changed() && stage_redrills(stage.name()),
             });
         }
     }

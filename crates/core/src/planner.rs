@@ -24,8 +24,15 @@
 //! vocabulary can actually address produce candidates (contention → remove the
 //! workload / move the tablespace, pool degradation → move the tablespace,
 //! configuration regression → revert the configuration, lock contention → clear
-//! the lock windows). Causes with no reversible counterpart — a bulk data load,
-//! an already-dropped index — derive nothing rather than something misleading.
+//! the lock windows, dropped index → recreate it from its retained definition).
+//! Causes with no reversible counterpart — a bulk data load — derive nothing
+//! rather than something misleading.
+//!
+//! Compound faults need compound fixes: on top of the single changes the planner
+//! evaluates **compound change sets** — pairs of candidates addressing *different*
+//! causes (e.g. revert the config AND remove the interloper), applied to one fork
+//! via [`whatif::evaluate_set_with_baseline`] and ranked alongside the singles.
+//! The pair search is bounded by [`PlannerConfig::max_compound_sets`].
 
 use diads_inject::scenarios::cause_ids;
 use diads_monitor::{ComponentId, ComponentKind, Timestamp};
@@ -45,6 +52,12 @@ pub struct PlannerConfig {
     /// Minimum confidence a ranked cause needs before candidates are derived from
     /// it (default: [`ConfidenceLevel::Medium`] — low-confidence causes are noise).
     pub min_confidence: ConfidenceLevel,
+    /// Candidate budget for the compound search: at most this many two-change sets
+    /// are evaluated, taken in derivation order over pairs of successfully
+    /// evaluated singles that address different causes (default: 4; 0 disables the
+    /// compound search). Each set costs one fork and one execution, the same as a
+    /// single candidate.
+    pub max_compound_sets: usize,
 }
 
 /// A candidate change derived from one ranked cause, before evaluation.
@@ -58,19 +71,38 @@ pub struct RemediationCandidate {
     pub rationale: String,
 }
 
-/// One evaluated candidate: the change plus its what-if outcome.
+/// One evaluated remediation: a change set (one candidate for a single change,
+/// two for a compound set) plus its what-if outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedRemediation {
-    /// The candidate that was evaluated.
-    pub candidate: RemediationCandidate,
-    /// The what-if evaluation of the candidate's change.
+    /// The candidates that were evaluated together — applied in order to one
+    /// fork. A single change is a one-element set.
+    pub candidates: Vec<RemediationCandidate>,
+    /// The what-if evaluation of the change set.
     pub outcome: WhatIfOutcome,
 }
 
 impl RankedRemediation {
-    /// Predicted relative improvement of the change (positive = faster).
+    /// Predicted relative improvement of the change set (positive = faster).
     pub fn improvement(&self) -> f64 {
         self.outcome.improvement()
+    }
+
+    /// Whether this is a compound set (more than one change).
+    pub fn is_compound(&self) -> bool {
+        self.candidates.len() > 1
+    }
+
+    /// The distinct cause ids the set addresses, joined with `" + "` in candidate
+    /// order.
+    pub fn cause_label(&self) -> String {
+        let mut ids: Vec<&str> = Vec::new();
+        for c in &self.candidates {
+            if !ids.contains(&c.cause_id.as_str()) {
+                ids.push(&c.cause_id);
+            }
+        }
+        ids.join(" + ")
     }
 }
 
@@ -110,7 +142,7 @@ impl RemediationPlan {
                 i + 1,
                 r.improvement() * 100.0,
                 r.outcome.change,
-                r.candidate.cause_id,
+                r.cause_label(),
                 r.outcome.baseline_secs,
                 r.outcome.predicted_secs,
             ));
@@ -138,9 +170,15 @@ struct CauseView<'a> {
 
 impl Planner {
     /// A planner evaluating at `evaluate_at`, deriving candidates from causes of at
-    /// least [`ConfidenceLevel::Medium`].
+    /// least [`ConfidenceLevel::Medium`] and evaluating up to 4 compound sets.
     pub fn new(evaluate_at: Timestamp) -> Self {
-        Planner { config: PlannerConfig { evaluate_at, min_confidence: ConfidenceLevel::Medium } }
+        Planner {
+            config: PlannerConfig {
+                evaluate_at,
+                min_confidence: ConfidenceLevel::Medium,
+                max_compound_sets: 4,
+            },
+        }
     }
 
     /// A planner for a completed scenario: evaluates at the start of the last
@@ -205,16 +243,43 @@ impl Planner {
                 self.config.evaluate_at,
                 baseline,
             ) {
-                Ok(outcome) => ranked.push(RankedRemediation { candidate, outcome }),
+                Ok(outcome) => ranked.push(RankedRemediation { candidates: vec![candidate], outcome }),
                 Err(error) => failed.push((candidate, error)),
             }
         }
-        // Stable sort: ties keep cause-rank (derivation) order. Improvements are
-        // ratios of finite executor times, so the comparison is total in practice;
-        // NaN (if it ever appeared) sorts last rather than panicking.
-        ranked.sort_by(|a, b| {
-            b.improvement().partial_cmp(&a.improvement()).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Compound search: pairs of evaluable singles addressing *different*
+        // causes, in derivation order, each applied to one fork. Bounded by the
+        // candidate budget; `singles` is fixed before anything is appended, so
+        // sets never pair with sets.
+        let singles = ranked.len();
+        let mut sets_evaluated = 0;
+        'pairs: for i in 0..singles {
+            for j in (i + 1)..singles {
+                if sets_evaluated >= self.config.max_compound_sets {
+                    break 'pairs;
+                }
+                let (a, b) = (&ranked[i].candidates[0], &ranked[j].candidates[0]);
+                if a.cause_id == b.cause_id {
+                    continue;
+                }
+                let set = vec![a.clone(), b.clone()];
+                let changes: Vec<ProposedChange> = set.iter().map(|c| c.change.clone()).collect();
+                sets_evaluated += 1;
+                match whatif::evaluate_set_with_baseline(testbed, &changes, self.config.evaluate_at, baseline)
+                {
+                    Ok(outcome) => ranked.push(RankedRemediation { candidates: set, outcome }),
+                    // Both members validated as singles, so a set failure is an
+                    // executor error: surface it on each member rather than
+                    // dropping the set silently.
+                    Err(error) => {
+                        failed.extend(set.into_iter().map(|c| (c, format!("compound set: {error}"))))
+                    }
+                }
+            }
+        }
+        // Stable sort: ties keep cause-rank (derivation) order, singles before the
+        // compound sets derived from them.
+        ranked.sort_by(rank_order);
         RemediationPlan { ranked, failed }
     }
 
@@ -289,13 +354,38 @@ impl Planner {
                             .into(),
                     );
                 }
+                cause_ids::INDEX_DROPPED => {
+                    for index in testbed.catalog.dropped_index_names() {
+                        push(
+                            cause.id,
+                            ProposedChange::RecreateIndex { index: index.clone() },
+                            format!(
+                                "index {index} was dropped, regressing the plan; \
+                                 recreate it from its retained definition"
+                            ),
+                        );
+                    }
+                }
                 // No reversible counterpart in the what-if vocabulary: bulk data
-                // changes (data is not un-loadable) and dropped indexes (no
-                // create-index change) derive nothing.
+                // changes (data is not un-loadable) derive nothing.
                 _ => {}
             }
         }
         out
+    }
+}
+
+/// Descending order by predicted improvement, NaN strictly last: the comparison
+/// is total ([`f64::total_cmp`]), so an unexpected NaN (a degenerate executor
+/// time) can never panic the sort *or* float to the top — it sorts after every
+/// finite improvement regardless of where it started.
+fn rank_order(a: &RankedRemediation, b: &RankedRemediation) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.improvement().is_nan(), b.improvement().is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.improvement().total_cmp(&a.improvement()),
     }
 }
 
@@ -440,6 +530,26 @@ mod tests {
         let text = plan.render();
         assert!(text.contains("[failed]"));
         assert!(text.contains("ghost"));
+    }
+
+    #[test]
+    fn nan_improvement_sorts_last_not_in_place() {
+        let entry = |label: &str, predicted_secs: f64| RankedRemediation {
+            candidates: vec![RemediationCandidate {
+                cause_id: label.to_string(),
+                change: ProposedChange::ClearLockWindows,
+                rationale: "test".into(),
+            }],
+            outcome: WhatIfOutcome { change: label.to_string(), baseline_secs: 100.0, predicted_secs },
+        };
+        // The NaN entry starts *first* — the old partial_cmp(..).unwrap_or(Equal)
+        // sort left it exactly there.
+        let mut ranked =
+            [entry("nan", f64::NAN), entry("worse", 120.0), entry("best", 60.0), entry("good", 90.0)];
+        ranked.sort_by(rank_order);
+        let order: Vec<&str> = ranked.iter().map(|r| r.outcome.change.as_str()).collect();
+        assert_eq!(order, vec!["best", "good", "worse", "nan"]);
+        assert!(ranked.last().unwrap().improvement().is_nan());
     }
 
     #[test]

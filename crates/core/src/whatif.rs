@@ -33,6 +33,14 @@ pub enum ProposedChange {
         /// The index to drop.
         index: String,
     },
+    /// Recreate a dropped index from its retained definition (the inverse of
+    /// [`ProposedChange::DropIndex`] — the remediation for an index-dropped
+    /// diagnosis). The definition comes from the catalog's dropped-index
+    /// tombstones ([`diads_db::Catalog::dropped_index`]).
+    RecreateIndex {
+        /// The dropped index to recreate.
+        index: String,
+    },
     /// Remove an external workload from the SAN (e.g. move the interloper elsewhere).
     RemoveExternalWorkload {
         /// Name of the workload to remove.
@@ -54,6 +62,7 @@ impl ProposedChange {
             }
             ProposedChange::ChangeConfig { description, .. } => description.clone(),
             ProposedChange::DropIndex { index } => format!("drop index {index}"),
+            ProposedChange::RecreateIndex { index } => format!("recreate index {index}"),
             ProposedChange::RemoveExternalWorkload { workload } => {
                 format!("remove external workload {workload}")
             }
@@ -112,6 +121,50 @@ pub fn evaluate_with_baseline(
 ) -> Result<WhatIfOutcome, String> {
     // Validate names against the live testbed *before* paying for the fork: a
     // rejected candidate must not cost a throwaway deep copy of the deployment.
+    validate_change(testbed, change)?;
+
+    // Build the modified copy: an empty-store, private-engine fork (see
+    // `Testbed::fork` for why those two fields are reset).
+    let mut modified = testbed.fork();
+    apply_change(&mut modified, change)?;
+
+    let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
+    Ok(WhatIfOutcome { change: change.describe(), baseline_secs, predicted_secs: predicted.elapsed_secs })
+}
+
+/// Evaluates a compound change **set** on a single fork: every change is validated
+/// against the live testbed, then applied in order to one modified copy, and the
+/// query is executed once — the remediation planner's "revert the config AND
+/// remove the interloper" evaluation. The outcome's `change` joins the individual
+/// descriptions with `" + "`.
+///
+/// # Errors
+/// Same name-validation contract as [`evaluate`], applied to every change in the
+/// set; an empty set is rejected (it would evaluate an unmodified fork and report
+/// a ~0% "improvement").
+pub fn evaluate_set_with_baseline(
+    testbed: &Testbed,
+    changes: &[ProposedChange],
+    at: Timestamp,
+    baseline_secs: f64,
+) -> Result<WhatIfOutcome, String> {
+    if changes.is_empty() {
+        return Err("empty change set".to_string());
+    }
+    for change in changes {
+        validate_change(testbed, change)?;
+    }
+    let mut modified = testbed.fork();
+    for change in changes {
+        apply_change(&mut modified, change)?;
+    }
+    let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
+    let change = changes.iter().map(ProposedChange::describe).collect::<Vec<_>>().join(" + ");
+    Ok(WhatIfOutcome { change, baseline_secs, predicted_secs: predicted.elapsed_secs })
+}
+
+/// Rejects a change that names a component the live testbed does not have.
+fn validate_change(testbed: &Testbed, change: &ProposedChange) -> Result<(), String> {
     match change {
         ProposedChange::MoveTablespace { tablespace, to_volume } => {
             if testbed.catalog.tablespace(tablespace).is_none() {
@@ -119,6 +172,11 @@ pub fn evaluate_with_baseline(
             }
             if testbed.san.topology().volume(to_volume).is_none() {
                 return Err(format!("unknown destination volume {to_volume}"));
+            }
+        }
+        ProposedChange::RecreateIndex { index } => {
+            if testbed.catalog.dropped_index(index).is_none() {
+                return Err(format!("no retained definition for dropped index {index}"));
             }
         }
         ProposedChange::RemoveExternalWorkload { workload } => {
@@ -133,36 +191,16 @@ pub fn evaluate_with_baseline(
         }
         ProposedChange::ChangeConfig { .. } | ProposedChange::DropIndex { .. } => {}
     }
+    Ok(())
+}
 
-    // Build the modified copy: an empty-store, private-engine fork (see
-    // `Testbed::fork` for why those two fields are reset).
-    let mut modified = testbed.fork();
+/// Applies one change to a forked testbed, reading **only** from `modified` — so a
+/// compound set can apply several changes sequentially without any of them
+/// resurrecting state an earlier change removed.
+fn apply_change(modified: &mut Testbed, change: &ProposedChange) -> Result<(), String> {
     match change {
         ProposedChange::MoveTablespace { tablespace, to_volume } => {
-            // Rebuild the catalog with the tablespace remapped.
-            let mut catalog = diads_db::Catalog::new();
-            for name in modified.catalog.tablespace_names() {
-                let ts = modified.catalog.tablespace(&name).expect("listed").clone();
-                let volume = if name == *tablespace { to_volume.clone() } else { ts.volume.clone() };
-                catalog
-                    .add_tablespace(diads_db::Tablespace {
-                        name: ts.name.clone(),
-                        volume,
-                        storage: ts.storage,
-                    })
-                    .map_err(|e| e.to_string())?;
-            }
-            for name in modified.catalog.table_names() {
-                catalog
-                    .add_table(modified.catalog.table(&name).expect("listed").clone())
-                    .map_err(|e| e.to_string())?;
-            }
-            for name in modified.catalog.index_names() {
-                catalog
-                    .add_index(modified.catalog.index(&name).expect("listed").clone())
-                    .map_err(|e| e.to_string())?;
-            }
-            modified.catalog = catalog;
+            modified.catalog.move_tablespace(tablespace, to_volume).map_err(|e| e.to_string())?;
         }
         ProposedChange::ChangeConfig { new_config, .. } => {
             modified.config = new_config.clone();
@@ -170,12 +208,20 @@ pub fn evaluate_with_baseline(
         ProposedChange::DropIndex { index } => {
             modified.catalog.drop_index(index).map_err(|e| e.to_string())?;
         }
+        ProposedChange::RecreateIndex { index } => {
+            let definition = modified
+                .catalog
+                .dropped_index(index)
+                .cloned()
+                .ok_or_else(|| format!("no retained definition for dropped index {index}"))?;
+            modified.catalog.add_index(definition).map_err(|e| e.to_string())?;
+        }
         ProposedChange::RemoveExternalWorkload { workload } => {
             // The SAN simulator has no workload-removal API (workloads are append-only
             // monitoring facts), so rebuild it without the named workload.
             let mut san =
-                diads_san::SanSimulator::with_config(testbed.san.topology().clone(), *testbed.san.config());
-            for w in testbed.san.workloads() {
+                diads_san::SanSimulator::with_config(modified.san.topology().clone(), *modified.san.config());
+            for w in modified.san.workloads() {
                 if w.name != *workload {
                     san.add_workload(w.clone()).map_err(|e| e.to_string())?;
                 }
@@ -185,8 +231,6 @@ pub fn evaluate_with_baseline(
         ProposedChange::ClearLockWindows => {
             modified.locks = diads_db::LockManager::new();
         }
-    };
-
-    let predicted = modified.execute_once(at).map_err(|e| e.to_string())?;
-    Ok(WhatIfOutcome { change: change.describe(), baseline_secs, predicted_secs: predicted.elapsed_secs })
+    }
+    Ok(())
 }

@@ -211,6 +211,23 @@ impl<'a> DiagnosisContext<'a> {
     pub fn unsatisfactory_runs(&self) -> Vec<&'a LabeledRun> {
         self.runs_with_plan(&self.history.unsatisfactory())
     }
+
+    /// The satisfactory baseline for **metric** scoring: plan-filtered satisfactory
+    /// runs when any exist, otherwise *all* satisfactory runs. Component metrics
+    /// (volume service times, pool throughput, instance counters) are physical facts
+    /// independent of which plan produced the load, so when a plan change leaves the
+    /// plan-filtered satisfactory sample empty the re-drill pass baselines against
+    /// the full satisfactory history instead of scoring nothing. Operator-level
+    /// scoring (CO/CR) must **not** use this: operator ids are per-plan structural
+    /// positions, so cross-plan operator samples are meaningless.
+    pub fn baseline_runs(&self) -> Vec<&'a LabeledRun> {
+        let filtered = self.satisfactory_runs();
+        if filtered.is_empty() {
+            self.history.satisfactory()
+        } else {
+            filtered
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -437,6 +454,19 @@ impl DiagnosisWorkflow {
         }
     }
 
+    /// The component set the DA **re-drill** pass scores: every non-operator
+    /// component of the (new) plan's APG. Under a plan change there are no
+    /// correlated operators to prune by, so the re-drill widens to the whole
+    /// dependency graph of the plan actually running (still far narrower than the
+    /// unpruned every-component ablation).
+    fn redrill_components(&self, ctx: &DiagnosisContext<'_>) -> Vec<ComponentId> {
+        if self.config.prune_by_dependency_paths {
+            ctx.apg.all_components().into_iter().filter(|c| c.kind != ComponentKind::PlanOperator).collect()
+        } else {
+            ctx.store.components().into_iter().filter(|c| c.kind != ComponentKind::PlanOperator).collect()
+        }
+    }
+
     /// Module DA: anomaly scores for the performance metrics of components on the
     /// correlated operators' dependency paths (or of every component when pruning is
     /// disabled — the ablation the paper's §1.1 argues against).
@@ -452,16 +482,43 @@ impl DiagnosisWorkflow {
         cache: &mut DiagnosisCache,
     ) -> DependencyAnalysisResult {
         let components = self.dependency_components(ctx, cos);
+        let satisfactory = ctx.satisfactory_runs();
+        self.dependency_analysis_dispatch(ctx, components, satisfactory, cache)
+    }
+
+    /// Module DA, **re-drill** mode: invoked by the standard pipeline when PD has
+    /// reported a plan change. The component set widens to every non-operator
+    /// component of the new plan's APG ([`Self::redrill_components`]) and the
+    /// satisfactory baseline falls back to the full satisfactory history
+    /// ([`DiagnosisContext::baseline_runs`]) — component metrics are plan-independent
+    /// physical facts, so the old plan's runs remain a valid baseline for them.
+    pub fn dependency_analysis_redrill(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
+        let components = self.redrill_components(ctx);
+        let satisfactory = ctx.baseline_runs();
+        self.dependency_analysis_dispatch(ctx, components, satisfactory, cache)
+    }
+
+    fn dependency_analysis_dispatch(
+        &self,
+        ctx: &DiagnosisContext<'_>,
+        components: Vec<ComponentId>,
+        satisfactory: Vec<&LabeledRun>,
+        cache: &mut DiagnosisCache,
+    ) -> DependencyAnalysisResult {
         // A disabled cache is a refit-baseline request: it must stay on the
         // sequential per-call-refit path, not on pooled workers with live caches.
         #[cfg(feature = "parallel")]
         if cache.is_enabled() {
             let workers = da_worker_count(components.len());
             if workers > 1 {
-                return self.dependency_analysis_on_pool(ctx, &components, workers, cache);
+                return self.dependency_analysis_on_pool(ctx, &components, &satisfactory, workers, cache);
             }
         }
-        self.score_components_sequential(ctx, components, cache)
+        self.score_components_sequential(ctx, components, satisfactory, cache)
     }
 
     /// Module DA, forced sequential (the baseline the parallel path is benchmarked
@@ -473,16 +530,17 @@ impl DiagnosisWorkflow {
         cache: &mut DiagnosisCache,
     ) -> DependencyAnalysisResult {
         let components = self.dependency_components(ctx, cos);
-        self.score_components_sequential(ctx, components, cache)
+        let satisfactory = ctx.satisfactory_runs();
+        self.score_components_sequential(ctx, components, satisfactory, cache)
     }
 
     fn score_components_sequential(
         &self,
         ctx: &DiagnosisContext<'_>,
         components: Vec<ComponentId>,
+        satisfactory: Vec<&LabeledRun>,
         cache: &mut DiagnosisCache,
     ) -> DependencyAnalysisResult {
-        let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
         let mut metric_scores = Vec::new();
         let mut correlated_components = Vec::new();
@@ -574,7 +632,8 @@ impl DiagnosisWorkflow {
         threads: usize,
     ) -> DependencyAnalysisResult {
         let components = self.dependency_components(ctx, cos);
-        self.dependency_analysis_on_pool(ctx, &components, threads, &mut DiagnosisCache::new())
+        let satisfactory = ctx.satisfactory_runs();
+        self.dependency_analysis_on_pool(ctx, &components, &satisfactory, threads, &mut DiagnosisCache::new())
     }
 
     #[cfg(feature = "parallel")]
@@ -582,12 +641,12 @@ impl DiagnosisWorkflow {
         &self,
         ctx: &DiagnosisContext<'_>,
         components: &[ComponentId],
+        satisfactory: &[&LabeledRun],
         threads: usize,
         cache: &mut DiagnosisCache,
     ) -> DependencyAnalysisResult {
         let threads = if threads == 0 { da_worker_count(components.len()) } else { threads };
         let threads = threads.clamp(1, components.len().max(1));
-        let satisfactory = ctx.satisfactory_runs();
         let unsatisfactory = ctx.unsatisfactory_runs();
         let chunk_len = components.len().div_ceil(threads);
         let chunks: Vec<&[ComponentId]> = components.chunks(chunk_len.max(1)).collect();
@@ -769,13 +828,18 @@ impl DiagnosisWorkflow {
 
         // Configuration and system events in the change window.
         let window = ctx.change_window();
-        let relevant_volumes: Vec<String> = cos
-            .correlated
-            .iter()
-            .flat_map(|op| ctx.apg.inner_path(*op))
-            .filter(|c| c.kind == ComponentKind::StorageVolume)
-            .map(|c| c.name.clone())
-            .collect();
+        let relevant_volumes: Vec<String> = if pd.same_plan {
+            cos.correlated
+                .iter()
+                .flat_map(|op| ctx.apg.inner_path(*op))
+                .filter(|c| c.kind == ComponentKind::StorageVolume)
+                .map(|c| c.name.clone())
+                .collect()
+        } else {
+            // Re-drill: a plan change leaves no correlated operators to narrow the
+            // volume set, so consider every volume the *new* plan's leaves read.
+            ctx.apg.leaf_volume_names().into_iter().collect()
+        };
         for event in ctx.events.in_range(window) {
             match event.kind {
                 EventKind::VolumeCreated => {
@@ -915,8 +979,11 @@ impl DiagnosisWorkflow {
             ));
         }
 
-        // Instance-level and server-level signals.
-        let satisfactory = ctx.satisfactory_runs();
+        // Instance-level and server-level signals. Instance metrics are physical
+        // facts independent of the plan, so the re-drill pass baselines them
+        // against the full satisfactory history (identical to the plan-filtered
+        // set whenever that set is non-empty, i.e. whenever the plan is unchanged).
+        let satisfactory = if pd.same_plan { ctx.satisfactory_runs() } else { ctx.baseline_runs() };
         let unsatisfactory = ctx.unsatisfactory_runs();
         let lock_sat = db_metric_samples(&satisfactory, &MetricName::LockWaitTime);
         let lock_unsat = db_metric_samples(&unsatisfactory, &MetricName::LockWaitTime);
@@ -1164,10 +1231,11 @@ impl DiagnosisWorkflow {
 /// history — the pre-pass of incremental re-diagnosis.
 ///
 /// For every cached variable: a *positive* fit is grown by merge-inserting the
-/// samples the new plan-filtered satisfactory runs (`index >= prior_runs`)
-/// contribute, exactly mirroring how each module derives its satisfactory sample
-/// (CO: operator elapsed times, CR: operator record counts, DA: per-run metric
-/// means); a *negative* entry is dropped, because the new runs may have pushed the
+/// samples the new runs (`index >= prior_runs`) contribute, exactly mirroring how
+/// each module derives its satisfactory sample (CO: operator elapsed times over
+/// plan-filtered runs, CR: operator record counts over plan-filtered runs, DA:
+/// per-run metric means over baseline runs); a *negative* entry is dropped, because
+/// the new runs may have pushed the
 /// variable over [`MIN_SATISFACTORY_SAMPLES`] — the next lookup re-derives it from
 /// the full sample. [`diads_stats::Kde::extended`] is bit-identical to a cold refit
 /// of the concatenated sample, so diagnosing with the extended cache matches a cold
@@ -1181,8 +1249,18 @@ pub(crate) fn extend_cache_for_new_runs(
         // No runs were appended: every cached sample is already exact.
         return;
     }
+    // Operator-level fits (CO/CR) are always derived from the plan-filtered
+    // satisfactory runs; metric fits (DA, and the re-drill pass) are derived from
+    // [`DiagnosisContext::baseline_runs`], which falls back to the full satisfactory
+    // history when a plan change empties the plan-filtered set. The two sets are
+    // identical whenever the plan-filtered set is non-empty, and the engine falls
+    // back to a cold diagnosis when the appended runs flip that emptiness (see the
+    // scope-flip guard in `DiagnosisEngine::diagnose_incremental`), so each delta
+    // below exactly mirrors the sample the corresponding module scores with.
     let new_satisfactory: Vec<&LabeledRun> =
         ctx.satisfactory_runs().into_iter().filter(|r| r.index >= prior_runs).collect();
+    let new_baseline: Vec<&LabeledRun> =
+        ctx.baseline_runs().into_iter().filter(|r| r.index >= prior_runs).collect();
     let keys: Vec<ScoreKey> = cache.entries().map(|(k, _)| *k).collect();
     for key in keys {
         if cache.get(&key).is_none() {
@@ -1196,9 +1274,7 @@ pub(crate) fn extend_cache_for_new_runs(
             ScoreKey::OperatorRows(op) => {
                 samples(&new_satisfactory, |r| r.operator(op).map(|o| o.actual_rows))
             }
-            ScoreKey::Metric(metric_key) => {
-                per_run_metric_means_by_key(ctx.store, metric_key, &new_satisfactory)
-            }
+            ScoreKey::Metric(metric_key) => per_run_metric_means_by_key(ctx.store, metric_key, &new_baseline),
         };
         if !cache.extend_fit(&key, &delta) {
             cache.remove(&key);

@@ -112,6 +112,11 @@ pub struct Catalog {
     tables: BTreeMap<String, Table>,
     indexes: BTreeMap<String, Index>,
     tablespaces: BTreeMap<String, Tablespace>,
+    /// Definitions of dropped indexes, keyed by name — the remediation planner
+    /// reads these to propose recreating an index a fault (or an operator)
+    /// dropped. Re-adding an index with [`Catalog::add_index`] clears its
+    /// tombstone.
+    dropped_indexes: BTreeMap<String, Index>,
 }
 
 impl Catalog {
@@ -158,16 +163,32 @@ impl Catalog {
         if !self.tables.contains_key(&index.table) {
             return Err(DbError::UnknownObject(index.table));
         }
+        self.dropped_indexes.remove(&index.name);
         self.indexes.insert(index.name.clone(), index);
         Ok(())
     }
 
-    /// Drops an index (used by the index-drop fault and module PD's analysis).
+    /// Drops an index (used by the index-drop fault and module PD's analysis). The
+    /// dropped definition is retained as a tombstone (see
+    /// [`Catalog::dropped_index`]) so a recreate-index remediation can restore it.
     ///
     /// # Errors
     /// Fails if the index does not exist.
     pub fn drop_index(&mut self, name: &str) -> Result<Index> {
-        self.indexes.remove(name).ok_or_else(|| DbError::UnknownObject(name.to_string()))
+        let index = self.indexes.remove(name).ok_or_else(|| DbError::UnknownObject(name.to_string()))?;
+        self.dropped_indexes.insert(name.to_string(), index.clone());
+        Ok(index)
+    }
+
+    /// The retained definition of a dropped index, if one was dropped under this
+    /// name (and not since re-added).
+    pub fn dropped_index(&self, name: &str) -> Option<&Index> {
+        self.dropped_indexes.get(name)
+    }
+
+    /// Names of every dropped index whose definition is still retained.
+    pub fn dropped_index_names(&self) -> Vec<String> {
+        self.dropped_indexes.keys().cloned().collect()
     }
 
     /// A table by name.
@@ -208,6 +229,17 @@ impl Catalog {
     /// All tablespace names.
     pub fn tablespace_names(&self) -> Vec<String> {
         self.tablespaces.keys().cloned().collect()
+    }
+
+    /// Re-points a tablespace at a different volume (the what-if "move tablespace"
+    /// change). Tables, indexes and dropped-index tombstones are untouched.
+    ///
+    /// # Errors
+    /// Fails if the tablespace does not exist.
+    pub fn move_tablespace(&mut self, name: &str, to_volume: &str) -> Result<()> {
+        let ts = self.tablespaces.get_mut(name).ok_or_else(|| DbError::UnknownObject(name.to_string()))?;
+        ts.volume = to_volume.to_string();
+        Ok(())
     }
 
     /// The SAN volume a table's data lives on (via its tablespace).
@@ -401,6 +433,13 @@ mod tests {
         assert!(!c.has_index_on("orders"));
         assert!(c.drop_index("orders_pk").is_err());
         assert!(c.index("orders_pk").is_none());
+        // The dropped definition is retained as a tombstone until re-added.
+        assert_eq!(c.dropped_index("orders_pk").unwrap().column, "o_orderkey");
+        assert_eq!(c.dropped_index_names(), vec!["orders_pk"]);
+        let restored = c.dropped_index("orders_pk").unwrap().clone();
+        c.add_index(restored).unwrap();
+        assert!(c.has_index_on("orders"));
+        assert!(c.dropped_index("orders_pk").is_none());
     }
 
     #[test]

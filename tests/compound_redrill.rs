@@ -1,0 +1,60 @@
+//! Property test for the post-PD re-drill: no concurrent cause is masked.
+//!
+//! Before the re-drill, a plan change gated CO/DA/CR off entirely, so a compound
+//! scenario whose database-side fault changed the plan (index drop, config
+//! change) lost all component-level evidence for its *SAN-side* fault — the
+//! second cause simply never ranked. The re-drill runs DA and SD against the new
+//! plan's access-path graph with cross-plan metric baselines, so both layers'
+//! evidence survives.
+//!
+//! The property: for **every** compound DB+SAN scenario in the matrix, every
+//! injected fault's corresponding cause appears in the ranked causes at Medium
+//! confidence or better. This quantifies over `all_scenarios()`, so a new
+//! compound scenario is covered the day it is added to the matrix.
+
+use diads::core::{ConfidenceLevel, Testbed};
+use diads::inject::scenarios::{all_scenarios, cause_ids};
+
+/// The cause a fault label should surface as (the inverse of the remediation
+/// mapping in `tests/whatif.rs`). Exhaustive over `Fault::label()` values so a
+/// new fault kind fails loudly here instead of being silently skipped.
+fn expected_cause(fault_label: &str) -> &'static str {
+    match fault_label {
+        "san-misconfiguration" => cause_ids::SAN_MISCONFIGURATION,
+        "external-volume-contention" => cause_ids::EXTERNAL_WORKLOAD_CONTENTION,
+        "bulk-dml" => cause_ids::DATA_PROPERTY_CHANGE,
+        "table-lock-contention" => cause_ids::TABLE_LOCK_CONTENTION,
+        "index-drop" => cause_ids::INDEX_DROPPED,
+        "config-parameter-change" => cause_ids::CONFIG_PARAMETER_CHANGE,
+        "disk-failure" => cause_ids::DISK_FAILURE,
+        "raid-rebuild" => cause_ids::RAID_REBUILD,
+        other => panic!("fault label {other} has no expected cause mapping"),
+    }
+}
+
+#[test]
+fn every_injected_fault_ranks_at_medium_or_better_on_every_compound_scenario() {
+    let compounds: Vec<_> = all_scenarios().into_iter().filter(|s| s.is_compound_db_san()).collect();
+    assert!(compounds.len() >= 4, "the matrix keeps its compound scenarios");
+    for scenario in compounds {
+        let outcome = Testbed::run_scenario(&scenario);
+        let report = diads::diagnose_scenario_outcome(&outcome);
+        for injected in &scenario.faults {
+            let cause_id = expected_cause(injected.fault.label());
+            let ranked = report.causes.iter().find(|c| c.cause_id == cause_id).unwrap_or_else(|| {
+                panic!("{}: cause {cause_id} missing from the report\n{}", scenario.id, report.render())
+            });
+            assert!(
+                ranked.confidence >= ConfidenceLevel::Medium,
+                "{}: injected fault {} ranked its cause {} only at {:?} (score {:.1}) — \
+                 a concurrent cause is being masked\n{}",
+                scenario.id,
+                injected.fault.label(),
+                cause_id,
+                ranked.confidence,
+                ranked.confidence_score,
+                report.render()
+            );
+        }
+    }
+}

@@ -21,6 +21,21 @@
 //! noise drawn per sample, so every pin was recaptured once against the new streams —
 //! all eight (top cause, confidence) pairs came back unchanged, because the Table-1
 //! fault signatures dominate the collector jitter.
+//!
+//! **Recapture note (post-PD re-drill).** Plan-change diagnoses used to gate
+//! CO/DA/CR off entirely, so the four plan-change scenarios (index drop, config
+//! change, and the two compound scenarios built on them) ranked only the
+//! plan-change cause. The re-drill runs CO/DA/CR/SD against the *new* plan's
+//! access-path graph with cross-plan metric baselines, which adds component
+//! evidence and symptom scores below the top slot. Every pin in this file was
+//! deliberately re-verified against the re-drilled reports: all fourteen (top
+//! cause, confidence) pairs came back unchanged — the plan-change cause still
+//! dominates each ranking — so no pinned value moved; the change is confined to
+//! the *secondary* causes, which the two plan-change compound goldens below now
+//! additionally pin (the SAN-side cause used to be invisible there, the exact
+//! masking bug the re-drill fixes). Non-plan-change pins are byte-identical by
+//! construction: `baseline_runs()` equals the plan-filtered satisfactory set
+//! whenever that set is non-empty.
 
 use diads::core::{ConfidenceLevel, Testbed};
 use diads::inject::scenarios::{
@@ -171,6 +186,22 @@ fn golden_compound_index_raid_top_cause_and_confidence() {
     });
 }
 
+/// The re-drill acceptance pin: the SAN half of the index-drop + RAID-rebuild
+/// scenario must rank even though the DB half changed the plan.
+#[test]
+fn golden_compound_index_raid_ranks_the_raid_rebuild_too() {
+    let scenario = compound_index_drop_and_raid_scenario(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    assert!(report.plan_changed, "the dropped index changes the plan");
+    let rebuild = report
+        .causes
+        .iter()
+        .find(|c| c.cause_id == "raid-rebuild")
+        .unwrap_or_else(|| panic!("raid-rebuild missing\n{}", report.render()));
+    assert_eq!(rebuild.confidence, ConfidenceLevel::High, "score {:.1}", rebuild.confidence_score);
+}
+
 #[test]
 fn golden_compound_config_contention_top_cause_and_confidence() {
     check(Golden {
@@ -178,6 +209,36 @@ fn golden_compound_config_contention_top_cause_and_confidence() {
         top_cause: "config-parameter-change",
         confidence: ConfidenceLevel::High,
     });
+}
+
+/// The re-drill acceptance pin: both causes of the flagship plan-change compound
+/// scenario rank — the config change High (plan-diff evidence) *and* the
+/// concurrent SAN contention at Medium or better (re-drilled DA/SD evidence,
+/// which the old plan-change gating threw away).
+#[test]
+fn golden_compound_config_contention_ranks_both_causes() {
+    let scenario = compound_config_and_contention_scenario(ScenarioTimeline::short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let report = diads::diagnose_scenario_outcome(&outcome);
+    assert!(report.plan_changed, "the config change flips the plan");
+    let config = report
+        .causes
+        .iter()
+        .find(|c| c.cause_id == "config-parameter-change")
+        .unwrap_or_else(|| panic!("config-parameter-change missing\n{}", report.render()));
+    assert_eq!(config.confidence, ConfidenceLevel::High, "score {:.1}", config.confidence_score);
+    let contention = report
+        .causes
+        .iter()
+        .find(|c| c.cause_id == "external-workload-contention")
+        .unwrap_or_else(|| panic!("external-workload-contention missing\n{}", report.render()));
+    assert!(
+        contention.confidence >= ConfidenceLevel::Medium,
+        "the concurrent SAN contention must not be masked by the plan change: {:?} (score {:.1})\n{}",
+        contention.confidence,
+        contention.confidence_score,
+        report.render()
+    );
 }
 
 #[test]

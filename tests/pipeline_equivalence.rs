@@ -1,13 +1,12 @@
 //! Equivalence and composability tests for the [`DiagnosisPipeline`].
 //!
-//! The pipeline is the *only* batch execution path now, so equivalence with "the
-//! legacy workflow" is pinned against an independent, manually-sequenced
-//! composition of the module methods — the exact PD → (CO → DA → CR, gated on the
-//! plan-diff verdict) → SD → IA order the monolithic `run_with_cache` hardcoded —
-//! rather than against a retired twin implementation. The composability half
-//! exercises the builder: skipped stages fall back to well-formed empty inputs,
-//! custom stages rewrite the evidence ledger, and observers stream per-stage
-//! progress.
+//! The pipeline is the *only* batch execution path now, so equivalence is pinned
+//! against an independent, manually-sequenced composition of the module methods —
+//! PD → CO → (DA, re-drilled against the new plan's APG when PD found a plan
+//! change) → CR → SD → IA — rather than against a retired twin implementation.
+//! The composability half exercises the builder: skipped stages fall back to
+//! well-formed empty inputs, custom stages rewrite the evidence ledger, and
+//! observers stream per-stage progress.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -37,29 +36,29 @@ fn context<'a>(
     }
 }
 
-/// The legacy batch sequencing, spelled out module by module: one shared cache,
-/// CO/DA/CR skipped (empty results) when PD finds a plan change, report assembled
-/// from the locals. This is deliberately *not* implemented via the pipeline.
+/// The batch sequencing, spelled out module by module: one shared cache, every
+/// stage always runs, and DA switches to its re-drill entry point when PD finds a
+/// plan change (SD picks re-drill mode internally off `pd`). This is deliberately
+/// *not* implemented via the pipeline.
 fn legacy_module_by_module(ctx: &DiagnosisContext<'_>) -> DiagnosisReport {
     let workflow = DiagnosisWorkflow::new();
     let mut cache = DiagnosisCache::new();
     let pd = workflow.plan_diffing(ctx);
-    let (cos, da, cr) = if pd.same_plan {
-        let cos = workflow.correlated_operators(ctx, &mut cache);
-        let da = workflow.dependency_analysis(ctx, &cos, &mut cache);
-        let cr = workflow.record_counts(ctx, &cos, &mut cache);
-        (cos, da, cr)
+    let cos = workflow.correlated_operators(ctx, &mut cache);
+    let da = if pd.same_plan {
+        workflow.dependency_analysis(ctx, &cos, &mut cache)
     } else {
-        (Default::default(), Default::default(), Default::default())
+        workflow.dependency_analysis_redrill(ctx, &mut cache)
     };
+    let cr = workflow.record_counts(ctx, &cos, &mut cache);
     let sd = workflow.symptoms(ctx, &pd, &cos, &da, &cr);
     let ia = workflow.impact_analysis(ctx, &cos, &da, &cr, &sd);
     workflow.assemble_report(ctx, &pd, &cos, &da, &cr, &sd, &ia)
 }
 
-/// `DiagnosisPipeline::standard()` must reproduce the legacy module-by-module
-/// composition report-for-report over the full scenario matrix (including the two
-/// plan-change scenarios, which exercise the CO/DA/CR gating).
+/// `DiagnosisPipeline::standard()` must reproduce the module-by-module
+/// composition report-for-report over the full scenario matrix (including the
+/// plan-change scenarios, which exercise the DA/SD re-drill dispatch).
 #[test]
 fn standard_pipeline_matches_legacy_composition_over_all_scenarios() {
     for scenario in all_scenarios() {
@@ -250,7 +249,7 @@ fn planner_stage_appends_to_the_standard_pipeline_and_fills_the_ledger() {
     let plan = observed.lock().unwrap().take().expect("the PLAN observer fired with the ledger slot set");
     let best = plan.best().expect("scenario 1 has evaluable remediations");
     assert!(best.improvement() > 0.1, "{}", plan.render());
-    assert_eq!(best.candidate.cause_id, "san-misconfiguration-contention");
+    assert_eq!(best.candidates[0].cause_id, "san-misconfiguration-contention");
 
     // The interactive route reads the same slot straight off the session ledger —
     // running PLAN pulls its SD prerequisite chain in, but not IA.
@@ -269,11 +268,12 @@ fn planner_stage_appends_to_the_standard_pipeline_and_fills_the_ledger() {
     assert!(session.state().remediation.is_some(), "finish re-runs the planner stage");
 }
 
-/// The pipeline gating must reproduce the legacy plan-change behaviour even with
-/// pruning disabled: a changed plan writes empty CO/DA/CR results instead of
-/// scoring every monitored component.
+/// A changed plan no longer gates CO/DA/CR off — DA re-drills against the new
+/// plan's APG (with pruning disabled: every non-operator monitored component)
+/// using the cross-plan satisfactory baseline, while CO still reports an honest
+/// empty result because no satisfactory run shares the new plan's fingerprint.
 #[test]
-fn plan_change_gating_holds_with_pruning_disabled() {
+fn plan_change_redrills_with_pruning_disabled() {
     let scenario = diads::inject::scenarios::index_drop_scenario(ScenarioTimeline::short());
     let outcome = Testbed::run_scenario(&scenario);
     let apg = outcome.apg();
@@ -284,10 +284,18 @@ fn plan_change_gating_holds_with_pruning_disabled() {
     workflow.config.prune_by_dependency_paths = false;
     let report = DiagnosisPipeline::with_workflow(workflow).run(&ctx);
     assert!(report.plan_changed);
-    assert!(report.correlated_operators.is_empty(), "CO is gated off on a plan change");
-    assert!(report.correlated_components.is_empty(), "DA is gated off on a plan change");
+    assert!(
+        report.correlated_operators.is_empty(),
+        "CO's plan-filtered satisfactory sample is empty across a plan change"
+    );
     let da = report.provenance.stages.iter().find(|s| s.stage == "DA").expect("DA ran");
-    assert_eq!((da.cache_hits, da.cache_misses), (0, 0), "gated DA must not touch the cache");
+    assert!(da.redrilled, "DA is marked re-drilled on a plan change");
+    assert!(
+        da.cache_hits + da.cache_misses > 0,
+        "re-drilled DA scores components through the cache instead of being gated off"
+    );
+    let co = report.provenance.stages.iter().find(|s| s.stage == "CO").expect("CO ran");
+    assert!(co.redrilled, "CO is marked re-drilled on a plan change");
 }
 
 /// `DiagnosisWorkflow::run` is a thin wrapper over the standard pipeline — same

@@ -164,10 +164,13 @@ fn scenario_1_report_json_shape_is_pinned() {
 
     // The stage list is the standard pipeline, in execution order.
     assert_eq!(string_values_of(&json, "stage"), vec!["PD", "CO", "DA", "CR", "SD", "IA"]);
-    // Every stage entry reports timing and cache provenance keys.
+    // Every stage entry reports timing and cache provenance keys, plus the
+    // re-drill marker (false throughout scenario 1: the plan never changed).
     assert_eq!(json.matches("\"elapsed_nanos\":").count(), 6);
     assert_eq!(json.matches("\"cache_hits\":").count(), 6);
     assert_eq!(json.matches("\"cache_misses\":").count(), 6);
+    assert_eq!(json.matches("\"redrilled\":false").count(), 6);
+    assert_eq!(json.matches("\"redrilled\":").count(), 6);
 
     // Cause ordering (confidence desc, impact desc) is pinned.
     assert_eq!(string_values_of(&json, "cause_id"), SCENARIO_1_CAUSE_ORDER.to_vec());

@@ -7,8 +7,10 @@
 //! none exist, rebuilt an *identical* deployment and reported ~0% improvement)
 //! — plus the [`Testbed::fork`] contract the evaluations rely on. The planner
 //! half pins, for every compound DB+SAN scenario, that the top-ranked
-//! remediation targets a fault the scenario actually injected and predicts a
-//! strictly positive improvement.
+//! remediation targets only faults the scenario actually injected and predicts a
+//! strictly positive improvement — and that the compound-set search (pairs of
+//! single changes addressing different causes, applied to one fork) finds the
+//! cross-layer fixes no single change can deliver.
 
 use diads::core::whatif::{evaluate, ProposedChange};
 use diads::core::{ConfidenceLevel, Planner, Testbed};
@@ -207,16 +209,18 @@ fn planner_top_change_targets_an_injected_fault_on_every_compound_scenario() {
             best.improvement(),
             plan.render()
         );
-        let label = injected_fault_label(&best.candidate.cause_id).unwrap_or_else(|| {
-            panic!("{}: cause {} maps to no fault label", scenario.id, best.candidate.cause_id)
-        });
-        assert!(
-            scenario.faults.iter().any(|f| f.fault.label() == label),
-            "{}: best remediation addresses {}, but no {label} fault was injected\n{}",
-            scenario.id,
-            best.candidate.cause_id,
-            plan.render()
-        );
+        for candidate in &best.candidates {
+            let label = injected_fault_label(&candidate.cause_id).unwrap_or_else(|| {
+                panic!("{}: cause {} maps to no fault label", scenario.id, candidate.cause_id)
+            });
+            assert!(
+                scenario.faults.iter().any(|f| f.fault.label() == label),
+                "{}: best remediation addresses {}, but no {label} fault was injected\n{}",
+                scenario.id,
+                candidate.cause_id,
+                plan.render()
+            );
+        }
         // Nothing the planner evaluated may error out on these scenarios.
         assert!(plan.failed.is_empty(), "{}: {:?}", scenario.id, plan.failed);
     }
@@ -243,17 +247,25 @@ fn planner_pins_for_the_lock_plus_interloper_scenario() {
     assert!(plan.ranked.len() >= 3, "{}", plan.render());
     // The 90s/scan lock dominates the slowdown, so clearing the lock windows is
     // the top-ranked remediation.
-    let best = plan.best().unwrap();
-    assert_eq!(best.candidate.change, ProposedChange::ClearLockWindows);
-    assert_eq!(best.candidate.cause_id, cause_ids::TABLE_LOCK_CONTENTION);
-    assert!(best.improvement() > 0.1, "{:+.3}", best.improvement());
+    let best_single = plan
+        .ranked
+        .iter()
+        .find(|r| !r.is_compound())
+        .expect("at least one single-change remediation evaluated");
+    assert_eq!(best_single.candidates[0].change, ProposedChange::ClearLockWindows);
+    assert_eq!(best_single.candidates[0].cause_id, cause_ids::TABLE_LOCK_CONTENTION);
+    assert!(best_single.improvement() > 0.1, "{:+.3}", best_single.improvement());
     // The SAN-side fixes are evaluated too, and also predicted to help.
     let moved = plan
         .ranked
         .iter()
         .find(|r| {
-            r.candidate.change
-                == ProposedChange::MoveTablespace { tablespace: "ts_partsupp".into(), to_volume: "V2".into() }
+            !r.is_compound()
+                && r.candidates[0].change
+                    == ProposedChange::MoveTablespace {
+                        tablespace: "ts_partsupp".into(),
+                        to_volume: "V2".into(),
+                    }
         })
         .expect("tablespace move evaluated");
     assert!(moved.improvement() > 0.1, "{:+.3}", moved.improvement());
@@ -261,11 +273,104 @@ fn planner_pins_for_the_lock_plus_interloper_scenario() {
         .ranked
         .iter()
         .find(|r| {
-            matches!(&r.candidate.change, ProposedChange::RemoveExternalWorkload { workload }
-                if workload == "interloper-on-Vprime")
+            !r.is_compound()
+                && matches!(&r.candidates[0].change, ProposedChange::RemoveExternalWorkload { workload }
+                    if workload == "interloper-on-Vprime")
         })
         .expect("interloper removal evaluated");
     assert!(removal.improvement() > 0.1);
+}
+
+/// The compound-set acceptance pin for the flagship plan-change compound
+/// scenario. After the post-PD re-drill both causes rank (config High, SAN
+/// contention Medium), so the planner derives candidates for *both* layers and
+/// the compound search finds that fixing the layers together beats any single
+/// change: the best overall remediation is a two-change set pairing the config
+/// revert with a SAN-contention fix, strictly better than every single. The
+/// DB-side revert alone is nearly free (+0.6%: on a contended volume the
+/// reverted index plan is barely faster) — its value only shows up *inside* the
+/// compound set, which is exactly why the pair search exists.
+#[test]
+fn planner_best_compound_set_pairs_config_revert_with_a_contention_fix() {
+    let scenario = compound_config_and_contention_scenario(short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let plan = Planner::for_outcome(&outcome).plan_outcome(&outcome);
+    let best = plan.best().expect("remediations evaluated");
+    assert!(best.is_compound(), "best remediation must be a compound set\n{}", plan.render());
+    let causes: Vec<&str> = best.candidates.iter().map(|c| c.cause_id.as_str()).collect();
+    assert!(causes.contains(&cause_ids::CONFIG_PARAMETER_CHANGE), "{}", plan.render());
+    assert!(causes.contains(&cause_ids::EXTERNAL_WORKLOAD_CONTENTION), "{}", plan.render());
+    for single in plan.ranked.iter().filter(|r| !r.is_compound()) {
+        assert!(
+            best.improvement() > single.improvement(),
+            "compound set ({:+.4}) must beat the single '{}' ({:+.4})\n{}",
+            best.improvement(),
+            single.outcome.change,
+            single.improvement(),
+            plan.render()
+        );
+    }
+    // The config-revert + workload-removal pair is in the evaluated set too.
+    assert!(
+        plan.ranked.iter().any(|r| r.is_compound()
+            && r.candidates
+                .iter()
+                .any(|c| matches!(&c.change, ProposedChange::RemoveExternalWorkload { .. }))),
+        "{}",
+        plan.render()
+    );
+
+    // The budget knob is a real off switch: zero compound sets means singles only.
+    let mut planner = Planner::for_outcome(&outcome);
+    planner.config.max_compound_sets = 0;
+    let singles_only = planner.plan_outcome(&outcome);
+    assert!(singles_only.ranked.iter().all(|r| !r.is_compound()));
+    assert!(!singles_only.ranked.is_empty());
+}
+
+/// The index-drop half of `compound_index_raid` now gets a DB-side remediation:
+/// the catalog retains the dropped index's definition as a tombstone, so the
+/// planner derives a `RecreateIndex` candidate from the index-dropped cause.
+/// Alone it is slightly *negative* (the recreated index plan does random reads
+/// against the still-rebuilding pool), but paired with moving the tablespace off
+/// that pool it becomes the best remediation overall — beating the tablespace
+/// move alone.
+#[test]
+fn planner_recreates_the_dropped_index_for_the_index_plus_raid_scenario() {
+    let scenario = compound_index_drop_and_raid_scenario(short());
+    let outcome = Testbed::run_scenario(&scenario);
+    let plan = Planner::for_outcome(&outcome).plan_outcome(&outcome);
+    let recreate = plan
+        .ranked
+        .iter()
+        .find(|r| {
+            !r.is_compound()
+                && matches!(&r.candidates[0].change, ProposedChange::RecreateIndex { index }
+                    if index == "part_type_size_idx")
+        })
+        .unwrap_or_else(|| panic!("recreate-index candidate evaluated\n{}", plan.render()));
+    assert_eq!(recreate.candidates[0].cause_id, cause_ids::INDEX_DROPPED);
+
+    let best = plan.best().expect("remediations evaluated");
+    assert!(best.is_compound(), "{}", plan.render());
+    assert!(
+        best.candidates.iter().any(|c| matches!(&c.change, ProposedChange::RecreateIndex { .. })),
+        "the best compound set recreates the index\n{}",
+        plan.render()
+    );
+    let best_single = plan
+        .ranked
+        .iter()
+        .filter(|r| !r.is_compound())
+        .map(|r| r.improvement())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best.improvement() > best_single,
+        "compound set ({:+.4}) must beat the best single ({:+.4})\n{}",
+        best.improvement(),
+        best_single,
+        plan.render()
+    );
 }
 
 /// Candidate derivation is driven by the report: scenario 1's report yields both
