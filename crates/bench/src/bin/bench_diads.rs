@@ -171,6 +171,26 @@ fn main() {
                 black_box(store.point_count())
             })
         });
+        group.bench_function("record_batched_1thread", |b| {
+            // Same stream through the batching front-end on one thread: the
+            // per-point lock is amortized over whole buffer flushes, which is what
+            // brings sharded single-thread recording back within reach of direct
+            // writes (the ≤1.3× satellite pin of PR 8).
+            b.iter(|| {
+                let mut store = MetricStore::new();
+                let keys = intern_matrix(&mut store);
+                {
+                    let writer = store.sharded_writer();
+                    let mut batched = writer.batched();
+                    for t in 0..RECORD_POINTS_PER_KEY as u64 {
+                        for &key in &keys {
+                            batched.record_key(key, Timestamp::new(t * 60), t as f64);
+                        }
+                    }
+                }
+                black_box(store.point_count())
+            })
+        });
         group.bench_function("record_sharded_threads", |b| {
             let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
             b.iter(|| {
@@ -185,6 +205,30 @@ fn main() {
                                 for t in 0..RECORD_POINTS_PER_KEY as u64 {
                                     for &key in chunk {
                                         writer.record_key(key, Timestamp::new(t * 60), t as f64);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+                black_box(store.point_count())
+            })
+        });
+        group.bench_function("record_batched_threads", |b| {
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+            b.iter(|| {
+                let mut store = MetricStore::new();
+                let keys = intern_matrix(&mut store);
+                {
+                    let writer = store.sharded_writer();
+                    std::thread::scope(|scope| {
+                        for chunk in keys.chunks(RECORD_COMPONENTS.div_ceil(workers)) {
+                            let writer = &writer;
+                            scope.spawn(move || {
+                                let mut batched = writer.batched();
+                                for t in 0..RECORD_POINTS_PER_KEY as u64 {
+                                    for &key in chunk {
+                                        batched.record_key(key, Timestamp::new(t * 60), t as f64);
                                     }
                                 }
                             });
@@ -338,7 +382,9 @@ fn main() {
     let da_parallel = if parallel_enabled { median_of(r, "da", "parallel") } else { f64::NAN };
     let rec_direct = median_of(r, "store", "record_direct");
     let rec_sharded = median_of(r, "store", "record_sharded_1thread");
+    let rec_batched = median_of(r, "store", "record_batched_1thread");
     let rec_threads = median_of(r, "store", "record_sharded_threads");
+    let rec_batched_threads = median_of(r, "store", "record_batched_threads");
     let matrix_seq = median_of(r, "scenario_matrix", "sequential");
     let matrix_conc = if parallel_enabled { median_of(r, "scenario_matrix", "concurrent") } else { f64::NAN };
     let matrix_warm = median_of(r, "scenario_matrix", "rediagnose_warm");
@@ -374,7 +420,8 @@ fn main() {
         e2e_refit / e2e_warm
     ));
     json.push_str(&format!(
-        "  \"store_recording\": {{\"series\": {RECORD_COMPONENTS}, \"points_per_series\": {RECORD_POINTS_PER_KEY}, \"direct_ns\": {rec_direct:.1}, \"sharded_1thread_ns\": {rec_sharded:.1}, \"sharded_threads_ns\": {rec_threads:.1}}},\n",
+        "  \"store_recording\": {{\"series\": {RECORD_COMPONENTS}, \"points_per_series\": {RECORD_POINTS_PER_KEY}, \"direct_ns\": {rec_direct:.1}, \"sharded_1thread_ns\": {rec_sharded:.1}, \"batched_1thread_ns\": {rec_batched:.1}, \"batched_vs_direct\": {:.2}, \"sharded_threads_ns\": {rec_threads:.1}, \"batched_threads_ns\": {rec_batched_threads:.1}}},\n",
+        rec_batched / rec_direct
     ));
     json.push_str(&format!(
         "  \"scenario_matrix\": {{\"scenarios\": {}, \"timeline\": \"short\", \"sequential_ms\": {:.1}, \"concurrent_ms\": {}, \"rediagnose_warm_ms\": {:.3}, \"compound_config_contention\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"incremental_ms\": {:.3}}}}},\n",

@@ -34,6 +34,7 @@
 //! the slot checkout was warm or cold.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use diads_monitor::{Duration, EpochId, Interner};
@@ -74,82 +75,24 @@ struct Slot {
     last_used: u64,
 }
 
-/// The mutex-protected state of a [`DiagnosisEngine`].
-#[derive(Debug)]
-struct CacheSlots {
+/// Number of independent lock stripes the slot table is split into. A power of two
+/// so stripe selection is a mask of the fingerprint's low bits; 16 stripes keep
+/// contention negligible for any realistic tenant-thread count while the per-stripe
+/// maps stay small.
+const STRIPE_COUNT: usize = 16;
+
+/// The stripe owning a slot fingerprint.
+fn stripe_index(fingerprint: u64) -> usize {
+    (fingerprint as usize) & (STRIPE_COUNT - 1)
+}
+
+/// One lock stripe of the slot table: a plain fingerprint→slot map. All
+/// cross-stripe state (recency clock, generation, bounds accounting, stats) lives
+/// in the engine's atomics, so two diagnoses whose fingerprints land in different
+/// stripes never touch the same lock.
+#[derive(Debug, Default)]
+struct Stripe {
     map: HashMap<u64, Slot>,
-    /// Bumped by every invalidation. A [`DiagnosisEngine::with_slot`] check-in whose
-    /// checkout observed an older generation is dropped — conservative (an
-    /// invalidation of *any* fingerprint discards concurrent in-flight fits, costing
-    /// at most a re-fit later), but it can never re-insert invalidated fits.
-    generation: u64,
-    /// Monotonic check-in counter: the recency clock for LRU eviction.
-    tick: u64,
-    /// Maximum number of warm slots kept; the least-recently-used slot is recycled
-    /// when a check-in exceeds it.
-    capacity: usize,
-    /// Optional bound on the *total fitted-KDE count* across all warm slots
-    /// (measured with [`diads_stats::ScoringCache::len`]): when a check-in pushes
-    /// the sum over it, least-recently-used slots are recycled until the sum fits
-    /// again — a memory bound proportional to actual fits rather than slot count.
-    fit_budget: Option<usize>,
-    /// Checkouts that found a warm (previously checked-in) slot.
-    warm_checkouts: u64,
-    /// Checkouts that created a fresh slot.
-    cold_checkouts: u64,
-    /// Slots recycled by the LRU bound.
-    evictions: u64,
-}
-
-impl Default for CacheSlots {
-    fn default() -> Self {
-        CacheSlots {
-            map: HashMap::new(),
-            generation: 0,
-            tick: 0,
-            capacity: DEFAULT_SLOT_CAPACITY,
-            fit_budget: None,
-            warm_checkouts: 0,
-            cold_checkouts: 0,
-            evictions: 0,
-        }
-    }
-}
-
-impl CacheSlots {
-    /// Total fitted KDEs held across all warm slots.
-    fn total_fits(&self) -> usize {
-        self.map.values().map(|slot| slot.cache.len()).sum()
-    }
-
-    /// Recycles the least-recently-used slot. Callers guarantee the map is
-    /// non-empty.
-    fn evict_lru(&mut self) {
-        let lru = self
-            .map
-            .iter()
-            .min_by_key(|(_, slot)| slot.last_used)
-            .map(|(fp, _)| *fp)
-            .expect("eviction requires a non-empty map");
-        self.map.remove(&lru);
-        self.evictions += 1;
-    }
-
-    /// Applies the slot-count bound and, if configured, the fitted-cache budget.
-    /// The just-checked-in slot carries the newest tick, so it is never the LRU
-    /// victim of the capacity bound (capacity is at least 1); the fit budget stops
-    /// at one remaining slot, so a single over-budget slot is kept rather than
-    /// looping forever.
-    fn evict_over_bounds(&mut self) {
-        while self.map.len() > self.capacity {
-            self.evict_lru();
-        }
-        if let Some(budget) = self.fit_budget {
-            while self.map.len() > 1 && self.total_fits() > budget {
-                self.evict_lru();
-            }
-        }
-    }
 }
 
 /// Everything [`DiagnosisEngine::diagnose_incremental`] needs to resume from a
@@ -195,14 +138,65 @@ pub struct EngineStats {
 /// A fleet-level diagnosis cache: one [`DiagnosisCache`] slot per run-history
 /// fingerprint, shareable across testbeds and threads, LRU-bounded.
 ///
-/// Interior mutability (a mutex around the slot map) lets the engine live behind a
-/// shared `Arc`; a slot is checked out while a diagnosis runs, so diagnoses of
-/// *different* histories never serialize on the lock. An invalidation that lands
-/// while a slot is checked out wins: the in-flight fits are discarded at check-in
-/// instead of resurrecting the invalidated slot.
-#[derive(Debug, Default)]
+/// The slot table is **lock-striped**: fingerprints map onto [`STRIPE_COUNT`]
+/// independent mutexes, so checkouts of different histories touch different locks
+/// and a tenant fleet never serializes on one engine-wide mutex (a slot is
+/// additionally checked *out* while a diagnosis runs, so even same-stripe
+/// diagnoses only contend for the microseconds of the checkout itself). All
+/// cross-stripe coordination — the LRU recency clock, the invalidation
+/// generation, slot/fit accounting for the eviction bounds, and the
+/// [`EngineStats`] counters — runs on atomics, never a stats lock. An
+/// invalidation that lands while a slot is checked out still wins: the in-flight
+/// fits are discarded at check-in instead of resurrecting the invalidated slot.
+#[derive(Debug)]
 pub struct DiagnosisEngine {
-    slots: Mutex<CacheSlots>,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Maximum number of warm slots kept (immutable after construction); the
+    /// globally least-recently-used slot is recycled when a check-in exceeds it.
+    capacity: usize,
+    /// Optional bound on the *total fitted-KDE count* across all warm slots
+    /// (measured with [`diads_stats::ScoringCache::len`]): when a check-in pushes
+    /// the sum over it, least-recently-used slots are recycled until the sum fits
+    /// again — a memory bound proportional to actual fits rather than slot count.
+    fit_budget: Option<usize>,
+    /// Bumped by every invalidation. A [`DiagnosisEngine::with_slot`] check-in whose
+    /// checkout observed an older generation is dropped — conservative (an
+    /// invalidation of *any* fingerprint discards concurrent in-flight fits, costing
+    /// at most a re-fit later), but it can never re-insert invalidated fits.
+    /// Same-fingerprint races serialize through the fingerprint's stripe lock:
+    /// invalidation bumps while holding it, check-ins re-read it under it.
+    generation: AtomicU64,
+    /// Monotonic check-in counter: the recency clock for LRU eviction. Global, so
+    /// recency stamps are comparable across stripes.
+    tick: AtomicU64,
+    /// Number of checked-in slots across all stripes (checked-out slots are absent
+    /// from their map and from this count, exactly like the single-mutex engine).
+    slot_count: AtomicUsize,
+    /// Total fitted KDEs across all checked-in slots (the fit-budget observable).
+    total_fits: AtomicUsize,
+    /// Checkouts that found a warm (previously checked-in) slot.
+    warm_checkouts: AtomicU64,
+    /// Checkouts that created a fresh slot.
+    cold_checkouts: AtomicU64,
+    /// Slots recycled by the LRU bound.
+    evictions: AtomicU64,
+}
+
+impl Default for DiagnosisEngine {
+    fn default() -> Self {
+        DiagnosisEngine {
+            stripes: (0..STRIPE_COUNT).map(|_| Mutex::new(Stripe::default())).collect(),
+            capacity: DEFAULT_SLOT_CAPACITY,
+            fit_budget: None,
+            generation: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            slot_count: AtomicUsize::new(0),
+            total_fits: AtomicUsize::new(0),
+            warm_checkouts: AtomicU64::new(0),
+            cold_checkouts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl DiagnosisEngine {
@@ -216,8 +210,8 @@ impl DiagnosisEngine {
     /// one). Checkouts refresh a slot's recency; a check-in that exceeds the bound
     /// recycles the least-recently-used slot.
     pub fn with_capacity(capacity: usize) -> Self {
-        let engine = Self::new();
-        engine.slots.lock().expect("cache lock poisoned").capacity = capacity.max(1);
+        let mut engine = Self::new();
+        engine.capacity = capacity.max(1);
         engine
     }
 
@@ -229,8 +223,8 @@ impl DiagnosisEngine {
     /// budget. The slot-count bound stays at [`DEFAULT_SLOT_CAPACITY`] as a
     /// backstop.
     pub fn with_fit_budget(budget: usize) -> Self {
-        let engine = Self::new();
-        engine.slots.lock().expect("cache lock poisoned").fit_budget = Some(budget.max(1));
+        let mut engine = Self::new();
+        engine.fit_budget = Some(budget.max(1));
         engine
     }
 
@@ -241,27 +235,32 @@ impl DiagnosisEngine {
 
     /// The configured slot capacity.
     pub fn capacity(&self) -> usize {
-        self.slots.lock().expect("cache lock poisoned").capacity
+        self.capacity
     }
 
     /// The configured fitted-cache budget, when bounded by
     /// [`DiagnosisEngine::with_fit_budget`].
     pub fn fit_budget(&self) -> Option<usize> {
-        self.slots.lock().expect("cache lock poisoned").fit_budget
+        self.fit_budget
     }
 
     /// Total fitted KDEs currently held across all warm slots.
     pub fn total_cached_fits(&self) -> usize {
-        self.slots.lock().expect("cache lock poisoned").total_fits()
+        self.total_fits.load(Ordering::SeqCst)
+    }
+
+    /// The stripe lock owning a fingerprint's slot.
+    fn stripe(&self, fingerprint: u64) -> &Mutex<Stripe> {
+        &self.stripes[stripe_index(fingerprint)]
     }
 
     /// Whether the slot of `fingerprint` holds a recorded evidence ledger (i.e. a
     /// standard engine-routed diagnosis was checked into it) — the precondition
     /// for [`DiagnosisEngine::diagnose_incremental`] taking the replay path.
     pub fn has_evidence(&self, fingerprint: u64) -> bool {
-        self.slots
+        self.stripe(fingerprint)
             .lock()
-            .expect("cache lock poisoned")
+            .expect("stripe lock poisoned")
             .map
             .get(&fingerprint)
             .is_some_and(|slot| slot.evidence.is_some())
@@ -493,80 +492,164 @@ impl DiagnosisEngine {
         out
     }
 
-    /// Removes the slot of `fingerprint` from the map (creating an empty cache on a
-    /// cold checkout), returning its cache, its recorded evidence, the generation
-    /// the checkout observed, and whether it was warm.
+    /// Removes the slot of `fingerprint` from its stripe (creating an empty cache on
+    /// a cold checkout), returning its cache, its recorded evidence, the generation
+    /// the checkout observed, and whether it was warm. Locks only the owning stripe;
+    /// the stats counters are atomic, so even warm checkouts of different histories
+    /// share no lock at all.
     fn checkout(&self, fingerprint: u64) -> (DiagnosisCache, Option<Evidence>, u64, bool) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        let (cache, evidence, warm) = match slots.map.remove(&fingerprint) {
+        let mut stripe = self.stripe(fingerprint).lock().expect("stripe lock poisoned");
+        // Read the generation under the stripe lock, so a same-fingerprint
+        // invalidation (which bumps under this lock) is totally ordered with us.
+        let generation = self.generation.load(Ordering::SeqCst);
+        let (cache, evidence, warm) = match stripe.map.remove(&fingerprint) {
             Some(slot) => {
-                slots.warm_checkouts += 1;
+                self.warm_checkouts.fetch_add(1, Ordering::Relaxed);
+                self.slot_count.fetch_sub(1, Ordering::SeqCst);
+                self.total_fits.fetch_sub(slot.cache.len(), Ordering::SeqCst);
                 (slot.cache, slot.evidence, true)
             }
             None => {
-                slots.cold_checkouts += 1;
+                self.cold_checkouts.fetch_add(1, Ordering::Relaxed);
                 (DiagnosisCache::default(), None, false)
             }
         };
-        (cache, evidence, slots.generation, warm)
+        (cache, evidence, generation, warm)
     }
 
     /// Re-inserts a checked-out slot (possibly under a *different* fingerprint than
     /// it was checked out with — that is how an incremental re-diagnosis moves a
     /// slot forward to the new engine fingerprint). Dropped entirely when an
-    /// invalidation bumped the generation meanwhile. On a concurrent check-in to the
-    /// same fingerprint the caches are merged and a `Some` incoming evidence ledger
-    /// replaces the resident one (latest recording wins). Applies the LRU bounds
-    /// afterwards.
+    /// invalidation bumped the generation meanwhile (re-checked under the target
+    /// stripe's lock, so a same-fingerprint invalidation can never lose the race).
+    /// On a concurrent check-in to the same fingerprint the caches are merged and a
+    /// `Some` incoming evidence ledger replaces the resident one (latest recording
+    /// wins). Applies the LRU bounds afterwards, outside the stripe lock.
     fn checkin(&self, fingerprint: u64, cache: DiagnosisCache, evidence: Option<Evidence>, generation: u64) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        if slots.generation != generation {
-            return;
-        }
-        slots.tick += 1;
-        let tick = slots.tick;
-        match slots.map.entry(fingerprint) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let slot = e.get_mut();
-                slot.cache.absorb(cache);
-                if evidence.is_some() {
-                    slot.evidence = evidence;
+        {
+            let mut stripe = self.stripe(fingerprint).lock().expect("stripe lock poisoned");
+            if self.generation.load(Ordering::SeqCst) != generation {
+                return;
+            }
+            let tick = self.tick.fetch_add(1, Ordering::SeqCst) + 1;
+            match stripe.map.entry(fingerprint) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    let resident = slot.cache.len();
+                    slot.cache.absorb(cache);
+                    self.total_fits.fetch_add(slot.cache.len() - resident, Ordering::SeqCst);
+                    if evidence.is_some() {
+                        slot.evidence = evidence;
+                    }
+                    slot.last_used = tick;
                 }
-                slot.last_used = tick;
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(Slot { cache, evidence, last_used: tick });
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.slot_count.fetch_add(1, Ordering::SeqCst);
+                    self.total_fits.fetch_add(cache.len(), Ordering::SeqCst);
+                    v.insert(Slot { cache, evidence, last_used: tick });
+                }
             }
         }
-        slots.evict_over_bounds();
+        self.evict_over_bounds();
+    }
+
+    /// Recycles the globally least-recently-used checked-in slot, never holding two
+    /// stripe locks at once: a first pass scans stripes one at a time for the
+    /// minimum recency stamp, then the winning stripe is re-locked and the victim
+    /// re-validated (it may have been touched or checked out meanwhile) before
+    /// removal. Returns whether a slot was evicted; a handful of retries absorbs
+    /// concurrent touches, after which the (advisory, best-effort under races)
+    /// eviction yields to the next check-in.
+    fn evict_lru(&self) -> bool {
+        for _ in 0..4 {
+            let mut victim: Option<(usize, u64, u64)> = None;
+            for (index, stripe) in self.stripes.iter().enumerate() {
+                let stripe = stripe.lock().expect("stripe lock poisoned");
+                for (fp, slot) in &stripe.map {
+                    if victim.is_none_or(|(_, _, used)| slot.last_used < used) {
+                        victim = Some((index, *fp, slot.last_used));
+                    }
+                }
+            }
+            let Some((index, fp, used)) = victim else { return false };
+            let mut stripe = self.stripes[index].lock().expect("stripe lock poisoned");
+            match stripe.map.get(&fp) {
+                Some(slot) if slot.last_used == used => {
+                    let fits = slot.cache.len();
+                    stripe.map.remove(&fp);
+                    self.slot_count.fetch_sub(1, Ordering::SeqCst);
+                    self.total_fits.fetch_sub(fits, Ordering::SeqCst);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                _ => continue, // Touched or checked out since the scan: re-scan.
+            }
+        }
+        false
+    }
+
+    /// Applies the slot-count bound and, if configured, the fitted-cache budget.
+    /// The just-checked-in slot carries the newest tick, so it is never the LRU
+    /// victim of the capacity bound (capacity is at least 1); the fit budget stops
+    /// at one remaining slot, so a single over-budget slot is kept rather than
+    /// looping forever.
+    fn evict_over_bounds(&self) {
+        while self.slot_count.load(Ordering::SeqCst) > self.capacity {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        if let Some(budget) = self.fit_budget {
+            while self.slot_count.load(Ordering::SeqCst) > 1
+                && self.total_fits.load(Ordering::SeqCst) > budget
+            {
+                if !self.evict_lru() {
+                    break;
+                }
+            }
+        }
     }
 
     /// Drops the slot of one fingerprint (call when the labelling it was fitted for
     /// is abandoned, e.g. on run relabelling). Also discards any concurrent in-flight
-    /// check-in, so an invalidated slot cannot be resurrected.
+    /// check-in, so an invalidated slot cannot be resurrected: the generation bump
+    /// happens under the fingerprint's stripe lock, which every check-in re-reads
+    /// the generation under.
     pub fn invalidate(&self, fingerprint: u64) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        slots.map.remove(&fingerprint);
-        slots.generation += 1;
+        let mut stripe = self.stripe(fingerprint).lock().expect("stripe lock poisoned");
+        if let Some(slot) = stripe.map.remove(&fingerprint) {
+            self.slot_count.fetch_sub(1, Ordering::SeqCst);
+            self.total_fits.fetch_sub(slot.cache.len(), Ordering::SeqCst);
+        }
+        self.generation.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Drops every slot (call when the underlying monitoring store or run records
     /// change, which invalidates every fit), including concurrent in-flight ones.
+    /// Locks all stripes (in index order — the same order every multi-stripe path
+    /// uses, so the engine stays deadlock-free) so the bump is ordered with every
+    /// possible concurrent check-in.
     pub fn invalidate_all(&self) {
-        let mut slots = self.slots.lock().expect("cache lock poisoned");
-        slots.map.clear();
-        slots.generation += 1;
+        let mut stripes: Vec<_> =
+            self.stripes.iter().map(|s| s.lock().expect("stripe lock poisoned")).collect();
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        for stripe in &mut stripes {
+            for (_, slot) in stripe.map.drain() {
+                self.slot_count.fetch_sub(1, Ordering::SeqCst);
+                self.total_fits.fetch_sub(slot.cache.len(), Ordering::SeqCst);
+            }
+        }
     }
 
     /// Whether a checked-in slot exists for this fingerprint (i.e. a previous
     /// diagnosis warmed it and no diagnosis currently has it checked out).
     pub fn is_warm(&self, fingerprint: u64) -> bool {
-        self.slots.lock().expect("cache lock poisoned").map.contains_key(&fingerprint)
+        self.stripe(fingerprint).lock().expect("stripe lock poisoned").map.contains_key(&fingerprint)
     }
 
     /// Number of distinct history fingerprints with a warm slot.
     pub fn slot_count(&self) -> usize {
-        self.slots.lock().expect("cache lock poisoned").map.len()
+        self.slot_count.load(Ordering::SeqCst)
     }
 
     /// Serializes every warm slot — fingerprint plus all cache entries, fitted
@@ -581,8 +664,10 @@ impl DiagnosisEngine {
     /// [`DiagnosisEngine::diagnose_incremental`] against a pre-restart watermark
     /// falls back to a cold-path (but warm-fit) run and re-records its evidence.
     pub fn snapshot(&self, interner: &Interner) -> String {
-        let slots = self.slots.lock().expect("cache lock poisoned");
-        let mut ordered: Vec<(&u64, &Slot)> = slots.map.iter().collect();
+        // Lock every stripe (index order, like `invalidate_all`) so the snapshot is
+        // a consistent cut, then order slots globally by recency.
+        let stripes: Vec<_> = self.stripes.iter().map(|s| s.lock().expect("stripe lock poisoned")).collect();
+        let mut ordered: Vec<(&u64, &Slot)> = stripes.iter().flat_map(|s| s.map.iter()).collect();
         ordered.sort_by_key(|(_, slot)| slot.last_used);
         let data: Vec<crate::snapshot::SlotData> = ordered
             .into_iter()
@@ -614,7 +699,7 @@ impl DiagnosisEngine {
                 (*fp, entries)
             })
             .collect();
-        drop(slots);
+        drop(stripes);
         crate::snapshot::serialize_slots(&data, interner)
     }
 
@@ -627,25 +712,24 @@ impl DiagnosisEngine {
     pub fn restore(json: &str, interner: &Interner) -> Result<Self, String> {
         let parsed = crate::snapshot::parse_slots(json, interner)?;
         let engine = Self::new();
-        {
-            let mut slots = engine.slots.lock().expect("cache lock poisoned");
-            for (fingerprint, cache) in parsed {
-                slots.tick += 1;
-                let tick = slots.tick;
-                slots.map.insert(fingerprint, Slot { cache, evidence: None, last_used: tick });
-            }
-            slots.evict_over_bounds();
+        for (fingerprint, cache) in parsed {
+            let tick = engine.tick.fetch_add(1, Ordering::SeqCst) + 1;
+            let mut stripe = engine.stripe(fingerprint).lock().expect("stripe lock poisoned");
+            engine.slot_count.fetch_add(1, Ordering::SeqCst);
+            engine.total_fits.fetch_add(cache.len(), Ordering::SeqCst);
+            stripe.map.insert(fingerprint, Slot { cache, evidence: None, last_used: tick });
         }
+        engine.evict_over_bounds();
         Ok(engine)
     }
 
-    /// Checkout statistics since the engine was created.
+    /// Checkout statistics since the engine was created. Lock-free (atomic reads);
+    /// totals are exact once concurrent checkouts have checked back in.
     pub fn stats(&self) -> EngineStats {
-        let slots = self.slots.lock().expect("cache lock poisoned");
         EngineStats {
-            warm_checkouts: slots.warm_checkouts,
-            cold_checkouts: slots.cold_checkouts,
-            evictions: slots.evictions,
+            warm_checkouts: self.warm_checkouts.load(Ordering::Relaxed),
+            cold_checkouts: self.cold_checkouts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -824,6 +908,61 @@ mod tests {
         assert!(engine.is_warm(9));
         assert_eq!(engine.total_cached_fits(), 3);
         assert_eq!(engine.stats().evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_keep_exact_stats() {
+        // Distinct fingerprints per thread: every first checkout is cold, every
+        // later one warm, and the atomic counters must account for each exactly.
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 200;
+        let engine = DiagnosisEngine::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for _ in 0..ITERS {
+                        engine.with_slot(t, |c| {
+                            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
+                                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.cold_checkouts, THREADS, "one cold checkout per fingerprint");
+        assert_eq!(stats.warm_checkouts, THREADS * (ITERS - 1));
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(engine.slot_count(), THREADS as usize);
+        assert_eq!(engine.total_cached_fits(), THREADS as usize);
+
+        // Contended case: every thread hammers ONE fingerprint. Warm/cold split
+        // depends on interleaving (checked-out slots are absent, so concurrent
+        // checkouts may both run cold), but the total is exact and the slot
+        // converges to a single warm entry with merged fits.
+        let shared = DiagnosisEngine::new();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for _ in 0..ITERS {
+                        shared.with_slot(42, |c| {
+                            c.fit_or_insert_with(ScoreKey::OperatorElapsed(OperatorId(1)), || {
+                                Some(vec![1.0, 1.1, 0.9, 1.05, 0.95])
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.warm_checkouts + stats.cold_checkouts, THREADS * ITERS);
+        assert!(stats.cold_checkouts >= 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(shared.slot_count(), 1);
+        assert_eq!(shared.total_cached_fits(), 1, "concurrent fits of one key merge");
     }
 
     #[test]

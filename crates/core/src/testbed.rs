@@ -369,10 +369,16 @@ fn record_outcome(
         let writer = testbed.store.sharded_writer();
         std::thread::scope(|scope| {
             let writer = &writer;
+            // Every worker records through its own batched front-end: points
+            // buffer thread-locally and each shard is locked once per flush
+            // instead of once per point. The merged store stays bit-identical —
+            // batching preserves each key's stream order, which is all the
+            // sharded-equivalence argument needs.
+            //
             // The database recorder replays every run in order (per-series point
             // order is preserved by the single writer thread)...
             scope.spawn(move || {
-                let mut sink = writer;
+                let mut sink = writer.batched();
                 for record in records {
                     record.record_metrics(&mut sink, DB_INSTANCE, DB_SERVER);
                 }
@@ -384,7 +390,7 @@ fn record_outcome(
                 let noise = scenario.noise.clone();
                 scope.spawn(move || {
                     let mut sampler = IntervalSampler::new(interval, noise, seed);
-                    let mut sink = writer;
+                    let mut sink = writer.batched();
                     san.record_metrics(chunk, query_loads, &mut sampler, &mut sink);
                     sampler.flush(&mut sink);
                 });

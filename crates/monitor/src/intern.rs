@@ -15,8 +15,12 @@
 //!
 //! Interned identities are stored as leaked `&'static` references: the set of
 //! distinct components and metrics a process ever monitors is small and bounded, and
-//! leaking them keeps [`Interner::component`]/[`Interner::metric`] resolution
-//! zero-copy (a read-lock plus an index) instead of cloning through the lock.
+//! leaking them keeps resolution zero-copy. **Resolution is lock-free**: alongside
+//! the (write-locked) name→symbol maps, every interned identity is published into an
+//! append-only page slab of `OnceLock` cells, so [`Interner::component`],
+//! [`Interner::metric`] and the identity-hash accessors are two atomic loads — no
+//! read lock, no contention with concurrent interning. A fleet of tenant threads
+//! resolving keys on every diagnosis never serializes on the interner.
 //!
 //! Alongside the dense symbol, the interner records a **stable identity hash** of
 //! each identity (FNV-1a over the rich name, independent of intern order, process
@@ -90,27 +94,98 @@ pub fn metric_identity_hash(metric: &MetricName) -> u64 {
     }
 }
 
-/// The mutable state behind an [`Interner`].
+/// One published identity: the leaked rich identity plus its precomputed stable
+/// hash, readable without any lock.
+#[derive(Debug)]
+struct Published<T: 'static> {
+    value: &'static T,
+    hash: u64,
+}
+
+impl<T: 'static> Clone for Published<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: 'static> Copy for Published<T> {}
+
+/// Number of pages in an [`AtomicSlab`]. Page `p` holds `64 << p` entries, so 26
+/// pages cover `64 * (2^26 - 1)` symbols — beyond the `u32` symbol space.
+const SLAB_PAGES: usize = 26;
+/// log2 of the first page's size.
+const SLAB_PAGE0_SHIFT: u32 = 6;
+
+/// An append-only, wait-free-on-read symbol→identity table: geometrically growing
+/// pages of `OnceLock` cells. `get` is two atomic loads (page pointer, cell);
+/// `publish` allocates a page at most once per page index and sets a cell once.
+/// Entries are never moved or freed, so a published reference stays valid for the
+/// process lifetime — exactly the lifetime of the leaked identities it stores.
+#[derive(Debug)]
+struct AtomicSlab<T: 'static> {
+    pages: [OnceLock<SlabPage<T>>; SLAB_PAGES],
+}
+
+/// One geometrically-sized page of slab cells, allocated on first publish.
+type SlabPage<T> = Box<[OnceLock<Published<T>>]>;
+
+impl<T: 'static> Default for AtomicSlab<T> {
+    fn default() -> Self {
+        AtomicSlab { pages: std::array::from_fn(|_| OnceLock::new()) }
+    }
+}
+
+/// Splits a dense symbol index into (page, offset within page).
+fn slab_location(index: usize) -> (usize, usize) {
+    let slot = index + (1usize << SLAB_PAGE0_SHIFT);
+    let page = (usize::BITS - 1 - slot.leading_zeros() - SLAB_PAGE0_SHIFT) as usize;
+    let offset = slot - (1usize << (page as u32 + SLAB_PAGE0_SHIFT));
+    (page, offset)
+}
+
+impl<T: 'static> AtomicSlab<T> {
+    /// The published entry at `index`, lock-free. `None` if nothing was published
+    /// there (a symbol from a different interner).
+    fn get(&self, index: usize) -> Option<Published<T>> {
+        let (page, offset) = slab_location(index);
+        self.pages.get(page)?.get()?.get(offset)?.get().copied()
+    }
+
+    /// Publishes an entry at `index`. Called only by interning writers (under the
+    /// interner's write lock), so each cell is set exactly once.
+    fn publish(&self, index: usize, value: &'static T, hash: u64) {
+        let (page, offset) = slab_location(index);
+        let cells = self.pages[page].get_or_init(|| {
+            (0..(1usize << (page as u32 + SLAB_PAGE0_SHIFT))).map(|_| OnceLock::new()).collect()
+        });
+        let _ = cells[offset].set(Published { value, hash });
+    }
+}
+
+/// The write-locked state behind an [`Interner`]: only the name→symbol maps used to
+/// deduplicate interning live here. Symbol→identity resolution goes through the
+/// lock-free slabs instead.
 #[derive(Debug, Default)]
 struct InternerState {
-    components: Vec<&'static ComponentId>,
     component_syms: HashMap<ComponentId, ComponentSym>,
-    component_hashes: Vec<u64>,
-    metrics: Vec<&'static MetricName>,
     metric_syms: HashMap<MetricName, MetricSym>,
-    metric_hashes: Vec<u64>,
 }
 
 /// Bidirectional map between rich identities and their dense symbols, sharable
 /// across stores and threads.
 ///
 /// Interning clones (and leaks) the identity exactly once, on first sight; every
-/// later lookup is a borrowed hash probe under a read lock with zero allocations.
-/// The process-global instance ([`Interner::global`]) is what makes symbols stable
-/// identities across every [`crate::store::MetricStore`] in the process.
+/// later name→symbol lookup is a borrowed hash probe under a read lock with zero
+/// allocations, and every symbol→identity resolution (including the stable hash
+/// accessors and [`Interner::key_hash`]) is **lock-free** — atomic loads against
+/// the append-only publication slab, never touching the lock. The process-global
+/// instance ([`Interner::global`]) is what makes symbols stable identities across
+/// every [`crate::store::MetricStore`] in the process.
 #[derive(Debug, Default)]
 pub struct Interner {
     state: RwLock<InternerState>,
+    components: AtomicSlab<ComponentId>,
+    metrics: AtomicSlab<MetricName>,
 }
 
 impl Interner {
@@ -140,9 +215,14 @@ impl Interner {
         if let Some(&sym) = state.component_syms.get(component) {
             return sym; // Raced with another interning thread.
         }
-        let sym = ComponentSym(u32::try_from(state.components.len()).expect("< 2^32 components"));
-        state.components.push(Box::leak(Box::new(component.clone())));
-        state.component_hashes.push(component_identity_hash(component));
+        let sym = ComponentSym(u32::try_from(state.component_syms.len()).expect("< 2^32 components"));
+        // Publish to the lock-free slab *before* the symbol becomes discoverable
+        // through the map, so any thread that can hold the symbol can resolve it.
+        self.components.publish(
+            sym.index(),
+            Box::leak(Box::new(component.clone())),
+            component_identity_hash(component),
+        );
         state.component_syms.insert(component.clone(), sym);
         sym
     }
@@ -156,9 +236,8 @@ impl Interner {
         if let Some(&sym) = state.metric_syms.get(metric) {
             return sym;
         }
-        let sym = MetricSym(u32::try_from(state.metrics.len()).expect("< 2^32 metrics"));
-        state.metrics.push(Box::leak(Box::new(metric.clone())));
-        state.metric_hashes.push(metric_identity_hash(metric));
+        let sym = MetricSym(u32::try_from(state.metric_syms.len()).expect("< 2^32 metrics"));
+        self.metrics.publish(sym.index(), Box::leak(Box::new(metric.clone())), metric_identity_hash(metric));
         state.metric_syms.insert(metric.clone(), sym);
         sym
     }
@@ -173,51 +252,49 @@ impl Interner {
         self.read().metric_syms.get(metric).copied()
     }
 
-    /// Resolves a component symbol back to its identity.
+    /// Resolves a component symbol back to its identity — lock-free (two atomic
+    /// loads against the publication slab).
     ///
     /// # Panics
     /// Panics if the symbol was issued by a different interner.
     pub fn component(&self, sym: ComponentSym) -> &'static ComponentId {
-        self.read().components[sym.0 as usize]
+        self.components.get(sym.index()).expect("component symbol from a different interner").value
     }
 
-    /// Resolves a metric symbol back to its name.
+    /// Resolves a metric symbol back to its name — lock-free.
     ///
     /// # Panics
     /// Panics if the symbol was issued by a different interner.
     pub fn metric(&self, sym: MetricSym) -> &'static MetricName {
-        self.read().metrics[sym.0 as usize]
+        self.metrics.get(sym.index()).expect("metric symbol from a different interner").value
     }
 
-    /// The stable identity hash of an interned component (precomputed at intern time).
+    /// The stable identity hash of an interned component (precomputed at intern
+    /// time, read lock-free).
     pub fn component_hash(&self, sym: ComponentSym) -> u64 {
-        self.read().component_hashes[sym.0 as usize]
+        self.components.get(sym.index()).expect("component symbol from a different interner").hash
     }
 
-    /// The stable identity hash of an interned metric.
+    /// The stable identity hash of an interned metric (read lock-free).
     pub fn metric_hash(&self, sym: MetricSym) -> u64 {
-        self.read().metric_hashes[sym.0 as usize]
+        self.metrics.get(sym.index()).expect("metric symbol from a different interner").hash
     }
 
     /// The stable identity hash of a series key: a mix of its component and metric
     /// identity hashes. Depends only on the rich identities, never on symbol
-    /// numbering — safe to seed per-series noise streams from.
+    /// numbering — safe to seed per-series noise streams from. Lock-free.
     pub fn key_hash(&self, key: MetricKey) -> u64 {
-        let state = self.read();
-        crate::rng::SplitMix64::mix(
-            state.component_hashes[key.component.0 as usize],
-            state.metric_hashes[key.metric.0 as usize],
-        )
+        crate::rng::SplitMix64::mix(self.component_hash(key.component), self.metric_hash(key.metric))
     }
 
     /// Number of distinct components interned.
     pub fn component_count(&self) -> usize {
-        self.read().components.len()
+        self.read().component_syms.len()
     }
 
     /// Number of distinct metrics interned.
     pub fn metric_count(&self) -> usize {
-        self.read().metrics.len()
+        self.read().metric_syms.len()
     }
 }
 
@@ -261,6 +338,37 @@ mod tests {
         let i = Interner::new();
         assert!(i.component_sym(&ComponentId::volume("V1")).is_none());
         assert_eq!(i.component_count(), 0);
+    }
+
+    #[test]
+    fn slab_pages_cover_contiguous_indices() {
+        // Page/offset maths: indices map injectively and pages grow geometrically.
+        assert_eq!(slab_location(0), (0, 0));
+        assert_eq!(slab_location(63), (0, 63));
+        assert_eq!(slab_location(64), (1, 0));
+        assert_eq!(slab_location(191), (1, 127));
+        assert_eq!(slab_location(192), (2, 0));
+        // Every index up to a few pages round-trips to a unique location.
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..1_000usize {
+            let (page, offset) = slab_location(index);
+            assert!(offset < (64usize << page), "offset in page bounds");
+            assert!(page < SLAB_PAGES);
+            assert!(seen.insert((page, offset)), "index {index} collided");
+        }
+    }
+
+    #[test]
+    fn resolution_crosses_page_boundaries() {
+        // Intern enough metrics to span pages 0..=2 of the slab; every symbol must
+        // resolve to its own identity through the lock-free path.
+        let i = Interner::new();
+        let syms: Vec<MetricSym> =
+            (0..300).map(|n| i.intern_metric(&MetricName::Custom(format!("m{n}")))).collect();
+        for (n, sym) in syms.iter().enumerate() {
+            assert_eq!(i.metric(*sym), &MetricName::Custom(format!("m{n}")));
+            assert_eq!(i.metric_hash(*sym), metric_identity_hash(&MetricName::Custom(format!("m{n}"))));
+        }
     }
 
     #[test]
@@ -353,5 +461,37 @@ mod tests {
             let sym = i.component_sym(&ComponentId::volume(format!("V{n}"))).expect("interned");
             assert_eq!(i.component(sym).name, format!("V{n}"));
         }
+    }
+
+    #[test]
+    fn concurrent_resolution_races_interning_safely() {
+        // Writers keep interning fresh identities while readers resolve every
+        // symbol they can observe — the lock-free read path must always see a
+        // fully-published entry for any symbol discoverable through the maps.
+        let i = Interner::new();
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let i = &i;
+                scope.spawn(move || {
+                    for n in 0..512 {
+                        i.intern_component(&ComponentId::volume(format!("W{w}-{n}")));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let i = &i;
+                scope.spawn(move || {
+                    for _ in 0..2_000 {
+                        let count = i.component_count();
+                        for index in 0..count {
+                            let sym = ComponentSym(index as u32);
+                            let c = i.component(sym);
+                            assert_eq!(i.component_hash(sym), component_identity_hash(c));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(i.component_count(), 1024);
     }
 }

@@ -134,6 +134,37 @@ fn record_threaded(case: &Case, threads: usize) -> MetricStore {
     store
 }
 
+/// Applies the same streams from `threads` real threads, each through its own
+/// `BatchedWriter` over one shared sharded writer. The flush threshold is small
+/// and prime so flushes land mid-stream at awkward offsets; residues below it ride
+/// the drop flush.
+fn record_threaded_batched(case: &Case, threads: usize, threshold: usize) -> MetricStore {
+    let mut store = MetricStore::new();
+    let keys = intern_keys(&mut store, case);
+    {
+        let writer = store.sharded_writer();
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let writer = &writer;
+                let keys = &keys;
+                let streams = &case.streams;
+                scope.spawn(move || {
+                    let mut batched = writer.batched_with_threshold(threshold);
+                    for (c, stream) in streams.iter().enumerate() {
+                        if c % threads != worker {
+                            continue;
+                        }
+                        for &(metric, time, value) in stream {
+                            batched.record_key(keys[c][metric], time, value);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    store
+}
+
 /// Byte-level equality of two stores: same merged key sequence, and per key the
 /// same points with bit-identical values.
 fn assert_stores_identical(a: &MetricStore, b: &MetricStore, what: &str) {
@@ -169,6 +200,27 @@ fn threaded_sharded_recording_is_bit_identical_to_sequential() {
         for threads in [2, 4, 7] {
             let threaded = record_threaded(&case, threads);
             assert_stores_identical(&sequential, &threaded, &format!("case {case_no}, {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn batched_threaded_recording_is_bit_identical_to_sequential() {
+    // Same property as the unbatched writer, through the batching front-end:
+    // random interleavings, varying thread counts, and flush thresholds from
+    // degenerate (1 == unbatched) through mid-stream-forcing primes to
+    // larger-than-any-stream (everything rides the drop flush).
+    let mut g = Gen::new(0xBA7C4);
+    for case_no in 0..CASES {
+        let case = generate_case(&mut g);
+        let sequential = record_sequential(&case);
+        for (threads, threshold) in [(2, 1), (2, 3), (4, 17), (7, 64), (3, 100_000)] {
+            let batched = record_threaded_batched(&case, threads, threshold);
+            assert_stores_identical(
+                &sequential,
+                &batched,
+                &format!("case {case_no}, {threads} threads, threshold {threshold}"),
+            );
         }
     }
 }

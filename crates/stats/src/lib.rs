@@ -22,6 +22,8 @@
 //! * [`correlation`] — Pearson / Spearman correlation used by dependency analysis.
 //! * [`summary`], [`robust`], [`histogram`] — descriptive statistics shared by the
 //!   database-statistics and monitoring layers.
+//! * [`spectrum::LatencySpectrum`] — exact nearest-rank percentile reporting
+//!   (p50/p99/p999) for the fleet-scale load benchmarks.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,6 +36,7 @@ pub mod dist;
 pub mod histogram;
 pub mod kde;
 pub mod robust;
+pub mod spectrum;
 pub mod summary;
 
 pub use anomaly::{AnomalyDetector, KdeDetector, MadDetector, PercentileDetector, ZScoreDetector};
@@ -41,6 +44,7 @@ pub use bayes::GaussianNaiveBayes;
 pub use cache::ScoringCache;
 pub use correlation::{pearson, spearman};
 pub use kde::{Bandwidth, Kde};
+pub use spectrum::LatencySpectrum;
 pub use summary::Summary;
 
 /// Errors produced by the statistics layer.
