@@ -22,6 +22,9 @@
 //!   one-epoch metric append, a full cold re-diagnosis (what an invalidated
 //!   engine slot costs) vs. `diagnose_incremental` over a sealed watermark; and
 //!   cold engine start vs. a `DiagnosisEngine::restore`d snapshot start.
+//! * **Generator** — the generative scenario engine: seeded plan sampling
+//!   throughput (a 64-plan batch), the full oracle cycle (simulate + diagnose +
+//!   evaluate one generated plan), and shrink-candidate enumeration.
 //!
 //! Run with `cargo run --release -p diads-bench --bin bench_diads`. Pass `--smoke`
 //! to shrink every group to two samples — CI uses this to exercise the whole
@@ -32,6 +35,7 @@ use diads_bench::hotpath;
 use diads_bench::microbench::{Criterion, Record};
 use diads_core::workflow::DiagnosisCache;
 use diads_core::{DiagnosisContext, DiagnosisEngine, DiagnosisWorkflow, Testbed};
+use diads_gen::{check_plan, shrink_candidates, Generator, TimelineKind};
 use diads_inject::scenarios::{
     compound_config_and_contention_scenario, compound_lock_and_interloper_scenario, scenario_1, scenario_3,
     scenario_5, ScenarioTimeline,
@@ -368,6 +372,27 @@ fn main() {
         group.finish();
     }
 
+    // ----- Generative scenario engine: sampling, oracle cycle, shrinking -----
+    // Sampling is the pure-CPU part (plans/second bounds how fast a fuzzing
+    // campaign can enumerate shapes); the oracle cycle is the end-to-end unit of
+    // work CI pays per generated plan (simulate + diagnose + evaluate); candidate
+    // enumeration bounds a single shrink step's bookkeeping overhead.
+    const GEN_BATCH: u64 = 64;
+    let gen_generator = Generator::new(42, TimelineKind::Short);
+    let gen_plan = gen_generator.plan(0);
+    {
+        let mut group = c.benchmark_group("generator");
+        group.sample_size(samples(10));
+        group.bench_function("plan_batch_64", |b| {
+            b.iter(|| black_box(gen_generator.batch(black_box(GEN_BATCH))))
+        });
+        group.bench_function("oracle_cycle", |b| b.iter(|| black_box(check_plan(black_box(&gen_plan)))));
+        group.bench_function("shrink_candidates", |b| {
+            b.iter(|| black_box(shrink_candidates(black_box(&gen_plan))))
+        });
+        group.finish();
+    }
+
     // ----- Assemble BENCH_diads.json -----
     let r = c.records();
     let kde_refit = median_of(r, "kde", "refit_per_score");
@@ -396,6 +421,9 @@ fn main() {
     let snap_cold = median_of(r, "snapshot", "cold_start_diagnosis");
     let snap_restored = median_of(r, "snapshot", "restored_start_diagnosis");
     let snap_parse = median_of(r, "snapshot", "restore_parse");
+    let gen_batch = median_of(r, "generator", "plan_batch_64");
+    let gen_oracle = median_of(r, "generator", "oracle_cycle");
+    let gen_candidates = median_of(r, "generator", "shrink_candidates");
 
     let mut json = String::from("{\n  \"schema\": \"diads-bench-v1\",\n");
     json.push_str(&format!(
@@ -440,12 +468,18 @@ fn main() {
         inc_full / inc_incremental
     ));
     json.push_str(&format!(
-        "  \"snapshot\": {{\"scenario\": \"scenario-1 (short timeline)\", \"snapshot_bytes\": {}, \"restore_parse_ms\": {:.3}, \"cold_start_ms\": {:.3}, \"restored_start_ms\": {:.3}, \"restored_speedup\": {:.2}}}\n",
+        "  \"snapshot\": {{\"scenario\": \"scenario-1 (short timeline)\", \"snapshot_bytes\": {}, \"restore_parse_ms\": {:.3}, \"cold_start_ms\": {:.3}, \"restored_start_ms\": {:.3}, \"restored_speedup\": {:.2}}},\n",
         engine_snapshot.len(),
         snap_parse / 1e6,
         snap_cold / 1e6,
         snap_restored / 1e6,
         snap_cold / snap_restored
+    ));
+    json.push_str(&format!(
+        "  \"generator\": {{\"seed\": 42, \"timeline\": \"short\", \"batch\": {GEN_BATCH}, \"plan_batch_ms\": {:.3}, \"plans_per_sec\": {:.0}, \"oracle_cycle_ms\": {:.3}, \"shrink_candidates_ns\": {gen_candidates:.1}}}\n",
+        gen_batch / 1e6,
+        GEN_BATCH as f64 * 1e9 / gen_batch,
+        gen_oracle / 1e6
     ));
     json.push_str("}\n");
 

@@ -344,7 +344,7 @@ impl DiagnosisReport {
 /// A minimal JSON emitter: just enough structure (comma tracking, string escaping,
 /// finite-number policy) to serialize [`DiagnosisReport`] (and, in
 /// [`crate::snapshot`], engine snapshots) without a dependency.
-pub(crate) mod json {
+pub mod json {
     /// Streaming writer for one JSON document.
     pub struct Writer {
         out: String,
@@ -352,7 +352,14 @@ pub(crate) mod json {
         needs_comma: Vec<bool>,
     }
 
+    impl Default for Writer {
+        fn default() -> Self {
+            Writer::new()
+        }
+    }
+
     impl Writer {
+        /// Starts an empty document.
         pub fn new() -> Self {
             Writer { out: String::new(), needs_comma: vec![false] }
         }
@@ -366,23 +373,27 @@ pub(crate) mod json {
             }
         }
 
+        /// Opens a `{`-delimited object (as a field value or array element).
         pub fn open_object(&mut self) {
             self.before_value();
             self.out.push('{');
             self.needs_comma.push(false);
         }
 
+        /// Closes the innermost object.
         pub fn close_object(&mut self) {
             self.out.push('}');
             self.needs_comma.pop();
         }
 
+        /// Opens a `[`-delimited array (as a field value or array element).
         pub fn open_array(&mut self) {
             self.before_value();
             self.out.push('[');
             self.needs_comma.push(false);
         }
 
+        /// Closes the innermost array.
         pub fn close_array(&mut self) {
             self.out.push(']');
             self.needs_comma.pop();
@@ -399,6 +410,7 @@ pub(crate) mod json {
             }
         }
 
+        /// Writes a string-valued field.
         pub fn string_field(&mut self, key: &str, value: &str) {
             self.key(key);
             self.before_value();
@@ -416,12 +428,14 @@ pub(crate) mod json {
             }
         }
 
+        /// Writes a boolean-valued field.
         pub fn bool_field(&mut self, key: &str, value: bool) {
             self.key(key);
             self.before_value();
             self.out.push_str(if value { "true" } else { "false" });
         }
 
+        /// Writes a `null`-valued field.
         pub fn null_field(&mut self, key: &str) {
             self.key(key);
             self.before_value();
@@ -444,6 +458,7 @@ pub(crate) mod json {
             self.close_array();
         }
 
+        /// Writes an array of strings.
         pub fn string_array_field(&mut self, key: &str, values: impl Iterator<Item = impl AsRef<str>>) {
             self.key(key);
             self.open_array();
@@ -472,6 +487,7 @@ pub(crate) mod json {
             self.out.push('"');
         }
 
+        /// Returns the completed document.
         pub fn finish(self) -> String {
             self.out
         }

@@ -35,6 +35,13 @@ pub mod apg;
 pub mod baseline;
 pub mod diagnosis;
 pub mod engine;
+/// The crate's dependency-free JSON path, re-exported for downstream tooling
+/// (the generative scenario engine's plan/bugbase files use the same emitter
+/// and parser as [`diagnosis::DiagnosisReport::to_json`] and engine snapshots).
+pub mod jsonio {
+    pub use crate::diagnosis::json::Writer;
+    pub use crate::snapshot::Json;
+}
 pub mod pipeline;
 pub mod planner;
 pub mod runs;

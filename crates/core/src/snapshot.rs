@@ -172,7 +172,7 @@ fn parse_key(entry: &Json, interner: &Interner) -> Result<ScoreKey, String> {
 /// A parsed JSON value — the read half of the crate's dependency-free JSON path
 /// (the write half is [`crate::diagnosis::json::Writer`]).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -189,7 +189,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// Parses one JSON document (trailing content is an error).
-    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let value = p.value()?;
         p.skip_ws();
@@ -200,7 +200,7 @@ impl Json {
     }
 
     /// Object field lookup.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -208,7 +208,7 @@ impl Json {
     }
 
     /// The value as a string, if it is one.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -216,7 +216,7 @@ impl Json {
     }
 
     /// The value as a number, if it is one.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -224,7 +224,7 @@ impl Json {
     }
 
     /// The value as a bool, if it is one.
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
@@ -232,7 +232,7 @@ impl Json {
     }
 
     /// The value as an array, if it is one.
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,

@@ -1,0 +1,209 @@
+//! `gen_scenarios` — the generative scenario engine's CLI.
+//!
+//! ```text
+//! gen_scenarios --seed 42 --count 16          # generate + oracle-check 16 plans
+//! gen_scenarios --smoke --seed 42             # CI-bounded run (8 plans, short timeline)
+//! gen_scenarios --seed 42 --count 16 --shrink # shrink any failure to 1-minimal
+//! gen_scenarios --replay plan-or-entry.json   # replay one plan / bugbase entry
+//! gen_scenarios --replay-dir crates/gen/bugbase  # replay every checked-in entry
+//! gen_scenarios --seed 42 --count 16 --record crates/gen/bugbase  # pin plans + verdicts
+//! ```
+//!
+//! Exit status is non-zero when any generated plan fails an oracle (unless the
+//! failure was recorded) or any replayed entry diverges from its pinned
+//! violations.
+
+use std::process::ExitCode;
+
+use diads_gen::{check_plan, shrink, BugbaseEntry, Generator, TimelineKind};
+
+struct Options {
+    seed: u64,
+    count: u64,
+    timeline: TimelineKind,
+    smoke: bool,
+    shrink: bool,
+    replay: Vec<String>,
+    replay_dirs: Vec<String>,
+    record: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: gen_scenarios [--seed N] [--count K] [--timeline short|paper] [--smoke] [--shrink]\n\
+     \x20                    [--replay FILE]... [--replay-dir DIR]... [--record DIR]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 42,
+        count: 16,
+        timeline: TimelineKind::Short,
+        smoke: false,
+        shrink: false,
+        replay: Vec::new(),
+        replay_dirs: Vec::new(),
+        record: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--count" => opts.count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?,
+            "--timeline" => opts.timeline = TimelineKind::parse(&value("--timeline")?)?,
+            "--smoke" => opts.smoke = true,
+            "--shrink" => opts.shrink = true,
+            "--replay" => opts.replay.push(value("--replay")?),
+            "--replay-dir" => opts.replay_dirs.push(value("--replay-dir")?),
+            "--record" => opts.record = Some(value("--record")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if opts.smoke {
+        opts.count = opts.count.min(8);
+        opts.timeline = TimelineKind::Short;
+    }
+    Ok(opts)
+}
+
+fn replay_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let entry = BugbaseEntry::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    match entry.replay() {
+        Ok(sigs) if sigs.is_empty() => {
+            println!("replay {path}: plan {} passes both oracles (as pinned)", entry.plan.id);
+            Ok(())
+        }
+        Ok(sigs) => {
+            println!("replay {path}: plan {} reproduces pinned violations {sigs:?}", entry.plan.id);
+            Ok(())
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+fn replay_dir(dir: &str) -> Result<usize, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{dir}: no .json bugbase entries found"));
+    }
+    let mut failures = Vec::new();
+    for path in &paths {
+        if let Err(e) = replay_file(&path.display().to_string()) {
+            failures.push(e);
+        }
+    }
+    for f in &failures {
+        eprintln!("FAIL {f}");
+    }
+    if failures.is_empty() {
+        Ok(paths.len())
+    } else {
+        Err(format!("{dir}: {} of {} entries diverged", failures.len(), paths.len()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+
+    // Replay mode(s) first: they are independent of generation.
+    for path in &opts.replay {
+        if let Err(e) = replay_file(path) {
+            eprintln!("FAIL {e}");
+            failed = true;
+        }
+    }
+    for dir in &opts.replay_dirs {
+        match replay_dir(dir) {
+            Ok(n) => println!("replayed {n} bugbase entries from {dir}: all consistent"),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+    if !opts.replay.is_empty() || !opts.replay_dirs.is_empty() {
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    // Generation mode.
+    let generator = Generator::new(opts.seed, opts.timeline);
+    println!(
+        "generating {} plan(s) from seed {} on the {} timeline",
+        opts.count,
+        opts.seed,
+        opts.timeline.as_str()
+    );
+    let mut passed = 0usize;
+    for index in 0..opts.count {
+        let plan = generator.plan(index);
+        let outcome = check_plan(&plan);
+        let final_plan = if outcome.passed() {
+            passed += 1;
+            println!(
+                "  {}: ok ({} overlay(s): {})",
+                plan.id,
+                plan.overlays.len(),
+                plan.overlays.iter().map(|o| o.kind.as_str()).collect::<Vec<_>>().join(" + ")
+            );
+            plan
+        } else {
+            println!("  {}: FAILED", plan.id);
+            for v in &outcome.violations {
+                println!("    {v}");
+            }
+            if opts.record.is_none() {
+                failed = true;
+            }
+            if opts.shrink {
+                let (minimal, steps) = shrink(&plan, |p| !check_plan(p).passed());
+                println!("    shrunk to 1-minimal in {steps} step(s): {}", minimal.to_json());
+                minimal
+            } else {
+                plan
+            }
+        };
+        // Recording pins every plan's verdict: passing plans become must-pass
+        // regression entries, failing (possibly shrunk) plans pin their
+        // violation signatures for triage.
+        if let Some(dir) = &opts.record {
+            let outcome = check_plan(&final_plan);
+            let entry = BugbaseEntry {
+                plan: final_plan.clone(),
+                expected_violations: outcome.signatures(),
+                notes: format!("recorded by gen_scenarios --record from seed {}", opts.seed),
+            };
+            let path = format!("{dir}/{}.json", final_plan.id);
+            match std::fs::write(&path, entry.to_json()) {
+                Ok(()) => println!("    recorded as {path}"),
+                Err(e) => {
+                    eprintln!("    FAIL could not record {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    println!("{passed}/{} plan(s) passed both oracles", opts.count);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,127 @@
+//! The bugbase: replayable JSON records of interesting plans.
+//!
+//! A bugbase entry pins a plan together with the violation signatures its
+//! replay must reproduce — an empty list pins a regression plan that must keep
+//! *passing* both oracles. Entries live as one JSON file each under
+//! `crates/gen/bugbase/` and are replayed in CI by
+//! `gen_scenarios --replay-dir`.
+
+use diads_core::jsonio::{Json, Writer};
+
+use crate::oracle;
+use crate::plan::GenPlan;
+
+/// One replayable bugbase record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugbaseEntry {
+    /// The plan to replay.
+    pub plan: GenPlan,
+    /// Sorted oracle-violation signatures replay must reproduce exactly
+    /// (empty = the plan must pass).
+    pub expected_violations: Vec<String>,
+    /// Free-form triage notes (why the entry is pinned).
+    pub notes: String,
+}
+
+impl BugbaseEntry {
+    /// An entry pinning a plan that must keep passing both oracles.
+    pub fn passing(plan: GenPlan, notes: impl Into<String>) -> Self {
+        BugbaseEntry { plan, expected_violations: Vec::new(), notes: notes.into() }
+    }
+
+    /// Serializes the entry as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        w.open_object();
+        w.key("plan");
+        let plan_json = self.plan.to_json();
+        // The plan serializes itself; splice its document in as the field value.
+        let mut out = w.finish();
+        out.push_str(&plan_json);
+        let mut w = Writer::new();
+        w.open_object();
+        w.string_array_field("expected_violations", self.expected_violations.iter());
+        w.string_field("notes", &self.notes);
+        w.close_object();
+        let tail = w.finish();
+        // `tail` is `{"expected_violations":...,"notes":...}`; merge the two
+        // objects into one document.
+        out.push(',');
+        out.push_str(&tail[1..]);
+        out
+    }
+
+    /// Parses an entry previously written by [`BugbaseEntry::to_json`]. Also
+    /// accepts a bare plan document (no `"plan"` field), which is pinned as a
+    /// must-pass entry — so `gen_scenarios --replay` works on plan files the
+    /// generator or shrinker printed.
+    pub fn from_json(text: &str) -> Result<BugbaseEntry, String> {
+        let doc = Json::parse(text)?;
+        match doc.get("plan") {
+            Some(plan_doc) => {
+                let plan = GenPlan::from_json_value(plan_doc)?;
+                let expected_violations = doc
+                    .get("expected_violations")
+                    .and_then(Json::as_array)
+                    .ok_or("bugbase entry: missing \"expected_violations\"")?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "bugbase entry: non-string violation signature".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let notes = doc.get("notes").and_then(Json::as_str).unwrap_or_default().to_string();
+                Ok(BugbaseEntry { plan, expected_violations, notes })
+            }
+            None => Ok(BugbaseEntry::passing(GenPlan::from_json_value(&doc)?, "")),
+        }
+    }
+
+    /// Replays the entry: runs the plan through the testbed and both oracles
+    /// and compares the violation signatures against the pinned set. `Ok` holds
+    /// the signatures observed; `Err` describes the divergence.
+    pub fn replay(&self) -> Result<Vec<String>, String> {
+        let outcome = oracle::check_plan(&self.plan);
+        let got = outcome.signatures();
+        let mut expected = self.expected_violations.clone();
+        expected.sort();
+        expected.dedup();
+        if got == expected {
+            Ok(got)
+        } else {
+            Err(format!(
+                "plan {}: replay diverged — pinned violations {:?}, observed {:?}",
+                self.plan.id, expected, got
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Generator;
+    use crate::plan::TimelineKind;
+
+    #[test]
+    fn entry_json_round_trips() {
+        let plan = Generator::new(7, TimelineKind::Short).plan(0);
+        let entry = BugbaseEntry {
+            plan,
+            expected_violations: vec!["missing:x".into(), "spurious:y".into()],
+            notes: "note \"with\" quotes".into(),
+        };
+        let text = entry.to_json();
+        let parsed = BugbaseEntry::from_json(&text).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn bare_plan_documents_parse_as_must_pass_entries() {
+        let plan = Generator::new(7, TimelineKind::Short).plan(1);
+        let parsed = BugbaseEntry::from_json(&plan.to_json()).unwrap();
+        assert_eq!(parsed.plan, plan);
+        assert!(parsed.expected_violations.is_empty());
+    }
+}

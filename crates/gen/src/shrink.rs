@@ -1,0 +1,83 @@
+//! Greedy shrinking of failing plans to 1-minimality.
+//!
+//! Mirrors the classic property-testing shrinker shape: enumerate candidate
+//! simplifications in a fixed order, accept the first candidate that still
+//! fails the oracle, and repeat until no candidate fails. Every candidate
+//! strictly decreases a well-founded measure (overlay count, then total window
+//! hours, then intensity grid position), so the loop always terminates; the
+//! result is 1-minimal *with respect to the candidate moves* — dropping any
+//! remaining overlay, halving any remaining window, or stepping any intensity
+//! down makes the failure disappear.
+
+use crate::generator::INTENSITY_GRID;
+use crate::plan::GenPlan;
+
+/// Minimum window length (hours) the shrinker will not go below.
+const MIN_WINDOW_HOURS: u64 = 1;
+
+/// All one-step simplifications of `plan`, in the order the shrinker tries
+/// them: overlay drops (most simplifying) first, then window halvings, then
+/// intensity steps. Public so the minimality property test can enumerate the
+/// exact moves the shrinker had available.
+pub fn shrink_candidates(plan: &GenPlan) -> Vec<GenPlan> {
+    let mut candidates = Vec::new();
+
+    // 1. Drop one overlay (keep at least one — an empty plan injects nothing
+    //    and trivially changes which property can fail).
+    if plan.overlays.len() > 1 {
+        for i in 0..plan.overlays.len() {
+            let mut shrunk = plan.clone();
+            shrunk.overlays.remove(i);
+            shrunk.expected = crate::generator::expected_causes(&shrunk.overlays);
+            candidates.push(shrunk);
+        }
+    }
+
+    // 2. Halve one overlay's window.
+    for (i, overlay) in plan.overlays.iter().enumerate() {
+        if overlay.is_instantaneous() {
+            continue;
+        }
+        let full = plan.timeline.active_hours_after(overlay.onset_delay_hours);
+        let current = overlay.window_hours.unwrap_or(full);
+        let halved = current / 2;
+        if halved >= MIN_WINDOW_HOURS && halved < current {
+            let mut shrunk = plan.clone();
+            shrunk.overlays[i].window_hours = Some(halved);
+            candidates.push(shrunk);
+        }
+    }
+
+    // 3. Step one overlay's intensity down the grid.
+    for (i, overlay) in plan.overlays.iter().enumerate() {
+        let pos = INTENSITY_GRID.iter().position(|g| *g == overlay.intensity);
+        if let Some(pos) = pos {
+            if pos > 0 {
+                let mut shrunk = plan.clone();
+                shrunk.overlays[i].intensity = INTENSITY_GRID[pos - 1];
+                candidates.push(shrunk);
+            }
+        }
+    }
+
+    candidates
+}
+
+/// Shrinks a failing plan until it is 1-minimal under `fails` (which must
+/// return `true` for `plan` itself; the shrinker preserves "still failing",
+/// not the exact violation). Returns the minimal plan and the number of
+/// accepted shrink steps.
+pub fn shrink(plan: &GenPlan, mut fails: impl FnMut(&GenPlan) -> bool) -> (GenPlan, usize) {
+    let mut current = plan.clone();
+    let mut steps = 0;
+    'outer: loop {
+        for candidate in shrink_candidates(&current) {
+            if fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return (current, steps);
+    }
+}

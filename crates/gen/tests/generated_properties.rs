@@ -1,0 +1,137 @@
+//! The generated-scenario property suite: soundness + completeness oracles over
+//! a seeded batch, byte-identical regeneration, JSON round-trips, and
+//! replay-to-identical-report determinism.
+
+use diads_core::Testbed;
+use diads_gen::{check_plan, evaluate, GenPlan, Generator, TimelineKind};
+
+/// The CI batch: 64 plans from the pinned seed. Every plan must satisfy both
+/// oracles — every injected fault surfaces at or above its expected confidence,
+/// and nothing unexplained is reported High-confidence at high impact.
+#[test]
+fn sixty_four_seeded_plans_satisfy_both_oracles() {
+    let generator = Generator::new(42, TimelineKind::Short);
+    let mut failures = Vec::new();
+    for plan in generator.batch(64) {
+        let outcome = check_plan(&plan);
+        if !outcome.passed() {
+            failures.push(format!("{}: {:?} (plan: {})", plan.id, outcome.signatures(), plan.to_json()));
+        }
+    }
+    assert!(failures.is_empty(), "oracle failures:\n{}", failures.join("\n"));
+}
+
+/// A fixed seed reproduces byte-identical plans: same JSON, independent of
+/// batch size and of how many plans were drawn before.
+#[test]
+fn fixed_seed_reproduces_byte_identical_plans() {
+    let a = Generator::new(42, TimelineKind::Short).batch(16);
+    let b = Generator::new(42, TimelineKind::Short).batch(16);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y);
+        assert_eq!(x.to_json(), y.to_json());
+    }
+    // Plan 7 of a 16-plan batch == plan 7 drawn alone.
+    let solo = Generator::new(42, TimelineKind::Short).plan(7);
+    assert_eq!(a[7], solo);
+    // A different seed diverges.
+    let other = Generator::new(43, TimelineKind::Short).batch(16);
+    assert_ne!(
+        a.iter().map(GenPlan::to_json).collect::<Vec<_>>(),
+        other.iter().map(GenPlan::to_json).collect::<Vec<_>>()
+    );
+}
+
+/// `from_json(to_json(p)) == p` for every generated plan (u64 seeds travel as
+/// strings; f64 uses shortest-round-trip formatting), and serialization is
+/// stable through a second round trip.
+#[test]
+fn plan_json_round_trips_exactly() {
+    for timeline in [TimelineKind::Short, TimelineKind::Paper] {
+        for plan in Generator::new(0xD1AD5, timeline).batch(32) {
+            let text = plan.to_json();
+            let parsed = GenPlan::from_json(&text).expect("generated plan JSON must parse");
+            assert_eq!(parsed, plan);
+            assert_eq!(parsed.to_json(), text);
+        }
+    }
+}
+
+/// Replaying a plan from its JSON yields the *identical* diagnosis report
+/// (`DiagnosisReport` equality covers the findings), and the oracle verdict is
+/// a pure function of the report.
+#[test]
+fn replayed_plans_diagnose_identically() {
+    let generator = Generator::new(7, TimelineKind::Short);
+    for plan in generator.batch(4) {
+        let replayed = GenPlan::from_json(&plan.to_json()).unwrap();
+        let original = Testbed::run_scenario(&plan.to_scenario()).diagnose();
+        let replay = Testbed::run_scenario(&replayed.to_scenario()).diagnose();
+        assert_eq!(original, replay, "{}: replay diverged from the original report", plan.id);
+        assert_eq!(
+            evaluate(&plan, &original),
+            evaluate(&replayed, &replay),
+            "{}: oracle verdict diverged under replay",
+            plan.id
+        );
+    }
+}
+
+/// Malformed documents are rejected with errors, not panics.
+#[test]
+fn from_json_rejects_malformed_documents() {
+    assert!(GenPlan::from_json("{").is_err());
+    assert!(GenPlan::from_json("{}").is_err());
+    assert!(GenPlan::from_json("[1,2]").is_err());
+    // Unknown overlay kinds are caught at parse time, not at scenario build.
+    let mut plan = Generator::new(1, TimelineKind::Short).plan(0);
+    plan.overlays[0].kind = "warp-core-breach".into();
+    assert!(GenPlan::from_json(&plan.to_json()).unwrap_err().contains("vocabulary"));
+}
+
+/// Generated plans honour the vocabulary's composition constraints: distinct
+/// kinds, at most one per exclusion group, and the first overlay at delay 0.
+#[test]
+fn generated_plans_respect_vocabulary_constraints() {
+    use diads_inject::vocabulary::kind_info;
+    for plan in Generator::new(12345, TimelineKind::Short).batch(64) {
+        assert!(!plan.overlays.is_empty() && plan.overlays.len() <= 3, "{}", plan.id);
+        assert_eq!(plan.overlays[0].onset_delay_hours, 0, "{}", plan.id);
+        let mut kinds: Vec<&str> = plan.overlays.iter().map(|o| o.kind.as_str()).collect();
+        kinds.sort_unstable();
+        let before = kinds.len();
+        kinds.dedup();
+        assert_eq!(kinds.len(), before, "{}: duplicate overlay kinds", plan.id);
+        let mut groups: Vec<&str> =
+            plan.overlays.iter().filter_map(|o| kind_info(&o.kind).and_then(|k| k.exclusion_group)).collect();
+        groups.sort_unstable();
+        let before = groups.len();
+        groups.dedup();
+        assert_eq!(groups.len(), before, "{}: two overlays share an exclusion group", plan.id);
+        // Every expected cause traces back to an injected overlay.
+        for e in &plan.expected {
+            assert!(
+                plan.overlays.iter().any(|o| kind_info(&o.kind).unwrap().cause_id == e.cause_id),
+                "{}: expectation {} has no overlay",
+                plan.id,
+                e.cause_id
+            );
+        }
+    }
+}
+
+/// Generated compound plans classify correctly through the vocabulary-derived
+/// `Scenario::is_compound_db_san`.
+#[test]
+fn generated_compounds_classify_by_vocabulary_layer() {
+    use diads_inject::vocabulary::{kind_info, FaultLayer};
+    let mut saw_compound = false;
+    for plan in Generator::new(42, TimelineKind::Short).batch(64) {
+        let layers: Vec<FaultLayer> =
+            plan.overlays.iter().map(|o| kind_info(&o.kind).unwrap().layer).collect();
+        let expect_compound = layers.contains(&FaultLayer::Database) && layers.contains(&FaultLayer::San);
+        assert_eq!(plan.to_scenario().is_compound_db_san(), expect_compound, "{}", plan.id);
+        saw_compound |= expect_compound;
+    }
+    assert!(saw_compound, "64 plans should include at least one compound DB+SAN composition");
+}

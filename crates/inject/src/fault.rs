@@ -107,21 +107,13 @@ impl Fault {
     }
 
     /// Whether the fault injects into the **database** layer (`true`) or the
-    /// **SAN** layer (`false`). The match is deliberately exhaustive — adding a
-    /// `Fault` variant forces a classification decision here, so compound-scenario
-    /// accounting ([`crate::Scenario::is_compound_db_san`]) can never silently
-    /// misfile a new fault.
+    /// **SAN** layer (`false`). Derived from the fault's
+    /// [`crate::vocabulary::FAULT_VOCABULARY`] row — adding a `Fault` variant
+    /// forces a registry entry (the lookup panics otherwise), so
+    /// compound-scenario accounting ([`crate::Scenario::is_compound_db_san`])
+    /// can never silently misfile a new fault.
     pub fn is_database_side(&self) -> bool {
-        match self {
-            Fault::BulkDml { .. }
-            | Fault::TableLockContention { .. }
-            | Fault::IndexDrop { .. }
-            | Fault::ConfigParameterChange { .. } => true,
-            Fault::SanMisconfiguration { .. }
-            | Fault::ExternalVolumeContention { .. }
-            | Fault::DiskFailure { .. }
-            | Fault::RaidRebuild { .. } => false,
-        }
+        self.vocabulary().layer == crate::vocabulary::FaultLayer::Database
     }
 
     /// When the fault first takes effect.

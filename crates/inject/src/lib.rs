@@ -15,15 +15,20 @@
 //!   SAN-degradation scenarios, and the compound DB+SAN scenarios built with
 //!   [`scenarios::ScenarioComposer`], each as a canned timeline of faults with the
 //!   expected diagnosis outcome attached for verification.
+//! * [`vocabulary`] — the declarative fault-kind registry (layer, expected cause
+//!   id, plan-change flag, exclusion groups) that layer classification and the
+//!   generative scenario engine are driven from.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod fault;
 pub mod scenarios;
+pub mod vocabulary;
 
 pub use fault::{Fault, Injector, TimedFault};
 pub use scenarios::{all_scenarios, Scenario, ScenarioComposer, ScenarioTimeline};
+pub use vocabulary::{kind_info, FaultKindInfo, FaultLayer, FAULT_VOCABULARY};
 
 #[cfg(test)]
 mod tests {

@@ -175,12 +175,21 @@ impl Scenario {
 
     /// Whether the scenario injects faults into **both** layers — at least one
     /// database-side fault and at least one SAN-side fault (the paper's compound
-    /// "my-problem-or-yours" situation). Classification is
-    /// [`Fault::is_database_side`]'s exhaustive match, so a new fault variant
-    /// cannot be silently misfiled.
+    /// "my-problem-or-yours" situation). Layer membership comes from each fault's
+    /// [`crate::vocabulary::FAULT_VOCABULARY`] row, so a new fault variant cannot
+    /// be silently misfiled: an unregistered kind panics at classification time
+    /// instead of defaulting into one layer.
     pub fn is_compound_db_san(&self) -> bool {
-        self.faults.iter().any(|f| f.fault.is_database_side())
-            && self.faults.iter().any(|f| !f.fault.is_database_side())
+        use crate::vocabulary::FaultLayer;
+        let mut db = false;
+        let mut san = false;
+        for f in &self.faults {
+            match f.fault.vocabulary().layer {
+                FaultLayer::Database => db = true,
+                FaultLayer::San => san = true,
+            }
+        }
+        db && san
     }
 }
 
@@ -271,8 +280,12 @@ impl ScenarioComposer {
     /// Panics when the donor sits on a different timeline *and* is not rebasable
     /// (its id is not a registered constructor): silently merging its fault times
     /// verbatim would produce a scenario whose faults miss the composed
-    /// satisfactory/unsatisfactory split. Build such donors on the composer's
-    /// timeline instead.
+    /// satisfactory/unsatisfactory split. Also panics when a (rebased) donor
+    /// fault is injected at or after the composer timeline's end: such a fault
+    /// never influences a run, so its merged expected causes could not be
+    /// satisfied — the donor's expectations would be silently truncated from the
+    /// observable behaviour. Build such donors on the composer's timeline (or a
+    /// shorter one) instead.
     pub fn overlay(mut self, donor: &Scenario) -> Self {
         // A donor already on this timeline is merged verbatim — including any
         // caller customisations a registered-constructor rebuild would discard.
@@ -287,6 +300,20 @@ impl ScenarioComposer {
              constructor to rebase it; build it on the composer's timeline instead",
             donor.id
         );
+        let end = self.scenario.timeline.end_time();
+        for f in &rebased.faults {
+            assert!(
+                f.inject_at < end,
+                "ScenarioComposer::overlay: donor {} injects {} at t={}s, at/after the composer \
+                 timeline's end ({}s); the fault would never influence a run and the donor's \
+                 expected causes would be silently unobservable — build the donor on the \
+                 composer's timeline",
+                donor.id,
+                f.fault.label(),
+                f.inject_at.as_secs(),
+                end.as_secs()
+            );
+        }
         self.scenario.faults.extend(rebased.faults);
         self.scenario.faults.sort_by_key(|f| f.inject_at);
         for cause in rebased.expected.primary_causes {
@@ -908,6 +935,44 @@ mod tests {
         // registered constructor to rebase it, so merging would silently misplace
         // its fault relative to the satisfactory/unsatisfactory split.
         let _ = ScenarioComposer::new("host", "host", ScenarioTimeline::paper_default()).overlay(&donor);
+    }
+
+    #[test]
+    fn overlay_rebases_longer_timeline_donors_instead_of_truncating() {
+        let short = ScenarioTimeline::short();
+        // The donor sits on the *longer* paper timeline: its fault times lie far
+        // beyond the short timeline's end. A registered constructor exists, so
+        // overlay must rebase it onto the composer's timeline rather than merge
+        // (and effectively truncate) the out-of-range faults.
+        let donor = scenario_1(ScenarioTimeline::paper_default());
+        assert!(donor.faults[0].inject_at >= short.end_time(), "precondition: donor outlasts base");
+        let composed = ScenarioComposer::new("host", "host", short).overlay(&donor).build();
+        assert_eq!(composed.faults.len(), 1);
+        assert_eq!(composed.faults[0].inject_at, short.fault_time());
+        assert!(composed.faults[0].inject_at < short.end_time());
+        assert!(composed.expected.primary_causes.contains(&cause_ids::SAN_MISCONFIGURATION.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "never influence a run")]
+    fn overlay_rejects_donor_faults_beyond_the_timeline_end() {
+        let t = ScenarioTimeline::short();
+        // Same timeline (so no rebase happens), but the donor's fault fires after
+        // the last run: merging it would carry expectations no run can observe.
+        let donor = ScenarioComposer::new("custom-donor", "donor", t)
+            .timed_fault(TimedFault {
+                inject_at: t.end_time().plus(Duration::from_hours(1)),
+                fault: Fault::RaidRebuild {
+                    pool: "P1".into(),
+                    window: TimeRange::with_duration(
+                        t.end_time().plus(Duration::from_hours(1)),
+                        Duration::from_hours(2),
+                    ),
+                },
+            })
+            .expect(cause_ids::RAID_REBUILD)
+            .build();
+        let _ = ScenarioComposer::new("host", "host", t).overlay(&donor);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`core`] — Annotated Plan Graphs, the composable diagnosis pipeline (the PD, CO,
 //!   DA, CR, SD, IA stages over a typed evidence ledger, with per-stage provenance),
 //!   the fleet-level diagnosis engine, the symptoms database, impact analysis, the
-//!   silo-tool baselines, the text screens and the what-if extension.
+//!   silo-tool baselines, the text screens and the what-if extension;
+//! * [`gen`] — the generative scenario engine: seeded fault-plan generation,
+//!   diagnosis property oracles (soundness + completeness), 1-minimal shrinking,
+//!   and the replayable JSON bugbase behind the `gen_scenarios` CLI.
 //!
 //! ## Quick start
 //!
@@ -37,6 +40,7 @@
 
 pub use diads_core as core;
 pub use diads_db as db;
+pub use diads_gen as gen;
 pub use diads_inject as inject;
 pub use diads_monitor as monitor;
 pub use diads_san as san;
