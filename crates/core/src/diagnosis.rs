@@ -131,6 +131,11 @@ pub struct DiagnosisProvenance {
     /// How many metric-store epochs an incremental re-diagnosis applied on top of
     /// its watermark (0 for batch diagnoses and for incremental runs with no delta).
     pub epochs_applied: u64,
+    /// When a [`crate::pipeline::CancelToken`] stopped the run at a stage
+    /// boundary, the name of the first stage that did **not** run; `None` for
+    /// runs that completed. A cancelled report's findings cover exactly the
+    /// completed stages (downstream modules read as empty results).
+    pub cancelled_at: Option<String>,
 }
 
 impl DiagnosisProvenance {
@@ -325,6 +330,11 @@ impl DiagnosisReport {
         }
         w.close_array();
         w.number_field("epochs_applied", self.provenance.epochs_applied as f64);
+        // Emitted only for cancelled runs, so the pinned key sequence of complete
+        // reports is byte-identical to the pre-cancellation format.
+        if let Some(cancelled_at) = &self.provenance.cancelled_at {
+            w.string_field("cancelled_at", cancelled_at);
+        }
         match &self.provenance.engine {
             Some(engine) => {
                 w.key("engine");
@@ -615,6 +625,7 @@ mod tests {
                 }],
                 engine: Some(EngineProvenance { fingerprint: u64::MAX, warm: false }),
                 epochs_applied: 2,
+                cancelled_at: None,
             },
         };
         let json = report.to_json();
@@ -632,5 +643,11 @@ mod tests {
         let empty = DiagnosisReport::default();
         assert!(empty.to_json().contains("\"engine\":null"));
         assert_eq!(empty.provenance.total_elapsed_nanos(), 0);
+        // `cancelled_at` appears only on cancelled runs, so complete reports keep
+        // the pre-cancellation byte layout.
+        assert!(!json.contains("cancelled_at"), "{json}");
+        let mut cancelled = report;
+        cancelled.provenance.cancelled_at = Some("DA".into());
+        assert!(cancelled.to_json().contains("\"epochs_applied\":2,\"cancelled_at\":\"DA\""));
     }
 }

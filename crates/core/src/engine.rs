@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use diads_monitor::{Duration, EpochId, Interner};
 
 use crate::diagnosis::{DiagnosisProvenance, DiagnosisReport, EngineProvenance, StageProvenance};
-use crate::pipeline::{self, DiagnosisPipeline, DiagnosisState, LedgerInputs, Stage};
+use crate::pipeline::{self, CancelToken, DiagnosisPipeline, DiagnosisState, EventSink, LedgerInputs, Stage};
 use crate::testbed::ScenarioOutcome;
 use crate::workflow::{DiagnosisCache, DiagnosisContext, DiagnosisWorkflow, ScoreKey};
 
@@ -133,6 +133,33 @@ pub struct EngineStats {
     pub cold_checkouts: u64,
     /// Warm slots recycled by the LRU capacity bound.
     pub evictions: u64,
+}
+
+impl EngineStats {
+    /// Fraction of slot checkouts that found previously-warmed fits (`0.0` before
+    /// the first checkout).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_checkouts + self.cold_checkouts;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_checkouts as f64 / total as f64
+        }
+    }
+
+    /// One scrapeable JSON object over the engine counters (via
+    /// [`crate::jsonio::Writer`]), e.g.
+    /// `{"warm_checkouts":3,"cold_checkouts":1,"evictions":0,"warm_hit_rate":0.75}`.
+    pub fn to_json(&self) -> String {
+        let mut w = crate::diagnosis::json::Writer::new();
+        w.open_object();
+        w.number_field("warm_checkouts", self.warm_checkouts as f64);
+        w.number_field("cold_checkouts", self.cold_checkouts as f64);
+        w.number_field("evictions", self.evictions as f64);
+        w.number_field("warm_hit_rate", self.warm_hit_rate());
+        w.close_object();
+        w.finish()
+    }
 }
 
 /// A fleet-level diagnosis cache: one [`DiagnosisCache`] slot per run-history
@@ -284,6 +311,36 @@ impl DiagnosisEngine {
     /// [`DiagnosisEngine::diagnose_incremental`] replays. Recomposed pipelines skip
     /// the recording; their reports are unchanged.
     pub fn diagnose_with(&self, pipeline: &DiagnosisPipeline, outcome: &ScenarioOutcome) -> DiagnosisReport {
+        self.diagnose_with_emitter(pipeline, outcome, None, None)
+    }
+
+    /// [`DiagnosisEngine::diagnose`] streaming the run's full [`crate::pipeline::PipelineEvent`]
+    /// sequence to `sink` (on the diagnosing thread) and honouring `cancel`
+    /// between stages. A cancelled run returns a partial, consistent report
+    /// (provenance `cancelled_at` names the first stage that never ran) and
+    /// records **no** evidence — the warmed fits are kept, so a resumed diagnosis
+    /// starts warm.
+    pub fn diagnose_streamed(
+        &self,
+        outcome: &ScenarioOutcome,
+        sink: &dyn EventSink,
+        cancel: Option<&CancelToken>,
+    ) -> DiagnosisReport {
+        self.diagnose_with_emitter(&DiagnosisPipeline::standard(), outcome, Some(sink), cancel)
+    }
+
+    /// The shared engine-routed execution: builds the context, then either the
+    /// recomposed-pipeline path ([`DiagnosisPipeline::run_with_engine`], which
+    /// streams through the pipeline's own sinks) or the standard
+    /// evidence-recording path with the per-run `extra` sink and `cancel` token
+    /// threaded through.
+    fn diagnose_with_emitter(
+        &self,
+        pipeline: &DiagnosisPipeline,
+        outcome: &ScenarioOutcome,
+        extra: Option<&dyn EventSink>,
+        cancel: Option<&CancelToken>,
+    ) -> DiagnosisReport {
         let apg = outcome.apg();
         let events = outcome.testbed.all_events();
         let ctx = DiagnosisContext {
@@ -300,6 +357,7 @@ impl DiagnosisEngine {
         if !pipeline.is_standard() {
             return pipeline.run_with_engine(&ctx, self, fingerprint);
         }
+        let emitter = pipeline.emitter_with(extra, cancel);
         let inputs = LedgerInputs {
             history: outcome.history.fingerprint(),
             events: events.fingerprint(),
@@ -307,8 +365,14 @@ impl DiagnosisEngine {
         };
         let (mut cache, _prior_evidence, generation, warm) = self.checkout(fingerprint);
         let (mut report, state) =
-            pipeline::run_standard_recorded(pipeline.workflow(), &ctx, &mut cache, inputs);
+            pipeline::run_standard_recorded(pipeline.workflow(), &ctx, &mut cache, inputs, &emitter);
         report.provenance.engine = Some(EngineProvenance { fingerprint, warm });
+        if report.provenance.cancelled_at.is_some() {
+            // Partial ledger: keep the warmed fits, record no evidence.
+            self.checkin(fingerprint, cache, None, generation);
+            return report;
+        }
+        emitter.run_completed(&report, &state);
         self.checkin(fingerprint, cache, Some(Evidence { state, report: report.clone() }), generation);
         report
     }
@@ -332,16 +396,51 @@ impl DiagnosisEngine {
         outcome: &ScenarioOutcome,
         since: &DiagnosisWatermark,
     ) -> DiagnosisReport {
+        self.diagnose_incremental_emitter(outcome, since, None, None)
+    }
+
+    /// [`DiagnosisEngine::diagnose_incremental`] streaming the run's full
+    /// [`crate::pipeline::PipelineEvent`] sequence to `sink` and honouring `cancel` between
+    /// stages. Replayed stages emit the same `StageStarted`/`StageCompleted`
+    /// pairs a cold run would, so warm, cold and incremental paths stream
+    /// identical event sequences over the same outcome. A cancelled run records
+    /// no evidence and leaves the `since` watermark consumed — the next
+    /// diagnosis (incremental or batch) falls back to a warm-fit cold run.
+    pub fn diagnose_incremental_streamed(
+        &self,
+        outcome: &ScenarioOutcome,
+        since: &DiagnosisWatermark,
+        sink: &dyn EventSink,
+        cancel: Option<&CancelToken>,
+    ) -> DiagnosisReport {
+        self.diagnose_incremental_emitter(outcome, since, Some(sink), cancel)
+    }
+
+    fn diagnose_incremental_emitter(
+        &self,
+        outcome: &ScenarioOutcome,
+        since: &DiagnosisWatermark,
+        extra: Option<&dyn EventSink>,
+        cancel: Option<&CancelToken>,
+    ) -> DiagnosisReport {
+        // A cancellation requested before the first stage behaves exactly like a
+        // cancelled cold run: stop before PD, return the empty partial report.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return self.diagnose_with_emitter(&DiagnosisPipeline::standard(), outcome, extra, cancel);
+        }
+        let fall_back = |engine: &Self| {
+            engine.diagnose_with_emitter(&DiagnosisPipeline::standard(), outcome, extra, cancel)
+        };
         let store = &outcome.testbed.store;
         let history = &outcome.history;
         let valid = store.epoch_cumulative_fingerprint(since.epoch) == Some(since.store_fingerprint)
             && history.prefix_fingerprint(since.runs) == Some(since.history_fingerprint)
             && outcome.diagnosed_plan().fingerprint() == since.plan_fingerprint;
         if !valid {
-            return self.diagnose(outcome);
+            return fall_back(self);
         }
         let Some(delta) = store.delta_since(since.epoch) else {
-            return self.diagnose(outcome);
+            return fall_back(self);
         };
         // Runs are monitored over [start - pad, end + pad); cached per-run samples
         // (operator stats, per-run metric means) for the pre-watermark runs stay
@@ -350,7 +449,7 @@ impl DiagnosisEngine {
         let prior_cutoff = history.runs[..since.runs].iter().map(|r| r.record.end.plus(pad)).max();
         if let (Some(earliest), Some(cutoff)) = (delta.earliest_time(), prior_cutoff) {
             if earliest < cutoff {
-                return self.diagnose(outcome);
+                return fall_back(self);
             }
         }
         let sealed_after = store.epoch_count() as u64 - (since.epoch.index() as u64 + 1);
@@ -372,11 +471,11 @@ impl DiagnosisEngine {
             // Nothing recorded (or the slot was recycled): put the fits back and
             // run cold.
             self.checkin(since.fingerprint, cache, None, generation);
-            return self.diagnose(outcome);
+            return fall_back(self);
         };
         let Some(prior_inputs) = prior.state.inputs else {
             self.checkin(since.fingerprint, cache, Some(prior), generation);
-            return self.diagnose(outcome);
+            return fall_back(self);
         };
 
         let inputs = LedgerInputs {
@@ -391,26 +490,37 @@ impl DiagnosisEngine {
         // findings. Skip the APG rebuild, the stage loop and the report assembly
         // and hand back the recorded report with fresh provenance.
         if since.runs == history.len() && inputs == prior_inputs {
+            let emitter = pipeline::Emitter::new(&[], extra, cancel);
             let fingerprint = outcome.engine_fingerprint();
             let plan_changed = prior.state.plan_changed();
             let mut report = prior.report.clone();
-            report.provenance = DiagnosisProvenance {
-                stages: Stage::ALL
-                    .iter()
-                    .map(|stage| StageProvenance {
-                        stage: stage.name().to_string(),
-                        elapsed_nanos: 0,
-                        cache_hits: 0,
-                        cache_misses: 0,
-                        reused: true,
-                        redrilled: plan_changed && pipeline::stage_redrills(stage.name()),
-                    })
-                    .collect(),
-                engine: Some(EngineProvenance { fingerprint, warm }),
-                epochs_applied,
-            };
             let mut state = prior.state;
             state.inputs = Some(inputs);
+            // Replayed-wholesale runs still stream the pinned event sequence: the
+            // per-stage pairs walk the fully-populated ledger, so the derived
+            // events (`CausesRanked` after SD) fire exactly as a live run's would.
+            let mut stages = Vec::with_capacity(Stage::ALL.len());
+            for stage in &Stage::ALL {
+                let had_remediation = state.remediation.is_some();
+                emitter.stage_started(stage.name(), &state);
+                let provenance = StageProvenance {
+                    stage: stage.name().to_string(),
+                    elapsed_nanos: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    reused: true,
+                    redrilled: plan_changed && pipeline::stage_redrills(stage.name()),
+                };
+                emitter.stage_completed(&provenance, &state, had_remediation);
+                stages.push(provenance);
+            }
+            report.provenance = DiagnosisProvenance {
+                stages,
+                engine: Some(EngineProvenance { fingerprint, warm }),
+                epochs_applied,
+                cancelled_at: None,
+            };
+            emitter.run_completed(&report, &state);
             self.checkin(fingerprint, cache, Some(Evidence { state, report: report.clone() }), generation);
             return report;
         }
@@ -437,7 +547,7 @@ impl DiagnosisEngine {
         };
         if plan_filtered_empty(&history.runs[..since.runs]) != plan_filtered_empty(&history.runs) {
             self.checkin(since.fingerprint, cache, Some(prior), generation);
-            return self.diagnose(outcome);
+            return fall_back(self);
         }
 
         // Fold the satisfactory samples of any appended runs into the cached fits
@@ -445,11 +555,24 @@ impl DiagnosisEngine {
         crate::workflow::extend_cache_for_new_runs(&mut cache, &ctx, since.runs);
 
         let workflow = DiagnosisWorkflow::new();
-        match pipeline::run_incremental_standard(&workflow, &ctx, &mut cache, &prior.state, inputs) {
+        let emitter = pipeline::Emitter::new(&[], extra, cancel);
+        match pipeline::run_incremental_standard(&workflow, &ctx, &mut cache, &prior.state, inputs, &emitter)
+        {
             Some((mut report, state)) => {
                 let fingerprint = outcome.engine_fingerprint();
                 report.provenance.engine = Some(EngineProvenance { fingerprint, warm });
                 report.provenance.epochs_applied = epochs_applied;
+                if report.provenance.cancelled_at.is_some() {
+                    // Cancelled mid-replay: the extended fits describe the *new*
+                    // inputs, so park them under the new fingerprint with no
+                    // evidence (re-extending them under `since.fingerprint` would
+                    // double-fold the appended runs on the next attempt). The
+                    // prior evidence is consumed; the next diagnosis of either
+                    // fingerprint falls back to a warm-fit cold run.
+                    self.checkin(fingerprint, cache, None, generation);
+                    return report;
+                }
+                emitter.run_completed(&report, &state);
                 self.checkin(
                     fingerprint,
                     cache,
@@ -460,7 +583,7 @@ impl DiagnosisEngine {
             }
             None => {
                 self.checkin(since.fingerprint, cache, Some(prior), generation);
-                self.diagnose(outcome)
+                fall_back(self)
             }
         }
     }

@@ -58,7 +58,10 @@ pub use diagnosis::{
     ConfidenceLevel, DiagnosisProvenance, DiagnosisReport, EngineProvenance, RankedCause, StageProvenance,
 };
 pub use engine::{DiagnosisEngine, DiagnosisWatermark, EngineStats};
-pub use pipeline::{DiagnosisPipeline, DiagnosisStage, DiagnosisState, LedgerInputs, Stage, StageCtx};
+pub use pipeline::{
+    CancelToken, DiagnosisPipeline, DiagnosisStage, DiagnosisState, EventSink, LedgerInputs, PipelineEvent,
+    Stage, StageCtx,
+};
 pub use planner::{
     Planner, PlannerConfig, PlannerStage, RankedRemediation, RemediationCandidate, RemediationPlan,
 };

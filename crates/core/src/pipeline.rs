@@ -13,11 +13,46 @@
 //! * [`DiagnosisPipeline`] is the builder and driver. [`DiagnosisPipeline::standard`]
 //!   reproduces the paper's sequence bit-identically; [`DiagnosisPipeline::skip`],
 //!   [`DiagnosisPipeline::insert_after`] and custom stages open new scenario shapes
-//!   (SAN-only triage that skips PD/CR, a re-scoring stage, …). Per-stage observer
-//!   hooks ([`DiagnosisPipeline::on_stage_complete`]) stream progress, and every run
-//!   emits a [`crate::diagnosis::DiagnosisReport`] carrying per-stage provenance
-//!   (timings, cache hit/miss deltas, engine warm/cold, re-drill markers) next to
-//!   the findings.
+//!   (SAN-only triage that skips PD/CR, a re-scoring stage, …). Every run emits a
+//!   [`crate::diagnosis::DiagnosisReport`] carrying per-stage provenance (timings,
+//!   cache hit/miss deltas, engine warm/cold, re-drill markers) next to the findings.
+//!
+//! # Streaming: the typed event bus
+//!
+//! Progress streams through a **typed event vocabulary** ([`PipelineEvent`])
+//! delivered to [`EventSink`]s registered with [`DiagnosisPipeline::with_sink`] (or
+//! handed to the engine's `*_streamed` entry points):
+//!
+//! | event | fired |
+//! |---|---|
+//! | [`PipelineEvent::StageStarted`] | before a stage executes (or replays) |
+//! | [`PipelineEvent::StageCompleted`] | after, with the stage's [`StageProvenance`] |
+//! | [`PipelineEvent::CausesRanked`] | after SD fills the ledger's cause ranking |
+//! | [`PipelineEvent::RemediationPlanned`] | when a stage writes the remediation slot |
+//! | [`PipelineEvent::RunCompleted`] | after assembly, with the full report |
+//! | [`PipelineEvent::Cancelled`] | when a [`CancelToken`] stops the run |
+//!
+//! Every driver — batch, engine-backed warm/cold, incremental replay and the
+//! interactive session — emits the same per-stage sequence, so a subscriber cannot
+//! tell (except through provenance) which execution path served it. The PR 4
+//! closure observer survives as a thin adapter: [`DiagnosisPipeline::on_stage_complete`]
+//! wraps the closure in a sink that fires on [`PipelineEvent::StageCompleted`], so
+//! existing call sites compile and behave unchanged. Migration map:
+//!
+//! | old (closure observers) | new (typed event bus) |
+//! |---|---|
+//! | `on_stage_complete(\|p, s\| ..)` | unchanged — now an adapter over a sink |
+//! | (no equivalent) | `with_sink(sink)` for the full [`PipelineEvent`] vocabulary |
+//! | (no equivalent) | `with_cancel_token(token)` + `token.cancel()` between stages |
+//! | (no equivalent) | `DiagnosisEngine::diagnose_streamed` / `diagnose_incremental_streamed` |
+//!
+//! Cancellation is checked **between stages**: a cancelled run stops before the next
+//! stage executes, emits [`PipelineEvent::Cancelled`], and still returns a
+//! well-formed report assembled from the partial ledger, with
+//! [`crate::diagnosis::DiagnosisProvenance::cancelled_at`] naming the stage that
+//! never ran. Completed slots keep their evidence, downstream slots stay empty, and
+//! a [`crate::session::WorkflowSession`] resumed after [`CancelToken::reset`]
+//! re-runs only the stages the cancellation skipped.
 //!
 //! When PD reports a plan change the pipeline does **not** stop at the plan-change
 //! causes: the drill-down stages re-run against the *new* plan's APG (the
@@ -31,6 +66,8 @@
 //! ([`crate::session::WorkflowSession`]) — executes through this pipeline; there is
 //! no second sequencing of the modules anywhere.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::diagnosis::{DiagnosisProvenance, DiagnosisReport, EngineProvenance, StageProvenance};
@@ -400,12 +437,203 @@ impl DiagnosisStage for Stage {
     }
 }
 
-/// An observer invoked after each stage completes, with the stage's provenance and
-/// the ledger as it stands — the streaming-progress hook.
-pub type StageObserver = Box<dyn Fn(&StageProvenance, &DiagnosisState)>;
+/// The typed vocabulary of the pipeline's streaming event bus — what every
+/// execution path (batch, engine warm/cold, incremental replay, interactive
+/// session) emits to its [`EventSink`]s, in a pinned per-stage order:
+/// `StageStarted` → `StageCompleted` (→ `CausesRanked` after SD, →
+/// `RemediationPlanned` when a stage fills the remediation slot), repeated per
+/// stage, then exactly one terminal `RunCompleted` or `Cancelled`.
+#[derive(Debug, Clone)]
+pub enum PipelineEvent {
+    /// A stage is about to execute (or, during incremental re-diagnosis, to replay
+    /// its prior evidence).
+    StageStarted {
+        /// The stage's display name (`"PD"`, `"CO"`, … for the standard stages).
+        stage: String,
+    },
+    /// A stage finished, with its execution provenance (timing, cache deltas,
+    /// reused/redrilled markers).
+    StageCompleted {
+        /// The completed stage's provenance.
+        provenance: StageProvenance,
+    },
+    /// Module SD filled the ledger's cause ranking — the earliest moment a
+    /// subscriber can act on ranked causes, one stage before the final report.
+    CausesRanked {
+        /// The scored causes, best first (SD's ranking).
+        causes: Vec<crate::symptoms::ScoredCause>,
+    },
+    /// A stage wrote the ledger's remediation slot (the
+    /// [`crate::planner::PlannerStage`], or any custom stage doing the same).
+    RemediationPlanned {
+        /// The what-if-evaluated remediation plan.
+        plan: crate::planner::RemediationPlan,
+    },
+    /// The run finished and assembled its report. Terminal; never follows
+    /// `Cancelled` within one run.
+    RunCompleted {
+        /// The assembled report, findings and provenance.
+        report: DiagnosisReport,
+    },
+    /// A [`CancelToken`] stopped the run at a stage boundary. Terminal; the run
+    /// still returns a partial report whose provenance carries the same stage name.
+    Cancelled {
+        /// Name of the first stage that did **not** run.
+        at_stage: String,
+    },
+}
+
+impl PipelineEvent {
+    /// A short label for the event kind (test pins and log lines).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineEvent::StageStarted { .. } => "stage_started",
+            PipelineEvent::StageCompleted { .. } => "stage_completed",
+            PipelineEvent::CausesRanked { .. } => "causes_ranked",
+            PipelineEvent::RemediationPlanned { .. } => "remediation_planned",
+            PipelineEvent::RunCompleted { .. } => "run_completed",
+            PipelineEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+/// A subscriber on the pipeline's event bus. Sinks receive every
+/// [`PipelineEvent`] next to the evidence ledger as it stands, synchronously on
+/// the diagnosing thread — a sink that must not block the diagnosis hands the
+/// event off (e.g. the service layer's bounded channel) instead of processing
+/// in place.
+pub trait EventSink {
+    /// Delivers one event. `state` is the ledger at emission time: completed
+    /// slots are filled, pending ones empty.
+    fn on_event(&self, event: &PipelineEvent, state: &DiagnosisState);
+}
+
+/// The PR 4 closure observer, adapted onto the event bus: fires only on
+/// [`PipelineEvent::StageCompleted`], with exactly the old signature.
+struct ObserverSink<F: Fn(&StageProvenance, &DiagnosisState)> {
+    observer: F,
+}
+
+impl<F: Fn(&StageProvenance, &DiagnosisState)> EventSink for ObserverSink<F> {
+    fn on_event(&self, event: &PipelineEvent, state: &DiagnosisState) {
+        if let PipelineEvent::StageCompleted { provenance } = event {
+            (self.observer)(provenance, state);
+        }
+    }
+}
+
+/// A shared cancellation flag checked between pipeline stages: `cancel()` from any
+/// thread (or from a sink reacting to an event) stops the run before its next
+/// stage, which returns a partial, consistent report. Clones share one flag;
+/// [`CancelToken::reset`] re-arms it so a cancelled session can resume.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: the owning run stops at its next stage boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Clears the flag so the next (or resumed) run proceeds.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+/// The emission context one run threads through its stage loop: the pipeline's
+/// registered sinks, an optional extra per-run sink (the engine's `*_streamed`
+/// entry points), and the effective cancel token. Borrow-only and crate-internal;
+/// the public surface is [`EventSink`]/[`CancelToken`].
+pub(crate) struct Emitter<'a> {
+    sinks: &'a [Box<dyn EventSink>],
+    extra: Option<&'a dyn EventSink>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> Emitter<'a> {
+    pub(crate) fn new(
+        sinks: &'a [Box<dyn EventSink>],
+        extra: Option<&'a dyn EventSink>,
+        cancel: Option<&'a CancelToken>,
+    ) -> Self {
+        Emitter { sinks, extra, cancel }
+    }
+
+    fn emit(&self, event: &PipelineEvent, state: &DiagnosisState) {
+        for sink in self.sinks {
+            sink.on_event(event, state);
+        }
+        if let Some(extra) = self.extra {
+            extra.on_event(event, state);
+        }
+    }
+
+    fn has_sinks(&self) -> bool {
+        !self.sinks.is_empty() || self.extra.is_some()
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.is_cancelled())
+    }
+
+    pub(crate) fn stage_started(&self, name: &str, state: &DiagnosisState) {
+        if self.has_sinks() {
+            self.emit(&PipelineEvent::StageStarted { stage: name.to_string() }, state);
+        }
+    }
+
+    /// Emits `StageCompleted` plus the derived events: `CausesRanked` right after
+    /// SD fills the cause ranking, `RemediationPlanned` when the stage flipped the
+    /// remediation slot from empty to filled (`had_remediation` is the slot state
+    /// before the stage ran).
+    pub(crate) fn stage_completed(
+        &self,
+        provenance: &StageProvenance,
+        state: &DiagnosisState,
+        had_remediation: bool,
+    ) {
+        if !self.has_sinks() {
+            return;
+        }
+        self.emit(&PipelineEvent::StageCompleted { provenance: provenance.clone() }, state);
+        if provenance.stage == Stage::Symptoms.name() {
+            if let Some(sd) = &state.sd {
+                self.emit(&PipelineEvent::CausesRanked { causes: sd.causes.clone() }, state);
+            }
+        }
+        if !had_remediation {
+            if let Some(plan) = &state.remediation {
+                self.emit(&PipelineEvent::RemediationPlanned { plan: plan.clone() }, state);
+            }
+        }
+    }
+
+    pub(crate) fn run_completed(&self, report: &DiagnosisReport, state: &DiagnosisState) {
+        if self.has_sinks() {
+            self.emit(&PipelineEvent::RunCompleted { report: report.clone() }, state);
+        }
+    }
+
+    pub(crate) fn cancelled(&self, at_stage: &str, state: &DiagnosisState) {
+        if self.has_sinks() {
+            self.emit(&PipelineEvent::Cancelled { at_stage: at_stage.to_string() }, state);
+        }
+    }
+}
 
 /// The composable diagnosis pipeline: an ordered stage list, the workflow whose
-/// config/symptoms database the stages consult, and observers.
+/// config/symptoms database the stages consult, and event sinks.
 ///
 /// [`DiagnosisPipeline::standard`] is the paper's Figure-2 sequence and is
 /// bit-identical to the pre-pipeline monolithic workflow (all golden pins
@@ -414,11 +642,15 @@ pub type StageObserver = Box<dyn Fn(&StageProvenance, &DiagnosisState)>;
 pub struct DiagnosisPipeline {
     workflow: DiagnosisWorkflow,
     stages: Vec<Box<dyn DiagnosisStage>>,
-    observers: Vec<StageObserver>,
-    /// Whether this is still the unmodified standard Figure-2 sequence with no
-    /// observers. Any recomposition (skip/insert/push/observe) clears it; the
-    /// engine's evidence-recording fast path requires it, because that path runs
-    /// [`Stage::ALL`] directly and would bypass custom stages and observers.
+    sinks: Vec<Box<dyn EventSink>>,
+    cancel: Option<CancelToken>,
+    /// Whether the *stage list* is still the unmodified standard Figure-2
+    /// sequence. Any recomposition (skip/insert/push) clears it; the engine's
+    /// evidence-recording fast path requires it, because that path runs
+    /// [`Stage::ALL`] directly and would bypass custom stages. Sinks and cancel
+    /// tokens do **not** clear it: the fast paths thread the emitter through, so
+    /// an observed standard pipeline still records evidence (and the event
+    /// sequence is identical either way).
     standard: bool,
 }
 
@@ -440,20 +672,37 @@ impl DiagnosisPipeline {
     pub fn with_workflow(workflow: DiagnosisWorkflow) -> Self {
         let stages: Vec<Box<dyn DiagnosisStage>> =
             Stage::ALL.iter().map(|s| Box::new(*s) as Box<dyn DiagnosisStage>).collect();
-        DiagnosisPipeline { workflow, stages, observers: Vec::new(), standard: true }
+        DiagnosisPipeline { workflow, stages, sinks: Vec::new(), cancel: None, standard: true }
     }
 
     /// An empty pipeline over a workflow — the starting point for fully custom
     /// stage lists (`empty().push(..)`).
     pub fn empty(workflow: DiagnosisWorkflow) -> Self {
-        DiagnosisPipeline { workflow, stages: Vec::new(), observers: Vec::new(), standard: false }
+        DiagnosisPipeline { workflow, stages: Vec::new(), sinks: Vec::new(), cancel: None, standard: false }
     }
 
-    /// Whether this pipeline is the unmodified standard sequence with no
-    /// observers — the precondition for the engine's evidence-recording and
-    /// incremental-replay paths.
+    /// Whether this pipeline's stage list is the unmodified standard sequence —
+    /// the precondition for the engine's evidence-recording and
+    /// incremental-replay paths (which still honour any registered sinks and
+    /// cancel token).
     pub(crate) fn is_standard(&self) -> bool {
         self.standard
+    }
+
+    /// The emission context for a run of this pipeline: its registered sinks plus
+    /// its cancel token.
+    pub(crate) fn emitter(&self) -> Emitter<'_> {
+        Emitter::new(&self.sinks, None, self.cancel.as_ref())
+    }
+
+    /// Like [`DiagnosisPipeline::emitter`], with an extra per-run sink and an
+    /// overriding cancel token — the engine's `*_streamed` entry points.
+    pub(crate) fn emitter_with<'a>(
+        &'a self,
+        extra: Option<&'a dyn EventSink>,
+        cancel: Option<&'a CancelToken>,
+    ) -> Emitter<'a> {
+        Emitter::new(&self.sinks, extra, cancel.or(self.cancel.as_ref()))
     }
 
     /// The workflow the stages consult.
@@ -531,13 +780,37 @@ impl DiagnosisPipeline {
     /// Registers an observer called after every stage completes, with the stage's
     /// provenance (name, elapsed time, cache hit/miss delta) and the ledger as it
     /// stands — streaming progress for long diagnoses.
-    pub fn on_stage_complete(
-        mut self,
-        observer: impl Fn(&StageProvenance, &DiagnosisState) + 'static,
-    ) -> Self {
-        self.observers.push(Box::new(observer));
-        self.standard = false;
+    ///
+    /// This is the PR 4 closure hook, kept as a thin adapter over the typed event
+    /// bus: the closure is wrapped in an [`EventSink`] that fires on
+    /// [`PipelineEvent::StageCompleted`] and ignores the rest of the vocabulary.
+    /// New code that wants the full vocabulary registers a sink with
+    /// [`DiagnosisPipeline::with_sink`] instead.
+    pub fn on_stage_complete(self, observer: impl Fn(&StageProvenance, &DiagnosisState) + 'static) -> Self {
+        self.with_sink(ObserverSink { observer })
+    }
+
+    /// Registers an [`EventSink`] receiving every [`PipelineEvent`] of every run of
+    /// this pipeline, on the diagnosing thread. Sinks do not change what a run
+    /// computes — an observed standard pipeline still takes the engine's
+    /// evidence-recording and incremental-replay fast paths.
+    pub fn with_sink(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
         self
+    }
+
+    /// Attaches a cancellation token checked between stages of every run of this
+    /// pipeline. See [`CancelToken`]; the engine's `*_streamed` entry points can
+    /// supply a per-run token instead.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The cancel token attached with [`DiagnosisPipeline::with_cancel_token`],
+    /// if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Runs the pipeline with a fresh private cache.
@@ -549,13 +822,40 @@ impl DiagnosisPipeline {
     /// runs of the same context). The report's provenance carries the stage trail;
     /// `engine` stays `None` — use [`DiagnosisPipeline::run_with_engine`] for
     /// engine-backed runs.
+    ///
+    /// Cancellation (see [`DiagnosisPipeline::with_cancel_token`]) is checked
+    /// before each stage: a cancelled run stops, emits
+    /// [`PipelineEvent::Cancelled`], and returns the report assembled from the
+    /// partial ledger with `provenance.cancelled_at` naming the stage that never
+    /// ran.
     pub fn run_with_cache(&self, ctx: &DiagnosisContext<'_>, cache: &mut DiagnosisCache) -> DiagnosisReport {
+        let emitter = self.emitter();
         let mut state = DiagnosisState::default();
         let mut stages = Vec::with_capacity(self.stages.len());
         for index in 0..self.stages.len() {
+            if emitter.is_cancelled() {
+                let at_stage = self.stages[index].name().to_string();
+                emitter.cancelled(&at_stage, &state);
+                return self.assemble(
+                    ctx,
+                    &state,
+                    DiagnosisProvenance {
+                        stages,
+                        engine: None,
+                        epochs_applied: 0,
+                        cancelled_at: Some(at_stage),
+                    },
+                );
+            }
             stages.push(self.run_stage_at(index, ctx, cache, &mut state));
         }
-        self.assemble(ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 })
+        let report = self.assemble(
+            ctx,
+            &state,
+            DiagnosisProvenance { stages, engine: None, epochs_applied: 0, cancelled_at: None },
+        );
+        emitter.run_completed(&report, &state);
+        report
     }
 
     /// Runs the pipeline through a fleet-level [`DiagnosisEngine`]: the KDE-fit slot
@@ -584,10 +884,12 @@ impl DiagnosisPipeline {
         cache: &mut DiagnosisCache,
         state: &mut DiagnosisState,
     ) -> StageProvenance {
-        let provenance = execute_stage(&self.workflow, self.stages[index].as_ref(), ctx, cache, state);
-        for observer in &self.observers {
-            observer(&provenance, state);
-        }
+        let emitter = self.emitter();
+        let stage = self.stages[index].as_ref();
+        let had_remediation = state.remediation.is_some();
+        emitter.stage_started(stage.name(), state);
+        let provenance = execute_stage(&self.workflow, stage, ctx, cache, state);
+        emitter.stage_completed(&provenance, state, had_remediation);
         provenance
     }
 
@@ -676,26 +978,54 @@ pub(crate) fn run_standard_with(
     for stage in &Stage::ALL {
         stages.push(execute_stage(workflow, stage, ctx, cache, &mut state));
     }
-    assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 })
+    assemble_v2(
+        workflow,
+        ctx,
+        &state,
+        DiagnosisProvenance { stages, engine: None, epochs_applied: 0, cancelled_at: None },
+    )
 }
 
 /// Like [`run_standard_with`], but stamps the ledger with the given input
 /// fingerprints and hands it back next to the report — the evidence-recording path
 /// engine-backed diagnoses use so a later `diagnose_incremental` can replay it.
+/// Emits the per-stage event sequence through `emitter` and honours its cancel
+/// token between stages; the caller emits the terminal `RunCompleted` (after
+/// patching engine provenance into the report). A cancelled run's ledger is left
+/// **unstamped** (no [`LedgerInputs`]) — a partial ledger must never seed
+/// incremental replay.
 pub(crate) fn run_standard_recorded(
     workflow: &DiagnosisWorkflow,
     ctx: &DiagnosisContext<'_>,
     cache: &mut DiagnosisCache,
     inputs: LedgerInputs,
+    emitter: &Emitter<'_>,
 ) -> (DiagnosisReport, DiagnosisState) {
     let mut state = DiagnosisState::default();
     let mut stages = Vec::with_capacity(Stage::ALL.len());
+    let mut cancelled_at = None;
     for stage in &Stage::ALL {
-        stages.push(execute_stage(workflow, stage, ctx, cache, &mut state));
+        if emitter.is_cancelled() {
+            let name = stage.name().to_string();
+            emitter.cancelled(&name, &state);
+            cancelled_at = Some(name);
+            break;
+        }
+        let had_remediation = state.remediation.is_some();
+        emitter.stage_started(stage.name(), &state);
+        let provenance = execute_stage(workflow, stage, ctx, cache, &mut state);
+        emitter.stage_completed(&provenance, &state, had_remediation);
+        stages.push(provenance);
     }
-    state.inputs = Some(inputs);
-    let report =
-        assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 });
+    if cancelled_at.is_none() {
+        state.inputs = Some(inputs);
+    }
+    let report = assemble_v2(
+        workflow,
+        ctx,
+        &state,
+        DiagnosisProvenance { stages, engine: None, epochs_applied: 0, cancelled_at },
+    );
     (report, state)
 }
 
@@ -741,6 +1071,7 @@ pub(crate) fn run_incremental_standard(
     cache: &mut DiagnosisCache,
     prior: &DiagnosisState,
     inputs: LedgerInputs,
+    emitter: &Emitter<'_>,
 ) -> Option<(DiagnosisReport, DiagnosisState)> {
     let prior_inputs = prior.inputs?;
     if !Stage::ALL.iter().all(|s| prior.is_complete(*s)) {
@@ -749,28 +1080,46 @@ pub(crate) fn run_incremental_standard(
     let mut state = DiagnosisState::default();
     let mut changed = [false; Stage::ALL.len()];
     let mut stages = Vec::with_capacity(Stage::ALL.len());
+    let mut cancelled_at = None;
     for stage in Stage::ALL {
+        if emitter.is_cancelled() {
+            let name = stage.name().to_string();
+            emitter.cancelled(&name, &state);
+            cancelled_at = Some(name);
+            break;
+        }
+        let had_remediation = state.remediation.is_some();
+        emitter.stage_started(stage.name(), &state);
         let stale = inputs.stage_stale(&prior_inputs, stage)
             || stage.staleness_deps().iter().any(|d| changed[d.index()]);
-        if stale {
-            stages.push(execute_stage(workflow, &stage, ctx, cache, &mut state));
+        let provenance = if stale {
+            let provenance = execute_stage(workflow, &stage, ctx, cache, &mut state);
             changed[stage.index()] = result_changed(stage, &state, prior);
+            provenance
         } else {
             let started = Instant::now();
             replay_slot(stage, &mut state, prior);
-            stages.push(StageProvenance {
+            StageProvenance {
                 stage: stage.name().to_string(),
                 elapsed_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
                 cache_hits: 0,
                 cache_misses: 0,
                 reused: true,
                 redrilled: state.plan_changed() && stage_redrills(stage.name()),
-            });
-        }
+            }
+        };
+        emitter.stage_completed(&provenance, &state, had_remediation);
+        stages.push(provenance);
     }
-    state.inputs = Some(inputs);
-    let report =
-        assemble_v2(workflow, ctx, &state, DiagnosisProvenance { stages, engine: None, epochs_applied: 0 });
+    if cancelled_at.is_none() {
+        state.inputs = Some(inputs);
+    }
+    let report = assemble_v2(
+        workflow,
+        ctx,
+        &state,
+        DiagnosisProvenance { stages, engine: None, epochs_applied: 0, cancelled_at },
+    );
     Some((report, state))
 }
 

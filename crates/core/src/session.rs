@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crate::diagnosis::{DiagnosisProvenance, DiagnosisReport, EngineProvenance, StageProvenance};
 use crate::engine::DiagnosisEngine;
-use crate::pipeline::{DiagnosisPipeline, DiagnosisState, Stage};
+use crate::pipeline::{CancelToken, DiagnosisPipeline, DiagnosisState, Stage};
 use crate::workflow::{
     CorrelatedOperatorsResult, DependencyAnalysisResult, DiagnosisCache, DiagnosisContext, DiagnosisWorkflow,
     ImpactResult, PlanDiffResult, RecordCountResult, SymptomsResult,
@@ -248,11 +248,26 @@ impl<'a> WorkflowSession<'a> {
 
     /// Finishes the session: runs every incomplete stage (in pipeline order) and
     /// assembles the report, with the session's full stage trail as provenance.
+    ///
+    /// Honours the pipeline's [`CancelToken`] between stages: a cancelled finish
+    /// stops before the first incomplete stage it reaches, emits
+    /// [`crate::pipeline::PipelineEvent::Cancelled`] and assembles the partial,
+    /// consistent ledger (provenance `cancelled_at` names the stopped stage).
+    /// The completed/incomplete flags are left as they stand, so resetting the
+    /// token and calling `finish` again re-runs **only** the cancelled stages.
     pub fn finish(&mut self) -> DiagnosisReport {
+        let mut cancelled_at = None;
         for index in 0..self.pipeline.len() {
-            if !self.completed[index] {
-                self.run_index(index);
+            if self.completed[index] {
+                continue;
             }
+            if self.pipeline.cancel_token().is_some_and(CancelToken::is_cancelled) {
+                let at_stage = self.pipeline.stage_at(index).name().to_string();
+                self.pipeline.emitter().cancelled(&at_stage, &self.state);
+                cancelled_at = Some(at_stage);
+                break;
+            }
+            self.run_index(index);
         }
         let engine = match &self.cache {
             SessionCache::Private(_) => None,
@@ -260,10 +275,14 @@ impl<'a> WorkflowSession<'a> {
                 Some(EngineProvenance { fingerprint: *fingerprint, warm: first_warm.unwrap_or(false) })
             }
         };
-        self.pipeline.assemble(
+        let report = self.pipeline.assemble(
             &self.ctx,
             &self.state,
-            DiagnosisProvenance { stages: self.trail.clone(), engine, epochs_applied: 0 },
-        )
+            DiagnosisProvenance { stages: self.trail.clone(), engine, epochs_applied: 0, cancelled_at },
+        );
+        if report.provenance.cancelled_at.is_none() {
+            self.pipeline.emitter().run_completed(&report, &self.state);
+        }
+        report
     }
 }

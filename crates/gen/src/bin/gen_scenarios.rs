@@ -46,9 +46,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{}", usage()));
         match arg.as_str() {
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--count" => opts.count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?,

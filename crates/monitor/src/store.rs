@@ -27,7 +27,7 @@ use crate::intern::{ComponentSym, Interner, MetricSym};
 use crate::metric::{MetricKey, MetricName};
 use crate::rng::SplitMix64;
 use crate::series::{DataPoint, TimeSeries};
-use crate::time::{TimeRange, Timestamp};
+use crate::time::{Duration, TimeRange, Timestamp};
 
 /// One shard: the sorted sub-map of every series whose component hashes here.
 #[derive(Debug, Clone, Default)]
@@ -99,6 +99,41 @@ impl EpochId {
     /// [`MetricStore::epoch_cumulative_fingerprint`] before trusting it.
     pub fn from_index(index: u64) -> Self {
         EpochId(index)
+    }
+}
+
+/// When a continuously-ingesting consumer should seal the open append window into
+/// the next epoch — the watermark policy of the service loop.
+///
+/// Sealing is cheap but not free (O(dirty series + shards)), and each sealed epoch
+/// is a validation anchor incremental re-diagnosis can resume from; the policy
+/// trades epoch granularity against seal overhead. The open window is sealed as
+/// soon as **either** threshold is crossed — `min_points` observations have
+/// accumulated, or `max_interval` of (simulated) time has passed since the last
+/// seal — and never while it is empty (an empty epoch anchors nothing a previous
+/// seal doesn't already).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealPolicy {
+    /// Seal once this many observations have accumulated in the open window.
+    pub min_points: usize,
+    /// Seal once this much time has passed since the previous seal, even if fewer
+    /// than `min_points` observations arrived.
+    pub max_interval: Duration,
+}
+
+impl Default for SealPolicy {
+    /// The service-loop defaults: 256 points or 2 simulated minutes, whichever
+    /// comes first (one probe cycle of a medium tenant, or four idle cycles).
+    fn default() -> Self {
+        SealPolicy { min_points: 256, max_interval: Duration::from_mins(2) }
+    }
+}
+
+impl SealPolicy {
+    /// Whether a window holding `open_points` observations, `elapsed` after the
+    /// previous seal, should be sealed now.
+    pub fn should_seal(&self, open_points: usize, elapsed: Duration) -> bool {
+        open_points > 0 && (open_points >= self.min_points || elapsed >= self.max_interval)
     }
 }
 
@@ -307,6 +342,17 @@ impl MetricStore {
     /// Number of sealed epochs.
     pub fn epoch_count(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// Number of observations in the open append window — recorded since the last
+    /// [`MetricStore::seal_epoch`] (everything, if nothing was sealed yet). This is
+    /// the point count a [`SealPolicy`] decides over. O(series).
+    pub fn open_point_count(&self) -> usize {
+        let sealed: usize = match self.sealed.last() {
+            Some(epoch) => epoch.watermarks.iter().flat_map(|w| w.values()).sum(),
+            None => 0,
+        };
+        self.point_count().saturating_sub(sealed)
     }
 
     /// The most recently sealed epoch, if any.

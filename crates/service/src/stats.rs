@@ -1,0 +1,147 @@
+//! The service's observable surface: one scrapeable snapshot over loop
+//! counters, latency/staleness spectra and the engine's checkout stats,
+//! rendered through `diads_core::jsonio` (dependency-free, like every other
+//! JSON artifact in the tree).
+
+use diads_core::jsonio::Writer;
+use diads_core::EngineStats;
+use diads_stats::LatencySpectrum;
+
+/// Percentile summary of one recorded spectrum, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpectrumSummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Median, ms. `None` while no sample was recorded.
+    pub p50_ms: Option<f64>,
+    /// 99th percentile, ms.
+    pub p99_ms: Option<f64>,
+    /// 99.9th percentile, ms.
+    pub p999_ms: Option<f64>,
+}
+
+impl SpectrumSummary {
+    /// Summarises a spectrum of nanosecond samples into milliseconds.
+    pub fn from_nanos(spectrum: &mut LatencySpectrum) -> Self {
+        let ms = |v: Option<f64>| v.map(|ns| ns / 1e6);
+        SpectrumSummary {
+            count: spectrum.len(),
+            p50_ms: ms(spectrum.p50()),
+            p99_ms: ms(spectrum.p99()),
+            p999_ms: ms(spectrum.p999()),
+        }
+    }
+
+    fn write(&self, w: &mut Writer, key: &str) {
+        w.key(key);
+        w.open_object();
+        w.number_field("count", self.count as f64);
+        match self.p50_ms {
+            Some(v) => w.number_field("p50_ms", v),
+            None => w.null_field("p50_ms"),
+        }
+        match self.p99_ms {
+            Some(v) => w.number_field("p99_ms", v),
+            None => w.null_field("p99_ms"),
+        }
+        match self.p999_ms {
+            Some(v) => w.number_field("p999_ms", v),
+            None => w.null_field("p999_ms"),
+        }
+        w.close_object();
+    }
+}
+
+/// A point-in-time snapshot of a running `DiagnosisService` — what an operator
+/// scrapes. Cheap to take (copies counters and summarises spectra) and fully
+/// owned, so it can outlive the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Number of tenant testbeds the service owns.
+    pub tenants: usize,
+    /// Completed diagnosis cycles (a report was produced and checked in).
+    pub cycles: u64,
+    /// Cycles that ingested but skipped diagnosis (watermark policy not met).
+    pub skipped_cycles: u64,
+    /// Cycles whose diagnosis was cancelled mid-run by the tenant's token.
+    pub cancelled_cycles: u64,
+    /// Metric observations ingested across all tenants.
+    pub points_ingested: u64,
+    /// Store epochs sealed across all tenants.
+    pub epochs_sealed: u64,
+    /// Wall-clock diagnosis latency per completed cycle.
+    pub cycle_latency: SpectrumSummary,
+    /// Wall-clock age of the oldest undiagnosed observation at each diagnosis —
+    /// how stale a tenant's picture was allowed to get under the seal policy.
+    pub staleness: SpectrumSummary,
+    /// Events published on the service bus.
+    pub events_published: u64,
+    /// Per-subscriber event copies dropped on backpressure.
+    pub events_dropped: u64,
+    /// The shared engine's checkout counters (fleet-wide, not per tenant).
+    pub engine: EngineStats,
+}
+
+impl ServiceStats {
+    /// Fraction of engine slot checkouts that found warm fits.
+    pub fn warm_hit_rate(&self) -> f64 {
+        self.engine.warm_hit_rate()
+    }
+
+    /// One scrapeable JSON object over the whole snapshot (counters, both
+    /// spectra, the nested engine counters), via [`diads_core::jsonio`].
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        w.open_object();
+        w.number_field("tenants", self.tenants as f64);
+        w.number_field("cycles", self.cycles as f64);
+        w.number_field("skipped_cycles", self.skipped_cycles as f64);
+        w.number_field("cancelled_cycles", self.cancelled_cycles as f64);
+        w.number_field("points_ingested", self.points_ingested as f64);
+        w.number_field("epochs_sealed", self.epochs_sealed as f64);
+        self.cycle_latency.write(&mut w, "cycle_latency");
+        self.staleness.write(&mut w, "staleness");
+        w.number_field("events_published", self.events_published as f64);
+        w.number_field("events_dropped", self.events_dropped as f64);
+        w.number_field("warm_hit_rate", self.warm_hit_rate());
+        w.key("engine");
+        w.open_object();
+        w.number_field("warm_checkouts", self.engine.warm_checkouts as f64);
+        w.number_field("cold_checkouts", self.engine.cold_checkouts as f64);
+        w.number_field("evictions", self.engine.evictions as f64);
+        w.close_object();
+        w.close_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_shape() {
+        let mut spectrum = LatencySpectrum::new();
+        spectrum.record(2_000_000.0);
+        let stats = ServiceStats {
+            tenants: 2,
+            cycles: 10,
+            skipped_cycles: 3,
+            cancelled_cycles: 1,
+            points_ingested: 320,
+            epochs_sealed: 12,
+            cycle_latency: SpectrumSummary::from_nanos(&mut spectrum),
+            staleness: SpectrumSummary::default(),
+            events_published: 80,
+            events_dropped: 4,
+            engine: EngineStats { warm_checkouts: 9, cold_checkouts: 3, evictions: 0 },
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"tenants\":2,"));
+        assert!(json.contains("\"cycle_latency\":{\"count\":1,\"p50_ms\":2,"));
+        assert!(json.contains("\"staleness\":{\"count\":0,\"p50_ms\":null,"));
+        assert!(json.contains("\"warm_hit_rate\":0.75"));
+        assert!(json.contains("\"engine\":{\"warm_checkouts\":9,"));
+        assert!(json.ends_with("}"));
+    }
+}

@@ -21,7 +21,11 @@
 //!   silo-tool baselines, the text screens and the what-if extension;
 //! * [`gen`] — the generative scenario engine: seeded fault-plan generation,
 //!   diagnosis property oracles (soundness + completeness), 1-minimal shrinking,
-//!   and the replayable JSON bugbase behind the `gen_scenarios` CLI.
+//!   and the replayable JSON bugbase behind the `gen_scenarios` CLI;
+//! * [`service`] — diagnosis-as-a-service: the continuous ingest → seal →
+//!   incremental-re-diagnosis → plan loop over tenant testbeds, streaming typed
+//!   pipeline events through a bounded in-tree channel, with per-tenant
+//!   cancellation and a scrapeable stats snapshot.
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@ pub use diads_gen as gen;
 pub use diads_inject as inject;
 pub use diads_monitor as monitor;
 pub use diads_san as san;
+pub use diads_service as service;
 pub use diads_stats as stats;
 pub use diads_workload as workload;
 
